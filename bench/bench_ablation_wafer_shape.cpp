@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation — square-substrate simplification versus a round wafer.
+ *
+ * The paper assumes a square substrate ("100 mm corresponds to a
+ * square with a side of 100 mm"); real wafers are round, offering
+ * pi/4 of the area and pi/4 of the periphery beachfront of the
+ * circumscribing square. This ablation quantifies how much of each
+ * headline result survives the shape correction.
+ */
+
+#include "bench_common.hpp"
+#include "core/radix_solver.hpp"
+
+int
+main()
+{
+    using namespace wss;
+    bench::banner("Ablation", "square substrate vs round wafer");
+
+    Table table("Maximum 200G ports (Optical I/O)",
+                {"diameter/side (mm)", "internal BW", "square",
+                 "round", "round blocked by"});
+    for (double side : bench::kSubstrates) {
+        for (bool overclocked : {false, true}) {
+            const auto wsi =
+                overclocked ? tech::siIf2x() : tech::siIf();
+            core::DesignSpec spec =
+                bench::paperSpec(side, wsi, tech::opticalIo());
+            const auto square = core::RadixSolver(spec).solveMaxPorts();
+            spec.round_substrate = true;
+            const auto round = core::RadixSolver(spec).solveMaxPorts();
+            table.addRow(
+                {Table::num(side, 0),
+                 Table::num(wsi.totalBandwidthDensity(), 0) + " Gbps/mm",
+                 Table::num(square.best.ports),
+                 Table::num(round.best.ports),
+                 std::string(round.blocking
+                                 ? core::toString(
+                                       round.blocking->violated)
+                                 : "ladder end")});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nA round wafer loses pi/4 (~21%) of area and "
+                 "beachfront: internally-bound points survive (the "
+                 "mesh channel\nloads do not change) while area-bound "
+                 "points drop one ladder step — the paper's "
+                 "square-substrate numbers\nare mild upper bounds.\n";
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/per-table bench binaries.
+ *
+ * Every binary in bench/ regenerates one table or figure of the
+ * paper: it prints the same rows/series the paper reports (aligned
+ * text via wss::Table) plus a short header naming the artifact.
+ * Environment knobs:
+ *   WSS_BENCH_RESTARTS  mapping-search restarts (default 4)
+ *   WSS_BENCH_SEED      base RNG seed (default 1)
+ *   WSS_BENCH_FAST      if set, shrink simulation phases for smoke
+ *                       runs
+ */
+
+#ifndef WSS_BENCH_COMMON_HPP
+#define WSS_BENCH_COMMON_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/design.hpp"
+#include "power/ssc.hpp"
+#include "tech/cooling.hpp"
+#include "tech/external_io.hpp"
+#include "tech/wsi.hpp"
+#include "util/table.hpp"
+
+namespace wss::bench {
+
+/// Integer environment knob with default.
+inline int
+envInt(const char *name, int fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::atoi(value) : fallback;
+}
+
+/// True when WSS_BENCH_FAST is set (shrunken simulation phases).
+inline bool
+fastMode()
+{
+    return std::getenv("WSS_BENCH_FAST") != nullptr;
+}
+
+/// Announce which paper artifact this binary regenerates.
+inline void
+banner(const std::string &artifact, const std::string &description)
+{
+    std::cout << "### " << artifact << " — " << description << "\n\n";
+}
+
+/// The three substrate sides the paper sweeps (mm).
+inline const double kSubstrates[] = {100.0, 200.0, 300.0};
+
+/// Baseline design spec shared by the radix benches.
+inline core::DesignSpec
+paperSpec(double side, const tech::WsiTechnology &wsi,
+          const tech::ExternalIoTech &ext)
+{
+    core::DesignSpec spec;
+    spec.substrate_side = side;
+    spec.wsi = wsi;
+    spec.external_io = ext;
+    spec.ssc = power::tomahawk5(1);
+    spec.cooling = tech::unlimitedCooling();
+    spec.mapping_restarts = envInt("WSS_BENCH_RESTARTS", 4);
+    spec.seed = static_cast<std::uint64_t>(envInt("WSS_BENCH_SEED", 1));
+    return spec;
+}
+
+/// All three external I/O schemes in the paper's plotting order.
+inline std::vector<tech::ExternalIoTech>
+externalIoSchemes()
+{
+    return {tech::serdes(), tech::opticalIo(), tech::areaIo()};
+}
+
+} // namespace wss::bench
+
+#endif // WSS_BENCH_COMMON_HPP

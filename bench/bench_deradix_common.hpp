@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared sweep for the subswitch-deradixing figures (17, 18).
+ */
+
+#ifndef WSS_BENCH_DERADIX_COMMON_HPP
+#define WSS_BENCH_DERADIX_COMMON_HPP
+
+#include "bench_common.hpp"
+#include "core/radix_solver.hpp"
+#include "topology/clos.hpp"
+
+namespace wss::bench {
+
+/// Sweep deradix factors {1, 2, 4} at every substrate for one WSI
+/// operating point and print the achievable radix.
+inline void
+printDeradixSweep(const tech::WsiTechnology &wsi)
+{
+    Table table("Maximum ports vs sub-switch radix (" + wsi.name + ", " +
+                    Table::num(wsi.totalBandwidthDensity(), 0) +
+                    " Gbps/mm, Optical I/O)",
+                {"substrate (mm)", "SSC radix", "max ports",
+                 "blocked next by"});
+    for (double side : kSubstrates) {
+        for (int factor : {1, 2, 4}) {
+            core::DesignSpec spec =
+                paperSpec(side, wsi, tech::opticalIo());
+            spec.ssc =
+                topology::deradixedSsc(power::tomahawk5(1), factor);
+            const auto result = core::RadixSolver(spec).solveMaxPorts();
+            table.addRow(
+                {Table::num(side, 0), Table::num(spec.ssc.radix),
+                 Table::num(result.best.ports),
+                 std::string(result.blocking
+                                 ? core::toString(
+                                       result.blocking->violated)
+                                 : "ladder end")});
+        }
+    }
+    table.print(std::cout);
+}
+
+} // namespace wss::bench
+
+#endif // WSS_BENCH_DERADIX_COMMON_HPP

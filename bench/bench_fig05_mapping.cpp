@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 5 — random mapping versus Algorithm 1 (pairwise exchange).
+ *
+ * For Clos fabrics of growing size mapped onto the wafer mesh, prints
+ * the worst-case channel load C(M) of the best random placement and
+ * of the optimized placement, plus the resulting available internal
+ * bandwidth per port (the paper's improvement metric).
+ */
+
+#include "bench_common.hpp"
+#include "mapping/pairwise_exchange.hpp"
+#include "topology/clos.hpp"
+
+#include <cmath>
+
+int
+main()
+{
+    using namespace wss;
+    bench::banner("Figure 5",
+                  "random mapping vs Algorithm 1 pairwise exchange");
+
+    Table table("C(M) in Gbps per direction (lower is better)",
+                {"ports", "chiplets", "grid", "random C(M)",
+                 "optimized C(M)", "improvement %",
+                 "per-port BW gain %"});
+
+    const power::SscConfig ssc = power::tomahawk5(1);
+    Rng rng(bench::envInt("WSS_BENCH_SEED", 1));
+    for (std::int64_t ports : {1024, 2048, 4096, 8192}) {
+        const auto topo = topology::buildFoldedClos({ports, ssc, 1});
+        const int rows = static_cast<int>(
+            std::ceil(std::sqrt(topo.nodeCount())));
+        const int cols = (topo.nodeCount() + rows - 1) / rows;
+        const mapping::WaferFloorplan fp(rows, cols, true,
+                                         ssc.edgeLength());
+        const auto result = mapping::searchBestMapping(
+            topo, fp, true, rng,
+            bench::envInt("WSS_BENCH_RESTARTS", 8));
+        const double improvement =
+            100.0 * (result.initial_max_edge_load -
+                     result.max_edge_load) /
+            result.initial_max_edge_load;
+        // Per-port available bandwidth scales inversely with C(M).
+        const double bw_gain =
+            100.0 * (result.initial_max_edge_load /
+                         result.max_edge_load -
+                     1.0);
+        table.addRow({Table::num(ports), Table::num(topo.nodeCount()),
+                      std::to_string(rows) + "x" + std::to_string(cols),
+                      Table::num(result.initial_max_edge_load, 0),
+                      Table::num(result.max_edge_load, 0),
+                      Table::num(improvement, 1),
+                      Table::num(bw_gain, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper: the heuristic improves worst-case per-port "
+                 "internal bandwidth by 147.6% over an unoptimized\n"
+                 "random initialization (our external-escape model "
+                 "spreads load 4 ways, so random placements start\n"
+                 "less congested and the measured gain is smaller; "
+                 "the direction and mechanism match).\n";
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fig. 6 — maximum ports achievable with WSI when only substrate
+ * area constrains ("the ideal case"), for the three TH-5 port-rate
+ * configurations at 100/200/300 mm substrates.
+ */
+
+#include "bench_common.hpp"
+#include "core/radix_solver.hpp"
+
+int
+main()
+{
+    using namespace wss;
+    bench::banner("Figure 6",
+                  "ideal (area-only) maximum port count vs substrate");
+
+    Table table("Maximum ports, area constraint only",
+                {"substrate (mm)", "SSC config", "max ports",
+                 "benefit vs one SSC"});
+    for (double side : bench::kSubstrates) {
+        for (int cfg : {1, 2, 3}) {
+            core::DesignSpec spec = bench::paperSpec(
+                side, tech::siIf(), tech::opticalIo());
+            spec.ssc = power::tomahawk5(cfg);
+            spec.area_only = true;
+            const auto result = core::RadixSolver(spec).solveMaxPorts();
+            table.addRow(
+                {Table::num(side, 0), spec.ssc.name,
+                 Table::num(result.best.ports),
+                 Table::num(static_cast<double>(result.best.ports) /
+                                spec.ssc.radix,
+                            0) +
+                     "x"});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper: up to 32x more ports than a single TH-5 at "
+                 "300 mm; 16x at 200 mm; 4x at 100 mm.\n";
+    return 0;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Fig. 10 — power breakdown at 3200 Gbps/mm internal density.
+ */
+
+#include "bench_power_breakdown_common.hpp"
+
+int
+main()
+{
+    using namespace wss;
+    bench::banner("Figure 10", "power breakdown at 3200 Gbps/mm");
+    bench::printPowerBreakdown(tech::siIf());
+    std::cout << "\nPaper: power exceeds 14 kW-class for the 200/300 mm "
+                 "Optical and Area I/O switches at this density.\n";
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Fig. 11 — power breakdown at 6400 Gbps/mm internal density.
+ */
+
+#include "bench_power_breakdown_common.hpp"
+
+int
+main()
+{
+    using namespace wss;
+    bench::banner("Figure 11", "power breakdown at 6400 Gbps/mm");
+    bench::printPowerBreakdown(tech::siIf2x());
+    std::cout << "\nPaper: up to 62 kW for the 8192-port switch (3.5x "
+                 "the 3200 Gbps/mm case); I/O is 33%-43.8% of the "
+                 "total.\n";
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Fig. 13 — power breakdown with InFO-SoW at 12.8 Tbps/mm.
+ */
+
+#include "bench_power_breakdown_common.hpp"
+
+int
+main()
+{
+    using namespace wss;
+    bench::banner("Figure 13", "power breakdown with InFO-SoW");
+    bench::printPowerBreakdown(tech::infoSow());
+    std::cout << "\nPaper: the 8192-port InFO-SoW package draws "
+                 "92.5 kW (1.5 pJ/b links), well above the Si-IF "
+                 "design.\n";
+    return 0;
+}

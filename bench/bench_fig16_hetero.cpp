@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 16 — power reduction from the heterogeneous switch design
+ * (scaled smaller dies as leaves), with the cooling envelopes.
+ */
+
+#include "bench_common.hpp"
+#include "core/radix_solver.hpp"
+
+int
+main()
+{
+    using namespace wss;
+    bench::banner("Figure 16",
+                  "heterogeneous switch power reduction + cooling "
+                  "envelopes");
+
+    Table table("Homogeneous vs heterogeneous (leaves split 4x, "
+                "6400 Gbps/mm, Optical I/O)",
+                {"substrate (mm)", "ports", "homogeneous (kW)",
+                 "heterogeneous (kW)", "reduction %",
+                 "density before (W/mm^2)", "density after (W/mm^2)",
+                 "within water 0.5?"});
+    for (double side : bench::kSubstrates) {
+        core::DesignSpec spec =
+            bench::paperSpec(side, tech::siIf2x(), tech::opticalIo());
+        const auto homo = core::RadixSolver(spec).solveMaxPorts();
+        spec.leaf_split = 4;
+        const auto hetero =
+            core::RadixSolver(spec).evaluate(homo.best.ports);
+        const double reduction =
+            100.0 *
+            (1.0 - hetero.power.total() / homo.best.power.total());
+        table.addRow(
+            {Table::num(side, 0), Table::num(homo.best.ports),
+             Table::num(homo.best.power.total() / 1000.0, 1),
+             Table::num(hetero.power.total() / 1000.0, 1),
+             Table::num(reduction, 1),
+             Table::num(homo.best.power_density, 3),
+             Table::num(hetero.power_density, 3),
+             hetero.power_density <=
+                     tech::waterCooling().max_power_density_w_mm2
+                 ? "yes"
+                 : "no"});
+    }
+    table.print(std::cout);
+
+    Table envelopes("Cooling envelopes (W/mm^2)",
+                    {"solution", "sustainable density",
+                     "budget at 300 mm (kW)"});
+    for (const auto &cooling : tech::allCoolingSolutions()) {
+        envelopes.addRow(
+            {cooling.name,
+             Table::num(cooling.max_power_density_w_mm2, 2),
+             Table::num(cooling.powerBudget(300.0) / 1000.0, 1)});
+    }
+    envelopes.print(std::cout);
+    std::cout << "\nPaper: 30.8% reduction at 300 mm (33.5% at smaller "
+                 "substrates); density falls from 0.69 to 0.48 W/mm^2, "
+                 "inside\nthe 0.5 W/mm^2 water-cooling envelope. The "
+                 "reduction shrinks with substrate size because "
+                 "internal I/O power\n(untouched by the optimization) "
+                 "grows in share.\n";
+    return 0;
+}

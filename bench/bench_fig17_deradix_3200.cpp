@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Fig. 17 — maximum ports when reducing the SSC radix (same die
+ * area) at 3200 Gbps/mm internal density.
+ */
+
+#include "bench_deradix_common.hpp"
+
+int
+main()
+{
+    using namespace wss;
+    bench::banner("Figure 17", "subswitch deradixing at 3200 Gbps/mm");
+    bench::printDeradixSweep(tech::siIf());
+    std::cout << "\nPaper: halving the SSC radix (256 -> 128) doubles "
+                 "the 300 mm switch from 2048 to 4096 ports by freeing "
+                 "beachfront\nfor feedthroughs; quartering overshoots "
+                 "(area binds) and falls back.\n";
+    return 0;
+}

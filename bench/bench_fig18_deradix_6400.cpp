@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Fig. 18 — maximum ports when reducing the SSC radix at
+ * 6400 Gbps/mm internal density.
+ */
+
+#include "bench_deradix_common.hpp"
+
+int
+main()
+{
+    using namespace wss;
+    bench::banner("Figure 18", "subswitch deradixing at 6400 Gbps/mm");
+    bench::printDeradixSweep(tech::siIf2x());
+    std::cout << "\nPaper: with the internal bandwidth already "
+                 "sufficient, deradixing only packs fewer ports per "
+                 "die and the\nachievable radix drops — the effect is "
+                 "more pronounced than at 3200 Gbps/mm.\n";
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig. 19 — available internal I/O bandwidth per SSC port at 300 mm,
+ * radix-256 versus deradixed radix-128 sub-switches.
+ */
+
+#include "bench_common.hpp"
+#include "core/radix_solver.hpp"
+#include "topology/clos.hpp"
+
+int
+main()
+{
+    using namespace wss;
+    bench::banner("Figure 19",
+                  "available internal bandwidth per port, 300 mm, "
+                  "3200 Gbps/mm");
+
+    Table table("Per-port internal bandwidth at the hottest edge "
+                "(requirement: 200 Gbps)",
+                {"SSC radix", "system radix", "available (Gbps/port)",
+                 "meets 200G?"});
+    for (int factor : {1, 2}) {
+        for (std::int64_t ports : {2048, 4096, 8192}) {
+            core::DesignSpec spec =
+                bench::paperSpec(300.0, tech::siIf(), tech::opticalIo());
+            spec.ssc =
+                topology::deradixedSsc(power::tomahawk5(1), factor);
+            const auto eval = core::RadixSolver(spec).evaluate(ports);
+            std::string available =
+                eval.violated == core::Constraint::Area ||
+                        eval.violated == core::Constraint::TopologyLimit
+                    ? "does not fit"
+                    : Table::num(eval.available_bw_per_port, 0);
+            table.addRow({Table::num(spec.ssc.radix), Table::num(ports),
+                          available,
+                          eval.feasible ? "yes"
+                          : eval.violated ==
+                                  core::Constraint::InternalBandwidth
+                              ? "no"
+                              : "n/a"});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper: with radix-256 SSCs only the 2048-port "
+                 "system meets 200G per port; deradixed radix-128 SSCs "
+                 "lift the\n4096-port system above the requirement.\n";
+    return 0;
+}

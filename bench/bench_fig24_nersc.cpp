@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Fig. 24 — trace-driven comparison of the 2048-port waferscale
+ * switch versus the TH-5 switch network on NERSC mini-app workloads.
+ *
+ * The paper replays LULESH / MOCFE / MultiGrid / Nekbone traces
+ * (512/1024 ranks, duplicated onto 2048 endpoints). Real traces are
+ * not redistributable, so structurally matched synthetic traces are
+ * generated (see src/trace/generators.*). Replay is closed-loop: the
+ * mini-apps are bulk-synchronous, so each iteration's communication
+ * is released only after the previous iteration has drained
+ * (TraceWorkload's barrier mode). The comparison metric is sustained
+ * communication throughput = flits delivered / makespan when the
+ * compute gaps are fully compressed — exactly where the waferscale
+ * fabric's lower per-hop latency shortens the application critical
+ * path.
+ */
+
+#include "bench_common.hpp"
+#include "sim/simulator.hpp"
+#include "topology/clos.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace_workload.hpp"
+
+namespace {
+
+using namespace wss;
+
+sim::NetworkSpec
+fabricSpec(bool waferscale)
+{
+    sim::NetworkSpec spec;
+    spec.vcs = 16;
+    spec.buffer_per_port = 32;
+    spec.rc_delay_ingress = 2;
+    spec.rc_delay_transit = 2;
+    spec.pipeline_delay = waferscale ? 9 : 13;
+    spec.terminal_link_latency = 8;
+    spec.internal_link_latency = waferscale ? 1 : 8;
+    return spec;
+}
+
+struct ReplayResult
+{
+    sim::Cycle makespan = 0;
+    double sustained_flits_per_cycle = 0.0;
+    double avg_latency = 0.0;
+    bool completed = false;
+};
+
+/// Closed-loop replay of @p trace at @p intensity through one fabric.
+ReplayResult
+replay(const topology::LogicalTopology &topo, bool waferscale,
+       const trace::MessageTrace &trace, double intensity,
+       sim::Cycle barrier_period, std::uint64_t seed)
+{
+    sim::Network net(topo, fabricSpec(waferscale), seed);
+    trace::TraceWorkload workload(trace, intensity, barrier_period);
+    sim::SimConfig cfg;
+    cfg.warmup = 0;
+    cfg.run_to_exhaustion = true;
+    // Generous ceiling: barriers stretch the timeline dynamically.
+    cfg.measure = 40 * workload.scaledSpan() + 100000;
+    cfg.drain_limit = 0;
+    cfg.seed = seed;
+    sim::Simulator sim(net, workload, cfg);
+    const auto result = sim.run();
+
+    ReplayResult out;
+    out.makespan = result.end_cycle;
+    out.sustained_flits_per_cycle =
+        result.end_cycle > 0
+            ? static_cast<double>(result.flits_delivered) /
+                  static_cast<double>(result.end_cycle)
+            : 0.0;
+    out.avg_latency = result.avg_packet_latency;
+    out.completed = result.stable;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace wss;
+    bench::banner("Figure 24",
+                  "NERSC mini-app traces: waferscale vs TH-5 network");
+
+    const auto topo = topology::buildFoldedClos(
+        {2048, power::tomahawk5(3), 1});
+    const bool fast = bench::fastMode();
+    const std::uint64_t seed = bench::envInt("WSS_BENCH_SEED", 1);
+
+    trace::GeneratorConfig gen;
+    gen.iterations = fast ? 2 : 3;
+    gen.iteration_period = 600;
+    gen.base_message_flits = 8;
+    gen.seed = seed;
+
+    // Compute gaps fully compressed: communication dominates and the
+    // fabric's latency sets the iteration critical path.
+    const double intensity = 8.0;
+
+    Table table("Closed-loop replay (iteration barriers), intensity x8",
+                {"trace", "fabric", "makespan (cycles)",
+                 "sustained flits/cycle", "avg latency", "completed"});
+    Table summary("Sustained-throughput comparison",
+                  {"trace", "waferscale", "TH-5 network",
+                   "waferscale advantage %"});
+
+    for (const char *name :
+         {"lulesh", "mocfe", "multigrid", "nekbone"}) {
+        // 512-rank traces duplicated 4x onto the 2048 endpoints, as
+        // in the paper.
+        const auto base = trace::generateMiniApp(name, 512, gen);
+        const auto trace = trace::duplicateTrace(base, 4);
+
+        double throughput[2] = {0.0, 0.0};
+        for (bool waferscale : {true, false}) {
+            const auto r = replay(topo, waferscale, trace, intensity,
+                                  gen.iteration_period, seed);
+            throughput[waferscale ? 0 : 1] =
+                r.sustained_flits_per_cycle;
+            table.addRow({name,
+                          waferscale ? "waferscale" : "TH-5 network",
+                          Table::num(r.makespan),
+                          Table::num(r.sustained_flits_per_cycle, 2),
+                          Table::num(r.avg_latency, 1),
+                          r.completed ? "yes" : "no"});
+        }
+        summary.addRow(
+            {name, Table::num(throughput[0], 2),
+             Table::num(throughput[1], 2),
+             Table::num(100.0 * (throughput[0] / throughput[1] - 1.0),
+                        1)});
+    }
+    table.print(std::cout);
+    summary.print(std::cout);
+    std::cout << "\nPaper: waferscale saturation throughput is 116.7% "
+                 "(LULESH), 16.7% (MOCFE), 21.4% (MultiGrid) and "
+                 "15.2%\n(Nekbone) above the TH-5 network. Absolute "
+                 "ratios here depend on the synthetic-trace "
+                 "substitution; the\nwaferscale fabric wins on every "
+                 "trace, most where the communication critical path "
+                 "is longest.\n";
+    return 0;
+}

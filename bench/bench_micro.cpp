@@ -1,0 +1,106 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the heavy inner loops: the
+ * pairwise-exchange mapping search and the cycle-accurate router —
+ * performance regressions here directly inflate every figure bench.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mapping/pairwise_exchange.hpp"
+#include "power/ssc.hpp"
+#include "sim/simulator.hpp"
+#include "topology/clos.hpp"
+
+namespace {
+
+using namespace wss;
+
+void
+BM_MappingSearch(benchmark::State &state)
+{
+    const std::int64_t ports = state.range(0);
+    const auto topo =
+        topology::buildFoldedClos({ports, power::tomahawk5(1), 1});
+    const int rows = static_cast<int>(
+        std::ceil(std::sqrt(topo.nodeCount())));
+    const int cols = (topo.nodeCount() + rows - 1) / rows;
+    const mapping::WaferFloorplan fp(rows, cols, true, 28.284);
+    Rng rng(1);
+    for (auto _ : state) {
+        const auto result =
+            mapping::searchBestMapping(topo, fp, true, rng, 1);
+        benchmark::DoNotOptimize(result.max_edge_load);
+    }
+    state.SetLabel(std::to_string(topo.nodeCount()) + " chiplets");
+}
+BENCHMARK(BM_MappingSearch)->Arg(1024)->Arg(2048)->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_IncrementalSwap(benchmark::State &state)
+{
+    const auto topo =
+        topology::buildFoldedClos({8192, power::tomahawk5(1), 1});
+    const mapping::WaferFloorplan fp(10, 10, true, 28.284);
+    mapping::WaferMapping wm(topo, fp, true);
+    Rng rng(2);
+    wm.assignRandom(rng);
+    int a = 0;
+    for (auto _ : state) {
+        const int b =
+            static_cast<int>(rng.nextBelow(topo.nodeCount()));
+        if (a != b)
+            wm.swapNodes(a, b);
+        benchmark::DoNotOptimize(wm.maxEdgeLoad());
+        a = b;
+    }
+}
+BENCHMARK(BM_IncrementalSwap);
+
+void
+BM_RouterCycleThroughput(benchmark::State &state)
+{
+    // Flit-forwarding throughput of the 2048-port fabric at 50% load:
+    // items processed = simulated cycles.
+    const auto topo =
+        topology::buildFoldedClos({2048, power::tomahawk5(3), 1});
+    sim::NetworkSpec spec;
+    spec.vcs = 16;
+    spec.buffer_per_port = 32;
+    spec.pipeline_delay = 9;
+    spec.terminal_link_latency = 8;
+    sim::Network net(topo, spec, 3);
+    sim::SyntheticWorkload workload(sim::uniformTraffic(2048), 0.5, 1);
+    Rng rng(4);
+    sim::Cycle now = 0;
+    std::vector<std::deque<sim::Flit>> source(2048);
+    for (auto _ : state) {
+        workload.generate(now, rng, [&](int src, int dst, int flits) {
+            for (int i = 0; i < flits; ++i) {
+                sim::Flit flit;
+                flit.src = src;
+                flit.dst = dst;
+                flit.head = i == 0;
+                flit.tail = i == flits - 1;
+                flit.vc = 0;
+                flit.created = now;
+                source[src].push_back(flit);
+            }
+        });
+        for (int t = 0; t < 2048; ++t) {
+            if (!source[t].empty() &&
+                net.tryInject(t, now, source[t].front()))
+                source[t].pop_front();
+            benchmark::DoNotOptimize(net.eject(t, now));
+        }
+        net.step(now);
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouterCycleThroughput)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

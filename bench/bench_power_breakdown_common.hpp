@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared row emitter for the power-breakdown figures (10, 11, 13).
+ */
+
+#ifndef WSS_BENCH_POWER_BREAKDOWN_COMMON_HPP
+#define WSS_BENCH_POWER_BREAKDOWN_COMMON_HPP
+
+#include "bench_common.hpp"
+#include "core/radix_solver.hpp"
+
+namespace wss::bench {
+
+/// Solve every (substrate, external I/O) point for one WSI tech and
+/// print the power breakdown the way Figs. 10/11/13 stack it.
+inline void
+printPowerBreakdown(const tech::WsiTechnology &wsi)
+{
+    Table table("Power breakdown, " + wsi.name + " (" +
+                    Table::num(wsi.totalBandwidthDensity(), 0) +
+                    " Gbps/mm)",
+                {"substrate (mm)", "external I/O", "ports",
+                 "SSC core (kW)", "internal I/O (kW)",
+                 "external I/O (kW)", "total (kW)", "I/O share %",
+                 "W/mm^2"});
+    for (double side : kSubstrates) {
+        for (const auto &ext : externalIoSchemes()) {
+            const auto result =
+                core::RadixSolver(paperSpec(side, wsi, ext))
+                    .solveMaxPorts();
+            const auto &p = result.best.power;
+            table.addRow({Table::num(side, 0), ext.name,
+                          Table::num(result.best.ports),
+                          Table::num(p.ssc_core / 1000.0, 2),
+                          Table::num(p.internal_io / 1000.0, 2),
+                          Table::num(p.external_io / 1000.0, 2),
+                          Table::num(p.total() / 1000.0, 2),
+                          Table::num(100.0 * p.ioFraction(), 1),
+                          Table::num(result.best.power_density, 3)});
+        }
+    }
+    table.print(std::cout);
+}
+
+} // namespace wss::bench
+
+#endif // WSS_BENCH_POWER_BREAKDOWN_COMMON_HPP

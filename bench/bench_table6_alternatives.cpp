@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Table VI — chiplets needed by Clos versus hierarchical and modular
+ * crossbars.
+ */
+
+#include "bench_common.hpp"
+#include "topology/clos.hpp"
+#include "topology/properties.hpp"
+
+int
+main()
+{
+    using namespace wss;
+    bench::banner("Table VI",
+                  "chiplet counts: Clos vs hierarchical/modular "
+                  "crossbars");
+
+    Table table("Chiplets required (k = 256)",
+                {"total ports N", "Clos 3(N/k)", "HC (N/k)^2",
+                 "MC (N/k)^2", "HC area (m^2 of silicon)"});
+    for (std::int64_t ports : {1024, 2048, 4096, 8192, 16384}) {
+        const auto hc =
+            topology::hierarchicalCrossbarChiplets(ports, 256);
+        table.addRow({Table::num(ports),
+                      Table::num(topology::closChipletCount(ports, 256)),
+                      Table::num(hc),
+                      Table::num(
+                          topology::modularCrossbarChiplets(ports, 256)),
+                      Table::num(hc * 800.0 / 1e6, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper: at N = 8192 a Clos needs 96 chiplets where "
+                 "crossbar scalings need 1024 — prohibitive in area, "
+                 "power,\nand cost.\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table VII — a single-switch datacenter versus an equivalent TH-5
+ * Clos network.
+ */
+
+#include "bench_common.hpp"
+#include "sysarch/use_cases.hpp"
+
+namespace {
+
+void
+printComparison(const wss::sysarch::DeploymentComparison &cmp,
+                const char *title)
+{
+    using wss::Table;
+    Table table(title,
+                {"metric", cmp.waferscale.name, cmp.conventional.name});
+    auto row = [&](const char *metric, auto ws, auto conv) {
+        table.addRow({metric, Table::num(ws), Table::num(conv)});
+    };
+    row("# of servers", cmp.waferscale.endpoints,
+        cmp.conventional.endpoints);
+    row("# of switches", cmp.waferscale.switches,
+        cmp.conventional.switches);
+    row("# of cables", cmp.waferscale.cables, cmp.conventional.cables);
+    row("worst case hop count", cmp.waferscale.worst_case_hops,
+        cmp.conventional.worst_case_hops);
+    row("size (RU)", cmp.waferscale.rack_units,
+        cmp.conventional.rack_units);
+    table.addRow({"port bandwidth (Gbps)",
+                  Table::num(cmp.waferscale.port_bandwidth, 0),
+                  Table::num(cmp.conventional.port_bandwidth, 0)});
+    table.addRow({"bisection bandwidth (Tbps)",
+                  Table::num(cmp.waferscale.bisection_tbps, 1),
+                  Table::num(cmp.conventional.bisection_tbps, 1)});
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace wss;
+    bench::banner("Table VII",
+                  "single-switch datacenter vs TH-5 Clos network");
+
+    printComparison(
+        sysarch::singleSwitchDatacenter(8192, 200.0, 20),
+        "300 mm waferscale switch (8192 servers)");
+    printComparison(
+        sysarch::singleSwitchDatacenter(4096, 200.0, 11),
+        "200 mm waferscale switch (4096 servers)");
+
+    const auto savings = sysarch::estimateSavings(
+        sysarch::singleSwitchDatacenter(8192, 200.0, 20));
+    std::cout << "\nEstimated savings (300 mm): optics $"
+              << Table::num(savings.optics_usd / 1e6, 1)
+              << "M, colocation $"
+              << Table::num(savings.colocation_usd / 1e6, 2)
+              << "M over 36 months.\n";
+    std::cout << "Paper: 90% less rack space, one third the hop "
+                 "count, and all inter-switch optics removed.\n";
+    return 0;
+}

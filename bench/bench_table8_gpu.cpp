@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table VIII — a 2048-GPU singular-GPU cluster on one waferscale
+ * switch versus a 2-layer NVSwitch network (DGX GH200).
+ */
+
+#include "bench_common.hpp"
+#include "sysarch/use_cases.hpp"
+
+int
+main()
+{
+    using namespace wss;
+    bench::banner("Table VIII",
+                  "singular GPU cluster: waferscale vs NVSwitch");
+
+    for (const auto &[gpus, ru] :
+         {std::pair{2048L, 20}, std::pair{1024L, 11}}) {
+        const auto cmp = sysarch::singularGpuCluster(gpus, ru);
+        Table table(std::string(gpus == 2048 ? "300 mm" : "200 mm") +
+                        " waferscale switch, 800G per GPU",
+                    {"metric", cmp.waferscale.name,
+                     cmp.conventional.name});
+        table.addRow({"# of GPUs", Table::num(cmp.waferscale.endpoints),
+                      Table::num(cmp.conventional.endpoints)});
+        table.addRow({"# of switches",
+                      Table::num(cmp.waferscale.switches),
+                      Table::num(cmp.conventional.switches)});
+        table.addRow({"# of cables", Table::num(cmp.waferscale.cables),
+                      Table::num(cmp.conventional.cables)});
+        table.addRow({"hop count",
+                      Table::num(cmp.waferscale.worst_case_hops),
+                      Table::num(cmp.conventional.worst_case_hops)});
+        table.addRow({"size (RU)",
+                      Table::num(cmp.waferscale.rack_units),
+                      Table::num(cmp.conventional.rack_units)});
+        table.addRow({"port bandwidth (Gbps)",
+                      Table::num(cmp.waferscale.port_bandwidth, 0),
+                      Table::num(cmp.conventional.port_bandwidth, 0)});
+        table.addRow({"bisection bandwidth (Tbps)",
+                      Table::num(cmp.waferscale.bisection_tbps, 1),
+                      Table::num(cmp.conventional.bisection_tbps, 1)});
+        table.print(std::cout);
+    }
+    std::cout << "\nWith 2048 GPUs x 96 GB-class HBM, the shared pool "
+                 "passes the petabyte mark (the paper quotes 1.152 PB) "
+                 "at a\nsingle switch hop — 8x the GPUs and 7x the "
+                 "bisection of the NVSwitch build in one tenth the "
+                 "rack space.\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table IX — a hyperscale DCN built with 48 waferscale spine switches
+ * versus a conventional TH-5 network.
+ */
+
+#include "bench_common.hpp"
+#include "sysarch/use_cases.hpp"
+
+int
+main()
+{
+    using namespace wss;
+    bench::banner("Table IX", "DCN with waferscale spine switches");
+
+    for (const auto &[racks, ru] :
+         {std::pair{16384L, 20}, std::pair{8192L, 11}}) {
+        const auto cmp = sysarch::waferscaleDcn(racks, 48, ru);
+        Table table(std::string(racks == 16384 ? "300 mm" : "200 mm") +
+                        " waferscale switches",
+                    {"metric", cmp.waferscale.name,
+                     cmp.conventional.name});
+        table.addRow({"# of racks", Table::num(cmp.waferscale.endpoints),
+                      Table::num(cmp.conventional.endpoints)});
+        table.addRow({"# of switches",
+                      Table::num(cmp.waferscale.switches),
+                      Table::num(cmp.conventional.switches)});
+        table.addRow({"# of cables", Table::num(cmp.waferscale.cables),
+                      Table::num(cmp.conventional.cables)});
+        table.addRow({"worst case hop count",
+                      Table::num(cmp.waferscale.worst_case_hops),
+                      Table::num(cmp.conventional.worst_case_hops)});
+        table.addRow({"size (RU)",
+                      Table::num(cmp.waferscale.rack_units),
+                      Table::num(cmp.conventional.rack_units)});
+        table.addRow({"per-rack BW (Gbps)",
+                      Table::num(cmp.waferscale.port_bandwidth, 0),
+                      Table::num(cmp.conventional.port_bandwidth, 0)});
+        table.addRow({"bisection bandwidth (Tbps)",
+                      Table::num(cmp.waferscale.bisection_tbps, 1),
+                      Table::num(cmp.conventional.bisection_tbps, 1)});
+        table.print(std::cout);
+
+        const auto savings = sysarch::estimateSavings(cmp);
+        std::cout << "savings: optics $"
+                  << Table::num(savings.optics_usd / 1e6, 0)
+                  << "M, fiber $"
+                  << Table::num(savings.fiber_usd / 1e6, 2)
+                  << "M, colocation $"
+                  << Table::num(savings.colocation_usd / 1e6, 1)
+                  << "M -> total $"
+                  << Table::num(savings.total() / 1e6, 0) << "M\n\n";
+    }
+    std::cout << "Paper: 66% fewer optical links and 94% less spine "
+                 "rack space — hundreds of millions of dollars for "
+                 "the\nbiggest datacenters.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tables I, II, IV, V — the technology inputs the evaluation runs on,
+ * printed from the models so every constant is auditable.
+ */
+
+#include "bench_common.hpp"
+#include "tech/link_latency.hpp"
+
+int
+main()
+{
+    using namespace wss;
+    bench::banner("Tables I / II / IV / V", "model input parameters");
+
+    Table wsi_table("Table I — WSI technologies",
+                    {"technology", "wire pitch (um)",
+                     "Gbps/mm/layer", "layers", "total Gbps/mm",
+                     "pJ/bit", "hop latency (ns)", "max side (mm)"});
+    for (const auto &t :
+         {tech::siliconInterposer(), tech::siIf(), tech::siIf2x(),
+          tech::infoSow()}) {
+        wsi_table.addRow({t.name, Table::num(t.wire_pitch_um, 1),
+                          Table::num(t.bandwidth_density_per_layer, 0),
+                          Table::num(t.signal_layers),
+                          Table::num(t.totalBandwidthDensity(), 0),
+                          Table::num(t.energy_per_bit, 2),
+                          Table::num(t.hop_latency_ns, 1),
+                          Table::num(t.max_substrate_side_mm, 0)});
+    }
+    wsi_table.print(std::cout);
+
+    Table ssc_table("Table II — Tomahawk-5 sub-switch configurations",
+                    {"configuration", "radix", "line rate (Gbps)",
+                     "area (mm^2)", "core power (W)",
+                     "total BW (Tbps)"});
+    for (int cfg : {1, 2, 3}) {
+        const auto ssc = power::tomahawk5(cfg);
+        ssc_table.addRow({ssc.name, Table::num(ssc.radix),
+                          Table::num(ssc.line_rate, 0),
+                          Table::num(ssc.area, 0),
+                          Table::num(ssc.core_power, 0),
+                          Table::num(ssc.totalBandwidth() / 1000.0, 1)});
+    }
+    ssc_table.print(std::cout);
+
+    Table ext_table("Table IV — external I/O technologies",
+                    {"technology", "placement", "raw density",
+                     "layers", "pJ/bit", "signal fraction",
+                     "300 mm capacity/dir (Tbps)"});
+    for (const auto &ext : bench::externalIoSchemes()) {
+        ext_table.addRow(
+            {ext.name,
+             ext.placement == tech::IoPlacement::Periphery
+                 ? "periphery (Gbps/mm)"
+                 : "area (Gbps/mm^2)",
+             Table::num(ext.raw_density_per_layer, 0),
+             Table::num(ext.layers), Table::num(ext.energy_per_bit, 1),
+             Table::num(ext.signal_fraction, 2),
+             Table::num(ext.capacityPerDirection(300.0) / 1000.0, 1)});
+    }
+    ext_table.print(std::cout);
+
+    Table lat_table("Table V — connection latencies",
+                    {"connection", "latency (ns)"});
+    lat_table.addRow({"on-wafer (Si-IF)",
+                      Table::num(tech::link_latency::kOnWaferNs, 0)});
+    lat_table.addRow({"in-rack PCB",
+                      Table::num(tech::link_latency::kInRackPcbNs, 0)});
+    lat_table.addRow({"100 m optical",
+                      Table::num(tech::link_latency::kOptical100mNs, 0)});
+    lat_table.addRow({"inter-chiplet mesh hop",
+                      Table::num(tech::link_latency::kMeshHopNs, 0)});
+    lat_table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Example: plan a single-switch datacenter (paper Section VIII.B).
+ *
+ * Given a server count and per-server bandwidth, picks the smallest
+ * waferscale switch configuration that hosts the whole datacenter
+ * behind one switch, sizes the full system (power delivery, cooling
+ * loop, enclosure), and compares against the conventional TH-5 Clos
+ * build with a cost estimate.
+ *
+ *   $ ./examples/datacenter_planner [servers] [gbps_per_server]
+ *   $ ./examples/datacenter_planner 4096 200
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/radix_solver.hpp"
+#include "power/link_power.hpp"
+#include "sysarch/cooling_loop.hpp"
+#include "sysarch/enclosure.hpp"
+#include "sysarch/power_delivery.hpp"
+#include "sysarch/use_cases.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wss;
+
+    const std::int64_t servers = argc > 1 ? std::atoll(argv[1]) : 8192;
+    const Gbps rate = argc > 2 ? std::atof(argv[2]) : 200.0;
+    if (servers <= 0 || rate <= 0.0)
+        fatal("usage: datacenter_planner [servers] [gbps_per_server]");
+
+    // Find the smallest substrate whose max radix covers the demand.
+    core::DesignSpec chosen;
+    core::SolveResult solved;
+    bool found = false;
+    for (double side : {100.0, 200.0, 300.0}) {
+        core::DesignSpec spec;
+        spec.substrate_side = side;
+        spec.wsi = tech::siIf2x();
+        spec.external_io = tech::opticalIo();
+        spec.ssc = power::tomahawk5(rate >= 800.0  ? 3
+                                    : rate >= 400.0 ? 2
+                                                    : 1);
+        spec.cooling = tech::waterCooling();
+        spec.leaf_split = 4;
+        const auto result = core::RadixSolver(spec).solveMaxPorts();
+        if (result.best.ports >= servers) {
+            chosen = spec;
+            solved = result;
+            found = true;
+            break;
+        }
+        chosen = spec;
+        solved = result;
+    }
+    if (!found) {
+        std::cout << "No single waferscale switch covers " << servers
+                  << " servers at " << rate << " Gbps; the largest (300 "
+                  << "mm) supports " << solved.best.ports
+                  << " ports. Shard the datacenter across switches or "
+                  << "lower the per-server rate.\n";
+        return 1;
+    }
+
+    const auto &best = solved.best;
+    const auto delivery = sysarch::sizePowerDelivery(
+        best.power.total(), chosen.substrate_side);
+    // Chiplet-array side for the cooling layout (SSC grid + I/O ring).
+    const int grid = static_cast<int>(
+        std::ceil(std::sqrt(best.ssc_chiplets))) + 2;
+    const auto cooling =
+        sysarch::sizeCoolingLoop(best.power.total(), grid);
+    const auto enclosure = sysarch::planEnclosure(servers, rate);
+
+    Table plan("Single-switch datacenter plan",
+               {"component", "value"});
+    plan.addRow({"servers", Table::num(servers)});
+    plan.addRow({"substrate",
+                 Table::num(chosen.substrate_side, 0) + " mm"});
+    plan.addRow({"switch radix", Table::num(best.ports)});
+    plan.addRow({"switch power",
+                 Table::num(best.power.total() / 1000.0, 1) + " kW"});
+    plan.addRow({"PSUs (N+N)", Table::num(delivery.psus)});
+    plan.addRow({"DC-DC bricks", Table::num(delivery.dcdc_converters)});
+    plan.addRow({"VRMs", Table::num(delivery.vrms)});
+    plan.addRow({"cold plates (PCLs)", Table::num(cooling.pcls)});
+    plan.addRow({"coolant channels",
+                 Table::num(cooling.supply_channels)});
+    plan.addRow({"junction temperature",
+                 Table::num(cooling.junction_temperature, 0) + " C"});
+    plan.addRow({"front-panel adapters", Table::num(enclosure.adapters)});
+    plan.addRow({"splitter factor", Table::num(enclosure.split)});
+    plan.addRow({"chassis height",
+                 Table::num(enclosure.rack_units) + " RU"});
+    plan.print(std::cout);
+
+    const auto cmp = sysarch::singleSwitchDatacenter(
+        servers, rate, enclosure.rack_units);
+    const auto savings = sysarch::estimateSavings(cmp);
+    Table vs("Versus a TH-5 Clos network", {"metric", "waferscale",
+                                            "TH-5 Clos"});
+    vs.addRow({"switches", Table::num(cmp.waferscale.switches),
+               Table::num(cmp.conventional.switches)});
+    vs.addRow({"cables", Table::num(cmp.waferscale.cables),
+               Table::num(cmp.conventional.cables)});
+    vs.addRow({"worst-case hops",
+               Table::num(cmp.waferscale.worst_case_hops),
+               Table::num(cmp.conventional.worst_case_hops)});
+    vs.addRow({"rack units", Table::num(cmp.waferscale.rack_units),
+               Table::num(cmp.conventional.rack_units)});
+    vs.print(std::cout);
+    std::cout << "\nEstimated savings: $"
+              << Table::num(savings.total() / 1e6, 1)
+              << "M (optics $" << Table::num(savings.optics_usd / 1e6, 1)
+              << "M, colocation $"
+              << Table::num(savings.colocation_usd / 1e6, 2) << "M)\n";
+    return 0;
+}

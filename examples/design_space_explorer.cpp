@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Example: sweep the whole design space in one run.
+ *
+ * Crosses substrate sizes x WSI technologies x external I/O schemes
+ * x optimizations and prints the feasible frontier — a compact
+ * reproduction of the paper's Sections IV-V analysis for custom
+ * parameter ranges.
+ *
+ *   $ ./examples/design_space_explorer [restarts]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/radix_solver.hpp"
+#include "power/link_power.hpp"
+#include "topology/clos.hpp"
+#include "util/table.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wss;
+    const int restarts = argc > 1 ? std::atoi(argv[1]) : 3;
+
+    Table table("Design-space frontier (Clos, water cooling)",
+                {"substrate", "WSI", "external I/O", "optimization",
+                 "max ports", "power (kW)", "W/mm^2",
+                 "blocked next by"});
+
+    const auto wsis = {tech::siIf(), tech::siIf2x(), tech::infoSow()};
+    for (double side : {200.0, 300.0}) {
+        for (const auto &wsi : wsis) {
+            for (const auto &ext :
+                 {tech::serdes(), tech::opticalIo(), tech::areaIo()}) {
+                for (const char *opt :
+                     {"none", "hetero", "deradix-2"}) {
+                    core::DesignSpec spec;
+                    spec.substrate_side = side;
+                    spec.wsi = wsi;
+                    spec.external_io = ext;
+                    spec.ssc = power::tomahawk5(1);
+                    spec.cooling = tech::waterCooling();
+                    spec.mapping_restarts = restarts;
+                    if (std::string(opt) == "hetero")
+                        spec.leaf_split = 4;
+                    else if (std::string(opt) == "deradix-2")
+                        spec.ssc = topology::deradixedSsc(
+                            power::tomahawk5(1), 2);
+                    const auto result =
+                        core::RadixSolver(spec).solveMaxPorts();
+                    table.addRow(
+                        {Table::num(side, 0) + "mm", wsi.name,
+                         ext.name, opt, Table::num(result.best.ports),
+                         Table::num(result.best.power.total() / 1000.0,
+                                    1),
+                         Table::num(result.best.power_density, 3),
+                         std::string(
+                             result.blocking
+                                 ? core::toString(
+                                       result.blocking->violated)
+                                 : "ladder end")});
+                }
+            }
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

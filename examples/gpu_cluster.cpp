@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Example: size a "singular GPU" training cluster (paper Section
+ * VIII.B, Table VIII / Fig. 32).
+ *
+ * One waferscale switch in its 800G configuration fronts every GPU
+ * directly (no top-of-rack switches); the example reports the rack
+ * architecture — compute racks, the switch rack, shared-memory pool —
+ * and the comparison against a 2-layer NVSwitch network.
+ *
+ *   $ ./examples/gpu_cluster [gpus] [gpu_hbm_gb]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/radix_solver.hpp"
+#include "power/link_power.hpp"
+#include "sysarch/enclosure.hpp"
+#include "sysarch/use_cases.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wss;
+
+    const std::int64_t gpus = argc > 1 ? std::atoll(argv[1]) : 2048;
+    const double hbm_gb = argc > 2 ? std::atof(argv[2]) : 576.0;
+    if (gpus <= 0 || hbm_gb <= 0.0)
+        fatal("usage: gpu_cluster [gpus] [gpu_hbm_gb]");
+
+    // The 800G switch configuration: TH-5 config 3 sub-switches,
+    // with heterogeneous leaves (the GPU switch box shares the
+    // Fig. 29 architecture) to stay inside the water-cooling budget.
+    core::DesignSpec spec;
+    spec.substrate_side = 300.0;
+    spec.wsi = tech::siIf2x();
+    spec.external_io = tech::opticalIo();
+    spec.ssc = power::tomahawk5(3);
+    spec.cooling = tech::waterCooling();
+    spec.leaf_split = 2;
+    const auto solved = core::RadixSolver(spec).solveMaxPorts();
+    if (solved.best.ports < gpus) {
+        std::cout << "A single 300 mm waferscale switch supports "
+                  << solved.best.ports << " x 800G GPUs; " << gpus
+                  << " requested. Reduce the cluster or add switches.\n";
+        return 1;
+    }
+
+    // Rack architecture (Fig. 32): 8 GPUs + 1 CPU per server box,
+    // 32 boxes per compute rack.
+    const std::int64_t boxes = (gpus + 7) / 8;
+    const std::int64_t racks = (boxes + 31) / 32;
+    const auto enclosure = sysarch::planEnclosure(gpus, 800.0);
+
+    Table plan("Singular-GPU cluster plan", {"component", "value"});
+    plan.addRow({"GPUs", Table::num(gpus)});
+    plan.addRow({"switch configuration",
+                 Table::num(solved.best.ports) + " x 800G"});
+    plan.addRow({"server boxes (8 GPU + 1 CPU)", Table::num(boxes)});
+    plan.addRow({"compute racks (32 boxes each)", Table::num(racks)});
+    plan.addRow({"switch rack height",
+                 Table::num(enclosure.rack_units) + " RU"});
+    plan.addRow({"optical cables (GPU direct)", Table::num(gpus)});
+    plan.addRow({"shared VRAM pool",
+                 Table::num(gpus * hbm_gb / 1000.0, 2) + " TB"});
+    plan.addRow({"bisection bandwidth",
+                 Table::num(gpus * 800.0 / 2.0 / 1000.0, 1) + " Tbps"});
+    plan.addRow({"GPU-to-GPU switch hops", "1"});
+    plan.print(std::cout);
+
+    const auto cmp = sysarch::singularGpuCluster(
+        gpus, enclosure.rack_units);
+    Table vs("Versus the DGX GH200 NVSwitch network",
+             {"metric", "waferscale", "NVSwitch"});
+    vs.addRow({"GPUs", Table::num(cmp.waferscale.endpoints),
+               Table::num(cmp.conventional.endpoints)});
+    vs.addRow({"switches", Table::num(cmp.waferscale.switches),
+               Table::num(cmp.conventional.switches)});
+    vs.addRow({"cables", Table::num(cmp.waferscale.cables),
+               Table::num(cmp.conventional.cables)});
+    vs.addRow({"hop count", Table::num(cmp.waferscale.worst_case_hops),
+               Table::num(cmp.conventional.worst_case_hops)});
+    vs.addRow({"switch rack units",
+               Table::num(cmp.waferscale.rack_units),
+               Table::num(cmp.conventional.rack_units)});
+    vs.addRow({"bisection (Tbps)",
+               Table::num(cmp.waferscale.bisection_tbps, 1),
+               Table::num(cmp.conventional.bisection_tbps, 1)});
+    vs.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: size a waferscale network switch in ~30 lines.
+ *
+ * Builds the paper's flagship design point — a 300 mm Si-IF substrate
+ * with overclocked 6400 Gbps/mm links, optical external I/O, TH-5
+ * sub-switches, and heterogeneous leaves — solves for the maximum
+ * feasible radix, and prints what limits it and what it costs.
+ *
+ *   $ ./examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/radix_solver.hpp"
+#include "power/link_power.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace wss;
+
+    // 1. Describe the design point.
+    core::DesignSpec spec;
+    spec.substrate_side = 300.0;                 // mm, square substrate
+    spec.wsi = tech::siIf2x();                   // 6400 Gbps/mm links
+    spec.external_io = tech::opticalIo();        // on-wafer E/O chiplets
+    spec.ssc = power::tomahawk5(1);              // 256 x 200G sub-switch
+    spec.cooling = tech::waterCooling();         // 0.5 W/mm^2 envelope
+    spec.leaf_split = 4;                         // heterogeneous leaves
+
+    // 2. Solve for the maximum feasible switch radix.
+    const core::RadixSolver solver(spec);
+    const core::SolveResult result = solver.solveMaxPorts();
+    const core::DesignEvaluation &best = result.best;
+
+    // 3. Report.
+    Table table("Waferscale switch, 300 mm substrate",
+                {"metric", "value"});
+    table.addRow({"switch radix (200G ports)", Table::num(best.ports)});
+    table.addRow({"sub-switch chiplets", Table::num(best.ssc_chiplets)});
+    table.addRow({"I/O chiplets", Table::num(best.io_chiplets)});
+    table.addRow({"silicon area (mm^2)",
+                  Table::num(best.silicon_area, 0)});
+    table.addRow({"hottest mesh edge (Gbps/dir)",
+                  Table::num(best.max_edge_load, 0) + " of " +
+                      Table::num(best.edge_capacity, 0)});
+    table.addRow({"total power (kW)",
+                  Table::num(best.power.total() / 1000.0, 1)});
+    table.addRow({"  SSC core (kW)",
+                  Table::num(best.power.ssc_core / 1000.0, 1)});
+    table.addRow({"  internal I/O (kW)",
+                  Table::num(best.power.internal_io / 1000.0, 1)});
+    table.addRow({"  external I/O (kW)",
+                  Table::num(best.power.external_io / 1000.0, 1)});
+    table.addRow({"power density (W/mm^2)",
+                  Table::num(best.power_density, 3)});
+    if (result.blocking) {
+        table.addRow(
+            {"next size blocked by",
+             std::string(core::toString(result.blocking->violated)) +
+                 " (at " + Table::num(result.blocking->ports) +
+                 " ports)"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThat is " << best.ports / spec.ssc.radix
+              << "x the radix of a single Tomahawk-5.\n";
+    return 0;
+}

@@ -1,0 +1,30 @@
+#include "core/buffer_sizing.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace wss::core {
+
+double
+bufferSizeBits(Nanoseconds rtt, Gbps bandwidth, int flows)
+{
+    if (rtt < 0.0 || bandwidth < 0.0)
+        fatal("bufferSizeBits: RTT and bandwidth must be non-negative");
+    if (flows < 1)
+        fatal("bufferSizeBits: flow count must be >= 1");
+    // Gbps x ns = bits.
+    return rtt * bandwidth / std::sqrt(static_cast<double>(flows));
+}
+
+int
+bufferSizeFlits(Nanoseconds rtt, Gbps bandwidth, int flows, int flit_bits)
+{
+    if (flit_bits < 1)
+        fatal("bufferSizeFlits: flit size must be positive");
+    const double bits = bufferSizeBits(rtt, bandwidth, flows);
+    const int flits = static_cast<int>(std::ceil(bits / flit_bits));
+    return flits < 1 ? 1 : flits;
+}
+
+} // namespace wss::core

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Router buffer sizing — paper Section VI.
+ *
+ * Following Appenzeller et al. [20], the buffering a switch port
+ * needs to keep a link busy is B = RTT x BW / sqrt(n), where RTT is
+ * the round-trip time of the link, BW its bandwidth, and n the
+ * number of flows sharing it. On-wafer links have 10-20 ns RTT
+ * against 100-350 ns for PCB/optical hops (Table V), which is the
+ * basis of the paper's low-latency-buffering claim: waferscale SSCs
+ * need an order of magnitude less buffering, small enough for fast
+ * SRAM instead of DRAM.
+ */
+
+#ifndef WSS_CORE_BUFFER_SIZING_HPP
+#define WSS_CORE_BUFFER_SIZING_HPP
+
+#include "util/units.hpp"
+
+namespace wss::core {
+
+/**
+ * Required buffer size in bits: RTT x BW / sqrt(n).
+ *
+ * @param rtt        link round-trip time (ns)
+ * @param bandwidth  link bandwidth (Gbps)
+ * @param flows      concurrent flows sharing the link (>= 1)
+ */
+double bufferSizeBits(Nanoseconds rtt, Gbps bandwidth, int flows);
+
+/**
+ * The same requirement expressed in flits of @p flit_bits bits
+ * (rounded up, at least 1).
+ */
+int bufferSizeFlits(Nanoseconds rtt, Gbps bandwidth, int flows,
+                    int flit_bits);
+
+} // namespace wss::core
+
+#endif // WSS_CORE_BUFFER_SIZING_HPP

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Waferscale-switch design-point description and evaluation results.
+ *
+ * A DesignSpec bundles everything that defines one point in the
+ * paper's design space: substrate size, WSI interconnect technology,
+ * external I/O scheme, sub-switch chiplet, fabric topology, cooling
+ * limit, and the optimization knobs (heterogeneous leaf split,
+ * subswitch deradixing). DesignEvaluation is what the solver reports
+ * for one candidate port count.
+ */
+
+#ifndef WSS_CORE_DESIGN_HPP
+#define WSS_CORE_DESIGN_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "power/ssc.hpp"
+#include "power/switch_power.hpp"
+#include "tech/cooling.hpp"
+#include "tech/external_io.hpp"
+#include "tech/wsi.hpp"
+#include "util/units.hpp"
+
+namespace wss::core {
+
+/// Fabric topologies the solver can explore (Sections IV, VII).
+enum class TopologyKind
+{
+    Clos,
+    Mesh,
+    Butterfly,
+    FlattenedButterfly,
+    Dragonfly,
+};
+
+/// Human-readable topology name.
+std::string_view toString(TopologyKind kind);
+
+/// Which resource limits a candidate design (or binds the optimum).
+enum class Constraint
+{
+    None,
+    /// The topology has no candidate of that size.
+    TopologyLimit,
+    /// Substrate silicon area.
+    Area,
+    /// Inter-chiplet mesh channel capacity.
+    InternalBandwidth,
+    /// Off-substrate I/O capacity.
+    ExternalBandwidth,
+    /// Cooling-limited substrate power density.
+    PowerDensity,
+};
+
+/// Human-readable constraint name.
+std::string_view toString(Constraint constraint);
+
+/**
+ * One point in the design space.
+ */
+struct DesignSpec
+{
+    /// Side of the square substrate (mm).
+    Millimeters substrate_side = 300.0;
+    /// Internal (inter-chiplet) interconnect technology.
+    tech::WsiTechnology wsi;
+    /// External I/O scheme.
+    tech::ExternalIoTech external_io;
+    /// Sub-switch chiplet (possibly deradixed; see deradixedSsc()).
+    power::SscConfig ssc;
+    /// Fabric topology.
+    TopologyKind topology = TopologyKind::Clos;
+    /// Cooling envelope (use unlimitedCooling() to disable).
+    tech::CoolingSolution cooling;
+    /// Heterogeneous design: disaggregate each Clos leaf into this
+    /// many smaller dies (1 = homogeneous). Clos only.
+    int leaf_split = 1;
+    /// Ignore bandwidth/power constraints (the "ideal case", Fig. 6).
+    bool area_only = false;
+    /// Model the substrate as a round wafer of diameter
+    /// substrate_side instead of the paper's square simplification:
+    /// pi/4 of the area, pi/4 of the periphery beachfront.
+    bool round_substrate = false;
+    /// Random restarts for the mapping search.
+    int mapping_restarts = 4;
+    /// Mapping search seed.
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Everything the solver learned about one candidate port count.
+ */
+struct DesignEvaluation
+{
+    /// Candidate switch radix (external ports).
+    std::int64_t ports = 0;
+    /// All constraints satisfied?
+    bool feasible = false;
+    /// First violated constraint (None when feasible).
+    Constraint violated = Constraint::None;
+
+    /// Chiplets used (SSCs; I/O chiplets reported separately).
+    int ssc_chiplets = 0;
+    int io_chiplets = 0;
+    /// Total silicon area (SSCs + I/O chiplets), mm^2.
+    SquareMillimeters silicon_area = 0.0;
+
+    /// Hottest mesh-edge load and the per-edge capacity (Gbps/dir).
+    double max_edge_load = 0.0;
+    double edge_capacity = 0.0;
+    /// Available internal bandwidth per port at the hottest edge
+    /// (Fig. 19's metric): line_rate * capacity / load.
+    Gbps available_bw_per_port = 0.0;
+    /// Mean mesh hops per logical link.
+    double average_link_hops = 0.0;
+
+    /// External capacity per direction and the demand against it.
+    Gbps external_capacity = 0.0;
+    Gbps external_demand = 0.0;
+
+    /// Power breakdown (SSC core / internal I/O / external I/O).
+    power::SwitchPowerBreakdown power;
+    /// Substrate power density (W/mm^2).
+    double power_density = 0.0;
+};
+
+} // namespace wss::core
+
+#endif // WSS_CORE_DESIGN_HPP

@@ -1,0 +1,234 @@
+#include "core/physical_clos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "topology/clos.hpp"
+#include "util/logging.hpp"
+
+namespace wss::core {
+
+namespace {
+
+/// Chiplet center positions for a spread-out grid placement.
+struct Placement
+{
+    std::vector<double> x;
+    std::vector<double> y;
+};
+
+Placement
+gridPlacement(int chips, Millimeters min_pitch)
+{
+    // Chiplets are packed at die pitch (spreading them out only
+    // lengthens every wire; the freed area is accounted globally).
+    const int g = static_cast<int>(std::ceil(std::sqrt(chips)));
+    const double pitch = min_pitch;
+    Placement p;
+    p.x.resize(chips);
+    p.y.resize(chips);
+    for (int i = 0; i < chips; ++i) {
+        p.x[i] = (i % g + 0.5) * pitch;
+        p.y[i] = (i / g + 0.5) * pitch;
+    }
+    return p;
+}
+
+/// Manhattan distance from a chiplet to the nearest array boundary
+/// (where the external I/O chiplets sit), for port escape wires.
+double
+escapeDistance(const Placement &p, int slot_site, double extent_x,
+               double extent_y)
+{
+    const double x = p.x[slot_site], y = p.y[slot_site];
+    return std::min(std::min(x, extent_x - x),
+                    std::min(y, extent_y - y));
+}
+
+/// Sum over links of multiplicity x line rate x Manhattan length for
+/// one node->slot assignment.
+double
+wireBandwidthLength(const topology::LogicalTopology &topo,
+                    const Placement &p, const std::vector<int> &slot)
+{
+    double total = 0.0;
+    for (const auto &link : topo.links()) {
+        const int sa = slot[link.a], sb = slot[link.b];
+        const double len = std::abs(p.x[sa] - p.x[sb]) +
+                           std::abs(p.y[sa] - p.y[sb]);
+        total += link.multiplicity * topo.lineRate() * len;
+    }
+    return total;
+}
+
+/// Pairwise-exchange placement refinement minimizing total
+/// bandwidth-length (the wiring-area objective).
+void
+optimizePlacement(const topology::LogicalTopology &topo,
+                  const Placement &p, std::vector<int> &slot)
+{
+    // Per-node incident bundles for incremental evaluation.
+    const int n = topo.nodeCount();
+    std::vector<std::vector<int>> incident(n);
+    const auto &links = topo.links();
+    for (std::size_t i = 0; i < links.size(); ++i) {
+        incident[links[i].a].push_back(static_cast<int>(i));
+        incident[links[i].b].push_back(static_cast<int>(i));
+    }
+
+    auto node_cost = [&](int node) {
+        double c = 0.0;
+        for (int b : incident[node]) {
+            const auto &link = links[b];
+            const int sa = slot[link.a], sb = slot[link.b];
+            c += link.multiplicity * topo.lineRate() *
+                 (std::abs(p.x[sa] - p.x[sb]) +
+                  std::abs(p.y[sa] - p.y[sb]));
+        }
+        return c;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int a = 0; a < n; ++a) {
+            for (int b = a + 1; b < n; ++b) {
+                const double before = node_cost(a) + node_cost(b);
+                std::swap(slot[a], slot[b]);
+                const double after = node_cost(a) + node_cost(b);
+                if (after < before - 1e-9) {
+                    changed = true;
+                } else {
+                    std::swap(slot[a], slot[b]);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+PhysicalClosEvaluation
+evaluatePhysicalClos(const DesignSpec &spec, std::int64_t ports,
+                     bool allow_under_ssc)
+{
+    PhysicalClosEvaluation eval;
+    eval.ports = ports;
+
+    const topology::LogicalTopology topo =
+        topology::buildFoldedClos({ports, spec.ssc, 1});
+    eval.ssc_chiplets = topo.nodeCount();
+    eval.ssc_area = topo.totalSscArea();
+
+    const Millimeters substrate = spec.substrate_side;
+    const SquareMillimeters substrate_area = substrate * substrate;
+
+    const Placement p =
+        gridPlacement(topo.nodeCount(), spec.ssc.edgeLength());
+    std::vector<int> slot(topo.nodeCount());
+    // Initial interleave: spines spaced evenly among the leaves.
+    {
+        std::vector<int> spines, leaves;
+        for (int i = 0; i < topo.nodeCount(); ++i) {
+            (topo.nodes()[i].role == topology::NodeRole::Spine ? spines
+                                                               : leaves)
+                .push_back(i);
+        }
+        const int stride =
+            spines.empty()
+                ? topo.nodeCount()
+                : std::max(1, topo.nodeCount() /
+                                  static_cast<int>(spines.size()));
+        std::size_t si = 0, li = 0;
+        for (int s = 0; s < topo.nodeCount(); ++s) {
+            if (si < spines.size() && s % stride == stride / 2)
+                slot[spines[si++]] = s;
+            else if (li < leaves.size())
+                slot[leaves[li++]] = s;
+            else
+                slot[spines[si++]] = s;
+        }
+    }
+    optimizePlacement(topo, p, slot);
+
+    eval.wire_bandwidth_length = wireBandwidthLength(topo, p, slot);
+
+    // External ports also need dedicated escape traces from their
+    // leaf to the array boundary.
+    {
+        const int g = static_cast<int>(
+            std::ceil(std::sqrt(topo.nodeCount())));
+        const double extent = g * spec.ssc.edgeLength();
+        for (int n = 0; n < topo.nodeCount(); ++n) {
+            const int ext = topo.nodes()[n].external_ports;
+            if (ext > 0) {
+                eval.wire_bandwidth_length +=
+                    ext * topo.lineRate() *
+                    escapeDistance(p, slot[n], extent, extent);
+            }
+        }
+    }
+
+    // A trace of B Gbps occupies B / (density * routing efficiency)
+    // mm of cross-section along its whole length.
+    eval.wire_area = eval.wire_bandwidth_length /
+                     (spec.wsi.totalBandwidthDensity() *
+                      kChannelRoutingEfficiency);
+    eval.wire_budget =
+        substrate_area - eval.ssc_area * (allow_under_ssc
+                                              ? 1.0 - kUnderChipWiringFraction
+                                              : 1.0);
+
+    const bool area_ok =
+        eval.ssc_area <= substrate_area && eval.wire_budget >= 0.0 &&
+        eval.wire_area <= eval.wire_budget;
+
+    const Gbps external_capacity =
+        spec.external_io.capacityPerDirection(substrate);
+    const bool external_ok =
+        static_cast<double>(ports) * topo.lineRate() <= external_capacity;
+
+    // Power: dedicated traces pay per bit-mm what feedthrough hops
+    // pay per chiplet edge, plus the long-wire repeater overhead.
+    eval.power.ssc_core = topo.totalSscCorePower();
+    const double equivalent_crossings =
+        eval.wire_bandwidth_length / spec.ssc.edgeLength() *
+        kDedicatedWireEnergyOverhead;
+    eval.power.internal_io =
+        power::internalIoPower(equivalent_crossings, spec.wsi);
+    eval.power.external_io =
+        power::externalIoPower(ports, topo.lineRate(), spec.external_io);
+    const bool power_ok =
+        eval.power.total() <= spec.cooling.powerBudget(substrate);
+
+    eval.feasible = area_ok && external_ok && power_ok;
+    return eval;
+}
+
+PhysicalClosEvaluation
+solveMaxPortsPhysicalClos(const DesignSpec &spec, bool allow_under_ssc)
+{
+    const std::int64_t g = spec.ssc.radix / 2;
+    static const std::int64_t ladder[] = {1,  2,  3,  4,   6,   8,
+                                          12, 16, 24, 32,  48,  64,
+                                          96, 128};
+    PhysicalClosEvaluation best;
+    for (std::int64_t m : ladder) {
+        const std::int64_t ports = m * g;
+        // Stop once even the bare dies cannot fit.
+        const double die_area =
+            static_cast<double>(
+                topology::closChipletCount(ports, spec.ssc.radix)) *
+            spec.ssc.area;
+        if (die_area > 1.5 * spec.substrate_side * spec.substrate_side)
+            break;
+        const PhysicalClosEvaluation eval =
+            evaluatePhysicalClos(spec, ports, allow_under_ssc);
+        if (eval.feasible)
+            best = eval;
+    }
+    return best;
+}
+
+} // namespace wss::core

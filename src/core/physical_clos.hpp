@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Physical Clos construction — paper Section VII, Fig. 26.
+ *
+ * Instead of mapping the Clos onto the chiplet mesh (feedthrough
+ * channels through intermediate SSCs), one can wire each logical
+ * link as a dedicated repeatered interposer trace between the two
+ * chiplets. Those traces consume substrate wiring area in proportion
+ * to link bandwidth and Manhattan length, which cuts into the area
+ * available for SSCs — the paper finds physical Clos always ends up
+ * with lower radix than mapped Clos, and ~10% higher power at
+ * iso-radix from the extra long-wire repeaters.
+ */
+
+#ifndef WSS_CORE_PHYSICAL_CLOS_HPP
+#define WSS_CORE_PHYSICAL_CLOS_HPP
+
+#include "core/design.hpp"
+
+namespace wss::core {
+
+/// Relative energy cost of a dedicated repeated trace versus the
+/// same bits amortized through feedthrough chiplets (extra repeater
+/// insertions on long point-to-point wires plus channel-routing
+/// detours relative to the dimension-order feedthrough path).
+inline constexpr double kDedicatedWireEnergyOverhead = 5.0;
+
+/// Fraction of the WSI bandwidth density usable by dedicated global
+/// point-to-point traces. Feedthrough links between abutted chiplets
+/// use all signal layers at full density; channel-routed global
+/// wires lose layers to crossings and track assignment (classic
+/// channel-routing overhead), which is why the paper finds physical
+/// Clos "cuts into the area that can be used to place TH5s".
+inline constexpr double kChannelRoutingEfficiency = 0.2;
+
+/// Fraction of the area under an SSC usable for pass-through wiring
+/// when under-chip routing is allowed (the rest serves power
+/// delivery, per Section VII).
+inline constexpr double kUnderChipWiringFraction = 0.7;
+
+/// Evaluation of one physical-Clos candidate.
+struct PhysicalClosEvaluation
+{
+    std::int64_t ports = 0;
+    bool feasible = false;
+    int ssc_chiplets = 0;
+    /// SSC die area (mm^2).
+    SquareMillimeters ssc_area = 0.0;
+    /// Dedicated-trace wiring area (mm^2).
+    SquareMillimeters wire_area = 0.0;
+    /// Wiring area the substrate can offer (mm^2).
+    SquareMillimeters wire_budget = 0.0;
+    /// Total Manhattan wire length x bandwidth (Gbps x mm).
+    double wire_bandwidth_length = 0.0;
+    power::SwitchPowerBreakdown power;
+};
+
+/**
+ * Evaluate a physical Clos of @p ports ports under @p spec (the
+ * spec's topology field is ignored; Clos is implied).
+ *
+ * @param allow_under_ssc  let traces run underneath the SSCs
+ *        (kUnderChipWiringFraction of that area becomes usable).
+ */
+PhysicalClosEvaluation evaluatePhysicalClos(const DesignSpec &spec,
+                                            std::int64_t ports,
+                                            bool allow_under_ssc);
+
+/**
+ * Largest feasible physical-Clos port count on the candidate ladder.
+ */
+PhysicalClosEvaluation solveMaxPortsPhysicalClos(const DesignSpec &spec,
+                                                 bool allow_under_ssc);
+
+} // namespace wss::core
+
+#endif // WSS_CORE_PHYSICAL_CLOS_HPP

@@ -1,0 +1,412 @@
+#include "core/radix_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "mapping/pairwise_exchange.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/clos.hpp"
+#include "topology/dragonfly.hpp"
+#include "topology/flattened_butterfly.hpp"
+#include "topology/mesh.hpp"
+#include "util/logging.hpp"
+
+namespace wss::core {
+
+std::string_view
+toString(TopologyKind kind)
+{
+    switch (kind) {
+      case TopologyKind::Clos: return "Clos";
+      case TopologyKind::Mesh: return "Mesh";
+      case TopologyKind::Butterfly: return "Butterfly";
+      case TopologyKind::FlattenedButterfly: return "FlattenedButterfly";
+      case TopologyKind::Dragonfly: return "Dragonfly";
+    }
+    panic("unknown TopologyKind");
+}
+
+std::string_view
+toString(Constraint constraint)
+{
+    switch (constraint) {
+      case Constraint::None: return "none";
+      case Constraint::TopologyLimit: return "topology";
+      case Constraint::Area: return "area";
+      case Constraint::InternalBandwidth: return "internal-bw";
+      case Constraint::ExternalBandwidth: return "external-bw";
+      case Constraint::PowerDensity: return "power-density";
+    }
+    panic("unknown Constraint");
+}
+
+namespace {
+
+/// A realizable candidate: ports plus its construction parameters
+/// (grid dims for mesh, array side for FB, groups for dragonfly;
+/// unused for indirect topologies).
+struct CandidateShape
+{
+    std::int64_t ports = 0;
+    int a = 0;
+    int b = 0;
+};
+
+/// Ladder multipliers for indirect topologies: powers of two,
+/// matching the paper's plotted candidate grid (512, 1024, ...,
+/// 8192 ports for radix-256 sub-switches).
+const std::int64_t kLadder[] = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+
+std::vector<CandidateShape>
+candidateShapes(const DesignSpec &spec)
+{
+    // Generous area cut-off so evaluate() makes the real decision.
+    const double area_cap =
+        1.5 * spec.substrate_side * spec.substrate_side;
+    const int k = spec.ssc.radix;
+
+    std::vector<CandidateShape> shapes;
+    switch (spec.topology) {
+      case TopologyKind::Clos: {
+        const std::int64_t g = k / 2;
+        for (std::int64_t m : kLadder) {
+            const std::int64_t ports = m * g;
+            const double area =
+                static_cast<double>(topology::closChipletCount(ports, k)) *
+                spec.ssc.area;
+            if (area > area_cap)
+                break;
+            shapes.push_back({ports, 0, 0});
+        }
+        break;
+      }
+      case TopologyKind::Butterfly: {
+        // Butterfly sizes step by one leaf at a time (no power-of-two
+        // plot grid to honor), so the solver can land between the
+        // Clos ladder points.
+        const std::int64_t g =
+            static_cast<std::int64_t>(k) * topology::kButterflyDownShare /
+            topology::kButterflyShareDen;
+        for (std::int64_t m = 1;; ++m) {
+            const std::int64_t ports = m * g;
+            const double area =
+                static_cast<double>(
+                    topology::butterflyChipletCount(ports, k)) *
+                spec.ssc.area;
+            if (area > area_cap)
+                break;
+            shapes.push_back({ports, 0, 0});
+        }
+        break;
+      }
+      case TopologyKind::Mesh: {
+        for (int m = 1;; ++m) {
+            const double area_sq =
+                static_cast<double>(m) * m * spec.ssc.area;
+            if (area_sq > area_cap)
+                break;
+            shapes.push_back({topology::meshPortCount(m, m, k), m, m});
+            const double area_rect =
+                static_cast<double>(m) * (m + 1) * spec.ssc.area;
+            if (area_rect <= area_cap) {
+                shapes.push_back(
+                    {topology::meshPortCount(m, m + 1, k), m, m + 1});
+            }
+        }
+        break;
+      }
+      case TopologyKind::FlattenedButterfly: {
+        for (int m = 2;; ++m) {
+            if (static_cast<double>(m) * m * spec.ssc.area > area_cap)
+                break;
+            const std::int64_t ports =
+                topology::flattenedButterflyPortCount(m, k);
+            if (ports > 0)
+                shapes.push_back({ports, m, 0});
+        }
+        break;
+      }
+      case TopologyKind::Dragonfly: {
+        for (int g = 2;; ++g) {
+            const double area =
+                static_cast<double>(g) * topology::kDragonflyGroupSize *
+                spec.ssc.area;
+            if (area > area_cap)
+                break;
+            shapes.push_back({topology::dragonflyPortCount(g, k), g, 0});
+        }
+        break;
+      }
+    }
+
+    std::sort(shapes.begin(), shapes.end(),
+              [](const CandidateShape &x, const CandidateShape &y) {
+                  return x.ports < y.ports;
+              });
+    // Deduplicate equal port counts (keep the first shape).
+    shapes.erase(std::unique(shapes.begin(), shapes.end(),
+                             [](const CandidateShape &x,
+                                const CandidateShape &y) {
+                                 return x.ports == y.ports;
+                             }),
+                 shapes.end());
+    return shapes;
+}
+
+std::optional<CandidateShape>
+shapeFor(const DesignSpec &spec, std::int64_t ports)
+{
+    for (const auto &shape : candidateShapes(spec))
+        if (shape.ports == ports)
+            return shape;
+    return std::nullopt;
+}
+
+topology::LogicalTopology
+buildFor(const DesignSpec &spec, const CandidateShape &shape,
+         int leaf_split)
+{
+    switch (spec.topology) {
+      case TopologyKind::Clos:
+        return topology::buildFoldedClos(
+            {shape.ports, spec.ssc, leaf_split});
+      case TopologyKind::Butterfly:
+        return topology::buildButterfly(shape.ports, spec.ssc);
+      case TopologyKind::Mesh:
+        return topology::buildMesh(shape.a, shape.b, spec.ssc);
+      case TopologyKind::FlattenedButterfly:
+        return topology::buildFlattenedButterfly(shape.a, spec.ssc);
+      case TopologyKind::Dragonfly:
+        return topology::buildDragonfly(shape.a, spec.ssc);
+    }
+    panic("unknown TopologyKind");
+}
+
+/// Direct grid topologies lay out natively: node i on site i.
+bool
+mapsIdentity(TopologyKind kind)
+{
+    return kind == TopologyKind::Mesh ||
+           kind == TopologyKind::FlattenedButterfly;
+}
+
+} // namespace
+
+RadixSolver::RadixSolver(DesignSpec spec) : spec_(std::move(spec))
+{
+    if (spec_.substrate_side <= 0.0)
+        fatal("RadixSolver: substrate side must be positive");
+    if (spec_.substrate_side > spec_.wsi.max_substrate_side_mm) {
+        fatal("RadixSolver: substrate side ", spec_.substrate_side,
+              " mm exceeds the ", spec_.wsi.name, " limit of ",
+              spec_.wsi.max_substrate_side_mm, " mm");
+    }
+    if (spec_.leaf_split > 1 && spec_.topology != TopologyKind::Clos)
+        fatal("RadixSolver: heterogeneous leaf_split applies to Clos only");
+    if (spec_.cooling.name.empty())
+        spec_.cooling = tech::unlimitedCooling();
+}
+
+std::vector<std::int64_t>
+RadixSolver::candidatePorts() const
+{
+    std::vector<std::int64_t> ports;
+    for (const auto &shape : candidateShapes(spec_))
+        ports.push_back(shape.ports);
+    return ports;
+}
+
+topology::LogicalTopology
+RadixSolver::buildTopology(std::int64_t ports) const
+{
+    const auto shape = shapeFor(spec_, ports);
+    if (!shape)
+        fatal("buildTopology: ", ports,
+              " ports is not a candidate size for ",
+              toString(spec_.topology));
+    return buildFor(spec_, *shape, spec_.leaf_split);
+}
+
+DesignEvaluation
+RadixSolver::evaluate(std::int64_t ports) const
+{
+    DesignEvaluation eval;
+    eval.ports = ports;
+
+    const auto shape = shapeFor(spec_, ports);
+    if (!shape) {
+        eval.violated = Constraint::TopologyLimit;
+        return eval;
+    }
+
+    // The topology whose dies we pay for (heterogeneous when asked).
+    const topology::LogicalTopology topo =
+        buildFor(spec_, *shape, spec_.leaf_split);
+    eval.ssc_chiplets = topo.nodeCount();
+
+    // The mapping/channel-load analysis always runs on the
+    // homogeneous fabric: leaf disaggregation preserves the spine
+    // connections and beachfront, so the channel loads are unchanged
+    // (Section V.B) while chiplet count and die areas differ.
+    const bool hetero = spec_.leaf_split > 1;
+
+    constexpr double kPi = 3.14159265358979323846;
+    const Millimeters substrate = spec_.substrate_side;
+    const SquareMillimeters substrate_area =
+        spec_.round_substrate ? kPi / 4.0 * substrate * substrate
+                              : substrate * substrate;
+
+    if (spec_.area_only) {
+        // The "ideal case" (Fig. 6): only silicon area constrains.
+        eval.silicon_area = topo.totalSscArea();
+        eval.feasible = eval.silicon_area <= substrate_area;
+        if (!eval.feasible)
+            eval.violated = Constraint::Area;
+        return eval;
+    }
+
+    const topology::LogicalTopology homo =
+        hetero ? buildFor(spec_, *shape, 1) : topo;
+
+    // Floorplan: near-square SSC grid, plus an I/O ring for
+    // periphery external I/O.
+    const int nodes = homo.nodeCount();
+    int rows, cols;
+    if (mapsIdentity(spec_.topology)) {
+        rows = shape->a;
+        cols = spec_.topology == TopologyKind::Mesh ? shape->b : shape->a;
+    } else {
+        rows = static_cast<int>(std::ceil(std::sqrt(nodes)));
+        cols = (nodes + rows - 1) / rows;
+    }
+    const bool ring = spec_.external_io.usesMeshForEscape();
+    const mapping::WaferFloorplan fp(rows, cols, ring,
+                                     spec_.ssc.edgeLength());
+
+    // Only as many I/O chiplets as the port bandwidth needs are
+    // bonded (each perimeter site serves its beachfront share of the
+    // external capacity); the rest of the ring stays unpopulated.
+    if (ring) {
+        const Gbps total_capacity =
+            spec_.round_substrate
+                ? spec_.external_io.capacityPerDirectionRound(
+                      spec_.substrate_side)
+                : spec_.external_io.capacityPerDirection(
+                      spec_.substrate_side);
+        const Gbps per_site = total_capacity / fp.ringCount();
+        const double needed =
+            std::ceil(static_cast<double>(ports) * topo.lineRate() /
+                      per_site);
+        eval.io_chiplets = std::min(
+            fp.ringCount(), static_cast<int>(std::max(needed, 1.0)));
+    } else {
+        eval.io_chiplets = 0;
+    }
+
+    // Area constraint: SSC dies + bonded perimeter I/O chiplets.
+    eval.silicon_area =
+        topo.totalSscArea() +
+        eval.io_chiplets * spec_.external_io.io_chiplet_area;
+    const bool area_ok = eval.silicon_area <= substrate_area;
+
+    // Internal-bandwidth constraint: optimized channel load vs the
+    // abutting-beachfront capacity.
+    eval.edge_capacity =
+        fp.sscEdge() * spec_.wsi.totalBandwidthDensity();
+    Rng rng(spec_.seed + static_cast<std::uint64_t>(ports) * 0x9e37);
+    double crossing_bw = 0.0;
+    if (mapsIdentity(spec_.topology)) {
+        mapping::WaferMapping wm(homo, fp, ring);
+        wm.assignIdentity();
+        eval.max_edge_load = wm.maxEdgeLoad();
+        crossing_bw = wm.totalCrossingBandwidth();
+        eval.average_link_hops = wm.averageLinkHops();
+    } else {
+        const auto result = mapping::searchBestMapping(
+            homo, fp, ring, rng, spec_.mapping_restarts);
+        eval.max_edge_load = result.max_edge_load;
+        crossing_bw = result.total_crossing_bandwidth;
+        eval.average_link_hops = result.average_link_hops;
+    }
+    eval.available_bw_per_port =
+        eval.max_edge_load > 0.0
+            ? topo.lineRate() * eval.edge_capacity / eval.max_edge_load
+            : eval.edge_capacity;
+    const bool internal_ok = eval.max_edge_load <= eval.edge_capacity;
+
+    // External-bandwidth constraint.
+    eval.external_capacity =
+        spec_.round_substrate
+            ? spec_.external_io.capacityPerDirectionRound(substrate)
+            : spec_.external_io.capacityPerDirection(substrate);
+    eval.external_demand = static_cast<double>(ports) * topo.lineRate();
+    const bool external_ok = eval.external_demand <= eval.external_capacity;
+
+    // Power and cooling.
+    eval.power.ssc_core = topo.totalSscCorePower();
+    eval.power.internal_io =
+        power::internalIoPower(crossing_bw, spec_.wsi);
+    eval.power.external_io =
+        power::externalIoPower(ports, topo.lineRate(), spec_.external_io);
+    eval.power_density = eval.power.total() / substrate_area;
+    const bool power_ok =
+        eval.power.total() <=
+        spec_.cooling.max_power_density_w_mm2 * substrate_area;
+
+    eval.feasible = area_ok && internal_ok && external_ok && power_ok;
+    if (!area_ok)
+        eval.violated = Constraint::Area;
+    else if (!internal_ok)
+        eval.violated = Constraint::InternalBandwidth;
+    else if (!external_ok)
+        eval.violated = Constraint::ExternalBandwidth;
+    else if (!power_ok)
+        eval.violated = Constraint::PowerDensity;
+    return eval;
+}
+
+SolveResult
+RadixSolver::solveMaxPorts() const
+{
+    const auto candidates = candidatePorts();
+    SolveResult result;
+    if (candidates.empty()) {
+        result.best.violated = Constraint::TopologyLimit;
+        return result;
+    }
+
+    std::map<std::int64_t, DesignEvaluation> cache;
+    auto eval_at = [&](std::size_t idx) -> const DesignEvaluation & {
+        auto it = cache.find(candidates[idx]);
+        if (it == cache.end())
+            it = cache.emplace(candidates[idx], evaluate(candidates[idx]))
+                     .first;
+        return it->second;
+    };
+
+    // Feasibility is monotone non-increasing in the port count
+    // (every constraint tightens with size), so binary search the
+    // feasible/infeasible boundary on the candidate ladder.
+    std::size_t lo = 0, hi = candidates.size();
+    if (!eval_at(0).feasible) {
+        result.best.violated = eval_at(0).violated;
+        result.blocking = eval_at(0);
+        return result;
+    }
+    // Invariant: candidates[lo] feasible; candidates[hi] infeasible
+    // (hi == size means "past the end").
+    while (hi - lo > 1) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (eval_at(mid).feasible)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    result.best = eval_at(lo);
+    if (hi < candidates.size())
+        result.blocking = eval_at(hi);
+    return result;
+}
+
+} // namespace wss::core

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The maximum-radix feasibility solver — paper Sections IV-V.
+ *
+ * Given a DesignSpec, the solver enumerates the candidate port counts
+ * the chosen topology can realize, evaluates each against the four
+ * resource constraints (substrate area, internal mesh bandwidth via
+ * the Algorithm-1-optimized mapping, external I/O bandwidth, cooling
+ * power density), and reports the largest feasible switch radix plus
+ * the constraint that binds it. This single engine regenerates
+ * Figs. 6, 7, 9, 12, 17, 18, 25, 27, 28.
+ */
+
+#ifndef WSS_CORE_RADIX_SOLVER_HPP
+#define WSS_CORE_RADIX_SOLVER_HPP
+
+#include <optional>
+#include <vector>
+
+#include "core/design.hpp"
+#include "topology/logical_topology.hpp"
+
+namespace wss::core {
+
+/// Result of a max-radix search.
+struct SolveResult
+{
+    /// The largest feasible design (ports == 0 when nothing fits).
+    DesignEvaluation best;
+    /// Evaluation of the next larger candidate (what stopped us);
+    /// empty when the best design is the largest candidate.
+    std::optional<DesignEvaluation> blocking;
+};
+
+/**
+ * Evaluates candidate designs for one DesignSpec.
+ */
+class RadixSolver
+{
+  public:
+    explicit RadixSolver(DesignSpec spec);
+
+    const DesignSpec &spec() const { return spec_; }
+
+    /**
+     * Candidate port counts the topology can realize on this
+     * substrate, ascending, capped by the area bound. "Nice"
+     * plot-grid sizes (powers of two and 1.5x steps) for indirect
+     * topologies; exact grid/group sizes for direct ones.
+     */
+    std::vector<std::int64_t> candidatePorts() const;
+
+    /**
+     * Fully evaluate the candidate with @p ports external ports
+     * (must come from candidatePorts()).
+     */
+    DesignEvaluation evaluate(std::int64_t ports) const;
+
+    /**
+     * Find the largest feasible candidate. Uses the monotonicity of
+     * all four constraints in the port count: binary search over the
+     * candidate ladder, then verifies the boundary.
+     */
+    SolveResult solveMaxPorts() const;
+
+    /**
+     * Build the logical topology for a candidate size (also used by
+     * the fabric-simulation benches to get the exact fabric the
+     * solver chose).
+     */
+    topology::LogicalTopology buildTopology(std::int64_t ports) const;
+
+  private:
+    DesignSpec spec_;
+};
+
+} // namespace wss::core
+
+#endif // WSS_CORE_RADIX_SOLVER_HPP

@@ -1,0 +1,109 @@
+#include "mapping/floorplan.hpp"
+
+#include "util/logging.hpp"
+
+namespace wss::mapping {
+
+WaferFloorplan::WaferFloorplan(int rows, int cols, bool io_ring,
+                               Millimeters ssc_edge)
+    : rows_(rows), cols_(cols), io_ring_(io_ring), ssc_edge_(ssc_edge)
+{
+    if (rows < 1 || cols < 1)
+        fatal("WaferFloorplan: grid must be at least 1x1, got ", rows,
+              "x", cols);
+    if (ssc_edge <= 0.0)
+        fatal("WaferFloorplan: SSC edge length must be positive");
+
+    ring_base_ = interiorCount();
+    site_edges_.resize(siteCount());
+    edge_toward_.assign(static_cast<std::size_t>(interiorCount()) * 4, -1);
+
+    // Interior grid edges.
+    for (int r = 0; r < rows_; ++r) {
+        for (int c = 0; c < cols_; ++c) {
+            const int s = interiorSite(r, c);
+            if (c + 1 < cols_) {
+                const int e = addEdge(s, interiorSite(r, c + 1));
+                edge_toward_[s * 4 + 3] = e;
+                edge_toward_[interiorSite(r, c + 1) * 4 + 2] = e;
+            }
+            if (r + 1 < rows_) {
+                const int e = addEdge(s, interiorSite(r + 1, c));
+                edge_toward_[s * 4 + 1] = e;
+                edge_toward_[interiorSite(r + 1, c) * 4 + 0] = e;
+            }
+        }
+    }
+
+    // Ring sites: one per boundary cell per exposed side, connected
+    // inward only. Order: top row, bottom row, left column, right
+    // column (corners hold no chiplets, so no diagonal sites).
+    if (io_ring_) {
+        for (int c = 0; c < cols_; ++c) { // top
+            const int s = interiorSite(0, c);
+            const int ring = ring_base_ + c;
+            const int e = addEdge(s, ring);
+            edge_toward_[s * 4 + 0] = e;
+        }
+        for (int c = 0; c < cols_; ++c) { // bottom
+            const int s = interiorSite(rows_ - 1, c);
+            const int ring = ring_base_ + cols_ + c;
+            const int e = addEdge(s, ring);
+            edge_toward_[s * 4 + 1] = e;
+        }
+        for (int r = 0; r < rows_; ++r) { // left
+            const int s = interiorSite(r, 0);
+            const int ring = ring_base_ + 2 * cols_ + r;
+            const int e = addEdge(s, ring);
+            edge_toward_[s * 4 + 2] = e;
+        }
+        for (int r = 0; r < rows_; ++r) { // right
+            const int s = interiorSite(r, cols_ - 1);
+            const int ring = ring_base_ + 2 * cols_ + rows_ + r;
+            const int e = addEdge(s, ring);
+            edge_toward_[s * 4 + 3] = e;
+        }
+    }
+}
+
+int
+WaferFloorplan::addEdge(int a, int b)
+{
+    const int id = static_cast<int>(edges_.size());
+    edges_.push_back({a, b});
+    site_edges_[a].push_back(id);
+    site_edges_[b].push_back(id);
+    return id;
+}
+
+int
+WaferFloorplan::ringSiteToward(int row, int col, int direction) const
+{
+    if (!io_ring_)
+        return -1;
+    switch (direction) {
+      case 0:
+        return row == 0 ? ring_base_ + col : -1;
+      case 1:
+        return row == rows_ - 1 ? ring_base_ + cols_ + col : -1;
+      case 2:
+        return col == 0 ? ring_base_ + 2 * cols_ + row : -1;
+      case 3:
+        return col == cols_ - 1 ? ring_base_ + 2 * cols_ + rows_ + row
+                                : -1;
+      default:
+        panic("ringSiteToward: bad direction ", direction);
+    }
+}
+
+int
+WaferFloorplan::edgeBetween(int site_a, int site_b) const
+{
+    for (int e : site_edges_[site_a]) {
+        if (edges_[e].site_a == site_b || edges_[e].site_b == site_b)
+            return e;
+    }
+    return -1;
+}
+
+} // namespace wss::mapping

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Wafer floorplan: the physical chiplet-site mesh — paper Section III.
+ *
+ * The substrate hosts a rows x cols grid of SSC sites; when the
+ * external I/O scheme is periphery-based (SerDes / Optical I/O), a
+ * ring of I/O-chiplet sites surrounds the grid (the paper's largest
+ * configuration is a 12x12 array of switching + I/O chiplets: a
+ * 10x10 SSC grid plus the ring). Orthogonally adjacent sites are
+ * joined by a physical mesh edge whose bandwidth capacity is the
+ * abutting beachfront length times the WSI technology's bandwidth
+ * density. Ring sites connect only inward (external traffic flows
+ * between an I/O chiplet and the SSC array).
+ */
+
+#ifndef WSS_MAPPING_FLOORPLAN_HPP
+#define WSS_MAPPING_FLOORPLAN_HPP
+
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace wss::mapping {
+
+/// What a floorplan site can hold.
+enum class SiteKind
+{
+    /// An SSC slot in the interior grid.
+    Interior,
+    /// An external-I/O chiplet slot on the perimeter ring.
+    IoRing,
+};
+
+/**
+ * A physical mesh edge between two adjacent sites.
+ */
+struct MeshEdge
+{
+    int site_a = 0;
+    int site_b = 0;
+};
+
+/**
+ * The site grid and its mesh edges.
+ *
+ * Site ids: interior sites come first, row-major (row * cols + col);
+ * ring sites (when present) follow in the order top row, bottom row,
+ * left column, right column. Ring corners hold no chiplets.
+ */
+class WaferFloorplan
+{
+  public:
+    /**
+     * Build a floorplan with an @p rows x @p cols interior SSC grid.
+     *
+     * @param rows      interior grid rows (>= 1)
+     * @param cols      interior grid columns (>= 1)
+     * @param io_ring   surround the grid with I/O-chiplet sites
+     * @param ssc_edge  abutting beachfront per site edge (mm)
+     */
+    WaferFloorplan(int rows, int cols, bool io_ring,
+                   Millimeters ssc_edge);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    bool hasIoRing() const { return io_ring_; }
+    Millimeters sscEdge() const { return ssc_edge_; }
+
+    /// Number of interior (SSC) sites.
+    int interiorCount() const { return rows_ * cols_; }
+    /// Number of ring (I/O) sites; 0 without a ring.
+    int ringCount() const { return io_ring_ ? 2 * (rows_ + cols_) : 0; }
+    /// Total sites.
+    int siteCount() const { return interiorCount() + ringCount(); }
+
+    SiteKind
+    kindOf(int site) const
+    {
+        return site < interiorCount() ? SiteKind::Interior
+                                      : SiteKind::IoRing;
+    }
+
+    /// Interior site id at (row, col).
+    int
+    interiorSite(int row, int col) const
+    {
+        return row * cols_ + col;
+    }
+    int rowOf(int interior_site) const { return interior_site / cols_; }
+    int colOf(int interior_site) const { return interior_site % cols_; }
+
+    /// Ring site adjacent to interior (row, col) in direction
+    /// 0=up 1=down 2=left 3=right; only valid from boundary cells.
+    int ringSiteToward(int row, int col, int direction) const;
+
+    /// All mesh edges.
+    const std::vector<MeshEdge> &edges() const { return edges_; }
+    int edgeCount() const { return static_cast<int>(edges_.size()); }
+
+    /**
+     * Edge id between adjacent sites, or -1 when not adjacent.
+     * O(1) via the direction tables below.
+     */
+    int edgeBetween(int site_a, int site_b) const;
+
+    /// Edge ids adjacent to @p site (2-4 for interior, 1 for ring).
+    const std::vector<int> &edgesOf(int site) const
+    {
+        return site_edges_[site];
+    }
+
+    /**
+     * Edge from interior (row, col) toward direction
+     * 0=up 1=down 2=left 3=right; -1 when it would leave the mesh
+     * (boundary cell without a ring).
+     */
+    int
+    edgeToward(int row, int col, int direction) const
+    {
+        return edge_toward_[(row * cols_ + col) * 4 + direction];
+    }
+
+  private:
+    int addEdge(int a, int b);
+
+    int rows_;
+    int cols_;
+    bool io_ring_;
+    Millimeters ssc_edge_;
+    std::vector<MeshEdge> edges_;
+    std::vector<std::vector<int>> site_edges_;
+    /// interior site * 4 + dir -> edge id or -1.
+    std::vector<int> edge_toward_;
+    /// Ring site lookup: side (0=top 1=bottom 2=left 3=right) offset.
+    int ring_base_ = 0;
+};
+
+} // namespace wss::mapping
+
+#endif // WSS_MAPPING_FLOORPLAN_HPP

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Algorithm 1: pairwise-exchange mapping optimization — paper
+ * Section IV.A.
+ *
+ * Starting from an initial placement, repeatedly trial-swap chiplet
+ * pairs (and moves into empty sites) and keep any change that lowers
+ * the maximum channel load C(M); stop when a full pass makes no
+ * change. The driver restarts from multiple random placements and
+ * returns the best mapping found (the paper runs 1000 restarts and
+ * reports <1% spread; the spread is small because the optimization
+ * landscape is dominated by the role layout, so a handful of
+ * restarts suffices in practice).
+ */
+
+#ifndef WSS_MAPPING_PAIRWISE_EXCHANGE_HPP
+#define WSS_MAPPING_PAIRWISE_EXCHANGE_HPP
+
+#include "mapping/wafer_mapping.hpp"
+
+namespace wss::mapping {
+
+/// Outcome of one optimized mapping search.
+struct MappingSearchResult
+{
+    /// Best C(M) found (Gbps per direction on the hottest edge).
+    double max_edge_load = 0.0;
+    /// C(M) of a representative (first) unoptimized random placement
+    /// — the paper's Fig. 5 baseline.
+    double initial_max_edge_load = 0.0;
+    /// Total crossing bandwidth of the best mapping (for power).
+    double total_crossing_bandwidth = 0.0;
+    /// Mean mesh hops per logical link in the best mapping.
+    double average_link_hops = 0.0;
+    /// Best node->site assignment.
+    std::vector<int> assignment;
+};
+
+/**
+ * Run Algorithm 1 on @p mapping in place until converged.
+ * @return the final C(M).
+ *
+ * Swaps between equivalence-identical nodes are skipped (they cannot
+ * change any load). Ties on C(M) are broken by the number of
+ * near-maximum edges, which helps escape plateaus.
+ */
+double optimizePairwiseExchange(WaferMapping &mapping);
+
+/**
+ * Multi-restart search: @p restarts random initial placements, each
+ * optimized with Algorithm 1; returns the best result.
+ */
+MappingSearchResult searchBestMapping(
+    const topology::LogicalTopology &topo, const WaferFloorplan &fp,
+    bool external_via_mesh, Rng &rng, int restarts = 8);
+
+} // namespace wss::mapping
+
+#endif // WSS_MAPPING_PAIRWISE_EXCHANGE_HPP

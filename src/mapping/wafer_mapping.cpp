@@ -1,0 +1,278 @@
+#include "mapping/wafer_mapping.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hpp"
+
+namespace wss::mapping {
+
+WaferMapping::WaferMapping(const topology::LogicalTopology &topo,
+                           const WaferFloorplan &fp,
+                           bool external_via_mesh)
+    : topo_(&topo), fp_(&fp), external_via_mesh_(external_via_mesh)
+{
+    if (topo.nodeCount() > fp.interiorCount()) {
+        fatal("WaferMapping: topology has ", topo.nodeCount(),
+              " nodes but the floorplan offers only ",
+              fp.interiorCount(), " interior sites");
+    }
+    if (external_via_mesh_ && !fp.hasIoRing() &&
+        topo.totalExternalPorts() > 0) {
+        fatal("WaferMapping: external traffic routed via mesh needs an "
+              "I/O ring in the floorplan");
+    }
+
+    node_site_.assign(topo.nodeCount(), -1);
+    site_node_.assign(fp.interiorCount(), -1);
+    edge_load_.assign(fp.edgeCount(), 0.0);
+
+    node_bundles_.resize(topo.nodeCount());
+    const auto &links = topo.links();
+    for (std::size_t i = 0; i < links.size(); ++i) {
+        node_bundles_[links[i].a].push_back(static_cast<int>(i));
+        node_bundles_[links[i].b].push_back(static_cast<int>(i));
+    }
+    computeEquivalenceKeys();
+}
+
+void
+WaferMapping::computeEquivalenceKeys()
+{
+    equivalence_key_.resize(topo_->nodeCount());
+    const auto &links = topo_->links();
+    for (int n = 0; n < topo_->nodeCount(); ++n) {
+        // Canonical neighbour multiset: sorted (other node, mult).
+        std::vector<std::pair<int, int>> nbrs;
+        nbrs.reserve(node_bundles_[n].size());
+        for (int b : node_bundles_[n]) {
+            const auto &link = links[b];
+            nbrs.emplace_back(link.a == n ? link.b : link.a,
+                              link.multiplicity);
+        }
+        std::sort(nbrs.begin(), nbrs.end());
+
+        std::size_t h = std::hash<int>{}(topo_->nodes()[n].ssc_type);
+        auto mix = [&h](std::size_t v) {
+            h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        };
+        mix(std::hash<int>{}(topo_->nodes()[n].external_ports));
+        for (const auto &[other, mult] : nbrs) {
+            mix(std::hash<int>{}(other));
+            mix(std::hash<int>{}(mult));
+        }
+        equivalence_key_[n] = h;
+    }
+}
+
+void
+WaferMapping::assignIdentity()
+{
+    std::vector<int> sites(topo_->nodeCount());
+    std::iota(sites.begin(), sites.end(), 0);
+    assign(sites);
+}
+
+void
+WaferMapping::assignRandom(Rng &rng)
+{
+    std::vector<int> sites(fp_->interiorCount());
+    std::iota(sites.begin(), sites.end(), 0);
+    std::shuffle(sites.begin(), sites.end(), rng);
+    sites.resize(topo_->nodeCount());
+    assign(sites);
+}
+
+void
+WaferMapping::assign(const std::vector<int> &node_to_site)
+{
+    if (static_cast<int>(node_to_site.size()) != topo_->nodeCount())
+        fatal("WaferMapping::assign: need one site per node");
+
+    std::fill(node_site_.begin(), node_site_.end(), -1);
+    std::fill(site_node_.begin(), site_node_.end(), -1);
+    std::fill(edge_load_.begin(), edge_load_.end(), 0.0);
+
+    for (int n = 0; n < topo_->nodeCount(); ++n) {
+        const int site = node_to_site[n];
+        if (site < 0 || site >= fp_->interiorCount())
+            fatal("WaferMapping::assign: site ", site, " out of range");
+        if (site_node_[site] != -1)
+            fatal("WaferMapping::assign: site ", site,
+                  " assigned twice");
+        node_site_[n] = site;
+        site_node_[site] = n;
+    }
+    rebuildLoads();
+}
+
+void
+WaferMapping::rebuildLoads()
+{
+    std::fill(edge_load_.begin(), edge_load_.end(), 0.0);
+    const auto &links = topo_->links();
+    for (const auto &link : links) {
+        const int sa = node_site_[link.a];
+        const int sb = node_site_[link.b];
+        if (sa >= 0 && sb >= 0)
+            applyRoute(sa, sb, link.multiplicity * topo_->lineRate());
+    }
+    if (external_via_mesh_) {
+        for (int n = 0; n < topo_->nodeCount(); ++n) {
+            if (node_site_[n] >= 0 &&
+                topo_->nodes()[n].external_ports > 0) {
+                applyExternal(node_site_[n],
+                              topo_->nodes()[n].external_ports *
+                                  topo_->lineRate());
+            }
+        }
+    }
+}
+
+double
+WaferMapping::maxEdgeLoad() const
+{
+    double m = 0.0;
+    for (double load : edge_load_)
+        m = std::max(m, load);
+    return m;
+}
+
+int
+WaferMapping::hotEdgeCount(double tolerance) const
+{
+    const double m = maxEdgeLoad();
+    if (m <= 0.0)
+        return 0;
+    int count = 0;
+    for (double load : edge_load_)
+        if (load >= m * (1.0 - tolerance))
+            ++count;
+    return count;
+}
+
+double
+WaferMapping::totalCrossingBandwidth() const
+{
+    return std::accumulate(edge_load_.begin(), edge_load_.end(), 0.0);
+}
+
+double
+WaferMapping::averageLinkHops() const
+{
+    double hops_weighted = 0.0;
+    double weight = 0.0;
+    for (const auto &link : topo_->links()) {
+        const int sa = node_site_[link.a];
+        const int sb = node_site_[link.b];
+        if (sa < 0 || sb < 0)
+            continue;
+        const int hops = std::abs(fp_->rowOf(sa) - fp_->rowOf(sb)) +
+                         std::abs(fp_->colOf(sa) - fp_->colOf(sb));
+        const double bw = link.multiplicity * topo_->lineRate();
+        hops_weighted += static_cast<double>(hops) * bw;
+        weight += bw;
+    }
+    return weight > 0.0 ? hops_weighted / weight : 0.0;
+}
+
+void
+WaferMapping::applyNode(int node, double sign)
+{
+    const int site = node_site_[node];
+    const auto &links = topo_->links();
+    for (int b : node_bundles_[node]) {
+        const auto &link = links[b];
+        const int other = link.a == node ? link.b : link.a;
+        const int other_site = node_site_[other];
+        if (other_site < 0)
+            continue; // other endpoint currently unplaced
+        // Route in the link's canonical a->b orientation: X-then-Y
+        // paths are not symmetric, and removal must retrace exactly
+        // the path that was added.
+        const int from = link.a == node ? site : other_site;
+        const int to = link.a == node ? other_site : site;
+        applyRoute(from, to,
+                   sign * link.multiplicity * topo_->lineRate());
+    }
+    if (external_via_mesh_ && topo_->nodes()[node].external_ports > 0) {
+        applyExternal(site, sign * topo_->nodes()[node].external_ports *
+                                topo_->lineRate());
+    }
+}
+
+void
+WaferMapping::applyRoute(int site_a, int site_b, double bandwidth)
+{
+    // X-then-Y dimension-order route through feedthrough chiplets.
+    const int r1 = fp_->rowOf(site_a), c1 = fp_->colOf(site_a);
+    const int r2 = fp_->rowOf(site_b), c2 = fp_->colOf(site_b);
+
+    int c = c1;
+    while (c != c2) {
+        const int dir = c2 > c ? 3 : 2;
+        edge_load_[fp_->edgeToward(r1, c, dir)] += bandwidth;
+        c += c2 > c ? 1 : -1;
+    }
+    int r = r1;
+    while (r != r2) {
+        const int dir = r2 > r ? 1 : 0;
+        edge_load_[fp_->edgeToward(r, c2, dir)] += bandwidth;
+        r += r2 > r ? 1 : -1;
+    }
+}
+
+void
+WaferMapping::applyExternal(int site, double bandwidth)
+{
+    // Port traffic fans out equally to the four I/O ring sides,
+    // straight-line routed; the final edge reaches the ring site.
+    const int r = fp_->rowOf(site), c = fp_->colOf(site);
+    const double quarter = bandwidth / 4.0;
+    for (int ri = r; ri >= 0; --ri)
+        edge_load_[fp_->edgeToward(ri, c, 0)] += quarter;
+    for (int ri = r; ri < fp_->rows(); ++ri)
+        edge_load_[fp_->edgeToward(ri, c, 1)] += quarter;
+    for (int ci = c; ci >= 0; --ci)
+        edge_load_[fp_->edgeToward(r, ci, 2)] += quarter;
+    for (int ci = c; ci < fp_->cols(); ++ci)
+        edge_load_[fp_->edgeToward(r, ci, 3)] += quarter;
+}
+
+void
+WaferMapping::swapNodes(int node_a, int node_b)
+{
+    if (node_a == node_b)
+        return;
+    const int site_a = node_site_[node_a];
+    const int site_b = node_site_[node_b];
+
+    applyNode(node_a, -1.0);
+    node_site_[node_a] = -1; // so node_b's removal skips the a-b bundle
+    applyNode(node_b, -1.0);
+
+    node_site_[node_a] = site_b;
+    node_site_[node_b] = -1;
+    applyNode(node_a, +1.0);
+    node_site_[node_b] = site_a;
+    applyNode(node_b, +1.0);
+
+    site_node_[site_a] = node_b;
+    site_node_[site_b] = node_a;
+}
+
+void
+WaferMapping::moveNode(int node, int site)
+{
+    if (site_node_[site] != -1)
+        fatal("WaferMapping::moveNode: target site ", site,
+              " is occupied");
+    const int old_site = node_site_[node];
+    applyNode(node, -1.0);
+    node_site_[node] = site;
+    site_node_[old_site] = -1;
+    site_node_[site] = node;
+    applyNode(node, +1.0);
+}
+
+} // namespace wss::mapping

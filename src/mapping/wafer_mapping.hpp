@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Logical-to-physical mapping and channel-load accounting — paper
+ * Section IV.A.
+ *
+ * A WaferMapping assigns each logical-topology node to an interior
+ * floorplan site. Every logical link bundle is routed over the
+ * physical mesh with X-then-Y dimension-order routing, using
+ * intermediate chiplets as feedthrough repeaters; external port
+ * traffic (for periphery I/O schemes) is split equally four ways and
+ * routed straight to the I/O ring. The per-edge accumulated load
+ * (Gbps per direction) is the paper's C(M) metric: its maximum over
+ * edges is what Algorithm 1 minimizes, and dividing the edge
+ * bandwidth capacity by it gives the "available internal I/O
+ * bandwidth per port" of Fig. 19.
+ */
+
+#ifndef WSS_MAPPING_WAFER_MAPPING_HPP
+#define WSS_MAPPING_WAFER_MAPPING_HPP
+
+#include <vector>
+
+#include "mapping/floorplan.hpp"
+#include "topology/logical_topology.hpp"
+#include "util/rng.hpp"
+
+namespace wss::mapping {
+
+/**
+ * One placement of a logical topology onto a wafer floorplan, with
+ * incrementally maintained per-edge channel loads.
+ */
+class WaferMapping
+{
+  public:
+    /**
+     * @param topo  the logical fabric (must outlive the mapping)
+     * @param fp    the floorplan (must outlive the mapping); needs
+     *              at least as many interior sites as topo has nodes
+     * @param external_via_mesh  route external-port traffic through
+     *              the mesh to the I/O ring (periphery I/O schemes);
+     *              requires fp.hasIoRing() when any node has ports
+     */
+    WaferMapping(const topology::LogicalTopology &topo,
+                 const WaferFloorplan &fp, bool external_via_mesh);
+
+    /// Place node i on interior site i (for natively grid-shaped
+    /// topologies such as mesh / flattened butterfly).
+    void assignIdentity();
+
+    /// Place nodes on a random subset of interior sites.
+    void assignRandom(Rng &rng);
+
+    /// Place nodes per explicit site assignment (one entry per node).
+    void assign(const std::vector<int> &node_to_site);
+
+    const topology::LogicalTopology &topology() const { return *topo_; }
+    const WaferFloorplan &floorplan() const { return *fp_; }
+    bool externalViaMesh() const { return external_via_mesh_; }
+
+    /// Site of node @p node.
+    int siteOf(int node) const { return node_site_[node]; }
+    /// Node on interior site @p site, or -1.
+    int nodeAt(int site) const { return site_node_[site]; }
+
+    /// Per-edge load, Gbps per direction, indexed by floorplan edge id.
+    const std::vector<double> &edgeLoads() const { return edge_load_; }
+
+    /// C(M): the maximum edge load (Gbps per direction).
+    double maxEdgeLoad() const;
+
+    /// Count of edges within @p tolerance (relative) of the maximum.
+    int hotEdgeCount(double tolerance = 0.01) const;
+
+    /// Sum of loads over all edges (Gbps); the internal I/O power is
+    /// proportional to this total provisioned crossing bandwidth.
+    double totalCrossingBandwidth() const;
+
+    /// Mean mesh hops per logical link (bundle-bandwidth weighted).
+    double averageLinkHops() const;
+
+    /**
+     * Swap the placements of two nodes, or move a node to an empty
+     * interior site (pass the site's node as -1 via swapWithSite).
+     * Loads are updated incrementally.
+     */
+    void swapNodes(int node_a, int node_b);
+
+    /// Move @p node to empty interior site @p site.
+    void moveNode(int node, int site);
+
+    /**
+     * Nodes are interchangeable when they share SSC type, external
+     * port count, and an identical bundle multiset; swapping such a
+     * pair cannot change any load. Key equality identifies this.
+     */
+    std::size_t equivalenceKey(int node) const
+    {
+        return equivalence_key_[node];
+    }
+
+    /// Recompute all loads from scratch (also a test oracle for the
+    /// incremental updates).
+    void rebuildLoads();
+
+  private:
+    /// Add (+1) or remove (-1) node @p node's load contributions.
+    void applyNode(int node, double sign);
+    /// Add/remove one bundle's route between two placed sites.
+    void applyRoute(int site_a, int site_b, double bandwidth);
+    /// Add/remove a node's external-port traffic at its site.
+    void applyExternal(int site, double bandwidth);
+
+    void computeEquivalenceKeys();
+
+    const topology::LogicalTopology *topo_;
+    const WaferFloorplan *fp_;
+    bool external_via_mesh_;
+
+    std::vector<int> node_site_;
+    std::vector<int> site_node_;
+    std::vector<double> edge_load_;
+    /// Bundles incident to each node (indices into topo links).
+    std::vector<std::vector<int>> node_bundles_;
+    std::vector<std::size_t> equivalence_key_;
+};
+
+} // namespace wss::mapping
+
+#endif // WSS_MAPPING_WAFER_MAPPING_HPP

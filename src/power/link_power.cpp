@@ -1,0 +1,49 @@
+#include "power/link_power.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace wss::power {
+
+Volts
+vddForSpeedup(double speedup, Volts vdd0, Volts vth)
+{
+    if (speedup <= 0.0)
+        fatal("vddForSpeedup: speedup must be positive, got ", speedup);
+    if (vdd0 <= vth)
+        fatal("vddForSpeedup: baseline Vdd must exceed Vth");
+
+    // (V - Vth)^2 / V = s * c0 with c0 = (V0 - Vth)^2 / V0
+    // => V^2 - (2*Vth + s*c0) * V + Vth^2 = 0; take the root > Vth.
+    const double c0 = (vdd0 - vth) * (vdd0 - vth) / vdd0;
+    const double b = 2.0 * vth + speedup * c0;
+    const double disc = b * b - 4.0 * vth * vth;
+    // disc = (s*c0)^2 + 4*Vth*s*c0 > 0 always.
+    const Volts v = (b + std::sqrt(disc)) / 2.0;
+    return v;
+}
+
+double
+energyPerBitScale(double speedup, Volts vdd0, Volts vth)
+{
+    const Volts v = vddForSpeedup(speedup, vdd0, vth);
+    return (v / vdd0) * (v / vdd0);
+}
+
+tech::WsiTechnology
+overclockWsi(const tech::WsiTechnology &base, double speedup)
+{
+    tech::WsiTechnology t = base;
+    t.bandwidth_density_per_layer *= speedup;
+    t.energy_per_bit *= energyPerBitScale(speedup);
+    if (speedup != 1.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "-%.3gx", speedup);
+        t.name += buf;
+    }
+    return t;
+}
+
+} // namespace wss::power

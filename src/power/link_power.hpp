@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Internal-link voltage/frequency power scaling — paper Section V.A.
+ *
+ * Si-IF link bandwidth can be raised by scaling link frequency and
+ * supply voltage at the expense of energy efficiency, following the
+ * alpha-power delay model [Rabaey'96]:
+ *
+ *     P ~ Vdd^2            (energy per bit ~ C * Vdd^2)
+ *     B ~ (Vdd - Vth)^2 / Vdd   (max toggle rate)
+ *
+ * Given a baseline operating point (Vdd0, Vth) and a desired
+ * bandwidth speedup s, this module solves for the required Vdd and
+ * the resulting energy-per-bit multiplier. The paper's 2x point
+ * (3200 -> 6400 Gbps/mm) lands at Vdd = 0.964 V from 0.7 V, an
+ * energy/bit increase of 1.90x.
+ */
+
+#ifndef WSS_POWER_LINK_POWER_HPP
+#define WSS_POWER_LINK_POWER_HPP
+
+#include "tech/wsi.hpp"
+#include "util/units.hpp"
+
+namespace wss::power {
+
+/// Baseline Si-IF link supply voltage (V).
+inline constexpr Volts kDefaultVdd = 0.70;
+/// Link driver threshold voltage (V).
+inline constexpr Volts kDefaultVth = 0.30;
+
+/**
+ * Supply voltage needed to speed the link up by factor @p speedup
+ * (>= any factor that keeps Vdd physical). Solves
+ * (V - Vth)^2 / V = s * (V0 - Vth)^2 / V0 for V > Vth.
+ *
+ * @param speedup desired bandwidth multiplier (> 0)
+ * @param vdd0    baseline supply voltage
+ * @param vth     threshold voltage
+ */
+Volts vddForSpeedup(double speedup, Volts vdd0 = kDefaultVdd,
+                    Volts vth = kDefaultVth);
+
+/**
+ * Energy-per-bit multiplier when the link is sped up by @p speedup:
+ * (Vdd / Vdd0)^2 with Vdd from vddForSpeedup().
+ */
+double energyPerBitScale(double speedup, Volts vdd0 = kDefaultVdd,
+                         Volts vth = kDefaultVth);
+
+/**
+ * Derive an overclocked WSI operating point from @p base: per-layer
+ * bandwidth density multiplied by @p speedup, energy per bit scaled
+ * by energyPerBitScale(speedup).
+ */
+tech::WsiTechnology overclockWsi(const tech::WsiTechnology &base,
+                                 double speedup);
+
+} // namespace wss::power
+
+#endif // WSS_POWER_LINK_POWER_HPP

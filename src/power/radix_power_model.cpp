@@ -1,0 +1,73 @@
+#include "power/radix_power_model.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace wss::power {
+
+RadixPowerModel::RadixPowerModel(const SscConfig &reference)
+    : ref_(reference)
+{
+    if (ref_.radix <= 0 || ref_.line_rate <= 0.0 || ref_.core_power <= 0.0)
+        fatal("RadixPowerModel: reference SSC must have positive "
+              "radix, line rate, and core power");
+}
+
+Watts
+RadixPowerModel::corePower(int radix, Gbps line_rate) const
+{
+    const double k_ratio = static_cast<double>(radix) / ref_.radix;
+    return ref_.corePowerAt5nm() * (line_rate / ref_.line_rate) * k_ratio *
+           k_ratio;
+}
+
+QuadraticFit
+fitQuadratic(const std::vector<SscConfig> &catalog)
+{
+    if (catalog.size() < 3)
+        fatal("fitQuadratic: need at least 3 catalog points, got ",
+              catalog.size());
+
+    // Least squares on (k, P_5nm): accumulate the normal equations
+    // for [a b c] against basis [k^2 k 1].
+    double s0 = 0, s1 = 0, s2 = 0, s3 = 0, s4 = 0;
+    double t0 = 0, t1 = 0, t2 = 0;
+    for (const auto &ssc : catalog) {
+        const double k = ssc.radix;
+        const double p = ssc.corePowerAt5nm();
+        const double k2 = k * k;
+        s0 += 1;
+        s1 += k;
+        s2 += k2;
+        s3 += k2 * k;
+        s4 += k2 * k2;
+        t0 += p;
+        t1 += p * k;
+        t2 += p * k2;
+    }
+
+    // Solve the 3x3 symmetric system
+    //   [s4 s3 s2][a]   [t2]
+    //   [s3 s2 s1][b] = [t1]
+    //   [s2 s1 s0][c]   [t0]
+    // by Cramer's rule (well-conditioned at this size).
+    auto det3 = [](double a11, double a12, double a13, double a21,
+                   double a22, double a23, double a31, double a32,
+                   double a33) {
+        return a11 * (a22 * a33 - a23 * a32) -
+               a12 * (a21 * a33 - a23 * a31) +
+               a13 * (a21 * a32 - a22 * a31);
+    };
+    const double d = det3(s4, s3, s2, s3, s2, s1, s2, s1, s0);
+    if (std::abs(d) < 1e-9)
+        fatal("fitQuadratic: catalog radices are degenerate");
+
+    QuadraticFit fit;
+    fit.a = det3(t2, s3, s2, t1, s2, s1, t0, s1, s0) / d;
+    fit.b = det3(s4, t2, s2, s3, t1, s1, s2, t0, s0) / d;
+    fit.c = det3(s4, s3, t2, s3, s2, t1, s2, s1, t0) / d;
+    return fit;
+}
+
+} // namespace wss::power

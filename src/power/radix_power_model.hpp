@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quadratic radix-power scaling model — paper Section V.B, Fig. 15.
+ *
+ * Commodity high-radix switch ASICs show super-linear (near
+ * quadratic) scaling of node-normalized core power with radix,
+ * matching the analytical crossbar models of Ahn et al. [19]. This
+ * model anchors a P(k) = c * k^2 law (per unit line rate) on TH-5 and
+ * provides the least-squares quadratic fit used to overlay the
+ * catalog points in Fig. 15.
+ *
+ * The key consequence (exploited by the heterogeneous optimization):
+ * replacing one radix-k switch with m radix-k/m switches cuts core
+ * power by ~m-fold.
+ */
+
+#ifndef WSS_POWER_RADIX_POWER_MODEL_HPP
+#define WSS_POWER_RADIX_POWER_MODEL_HPP
+
+#include <vector>
+
+#include "power/ssc.hpp"
+#include "util/units.hpp"
+
+namespace wss::power {
+
+/**
+ * P_core(k, r) model anchored on a reference SSC.
+ */
+class RadixPowerModel
+{
+  public:
+    /// Anchor on a reference chiplet (default: TH-5 256x200G, 400 W).
+    explicit RadixPowerModel(const SscConfig &reference = tomahawk5(1));
+
+    /**
+     * Core (non-I/O) power of a 5 nm switch die with @p radix ports
+     * at @p line_rate: quadratic in radix, linear in line rate.
+     *
+     * P = P_ref * (r / r_ref) * (k / k_ref)^2
+     */
+    Watts corePower(int radix, Gbps line_rate) const;
+
+    /// The reference design point.
+    const SscConfig &reference() const { return ref_; }
+
+  private:
+    SscConfig ref_;
+};
+
+/// Coefficients of P(k) = a*k^2 + b*k + c.
+struct QuadraticFit
+{
+    double a = 0.0;
+    double b = 0.0;
+    double c = 0.0;
+
+    double operator()(double k) const { return (a * k + b) * k + c; }
+};
+
+/**
+ * Least-squares quadratic fit of 5 nm-normalized core power versus
+ * radix for a catalog of SscConfigs (the curves drawn in Fig. 15).
+ * Requires at least 3 points with distinct radices.
+ */
+QuadraticFit fitQuadratic(const std::vector<SscConfig> &catalog);
+
+} // namespace wss::power
+
+#endif // WSS_POWER_RADIX_POWER_MODEL_HPP

@@ -1,0 +1,112 @@
+#include "power/ssc.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace wss::power {
+
+Millimeters
+SscConfig::edgeLength() const
+{
+    return std::sqrt(area);
+}
+
+SscConfig
+tomahawk5(int config)
+{
+    // Table II: 51.2 Tbps, 500 W total of which 100 W is I/O
+    // (2 pJ/b x 51.2 Tbps), 800 mm^2, 5 nm. The three configurations
+    // share the die; only the port bonding differs.
+    SscConfig ssc{
+        .name = "TH-5 256x200G",
+        .radix = 256,
+        .line_rate = 200.0,
+        .area = 800.0,
+        .core_power = 400.0,
+        .node = tech::ProcessNode::N5,
+    };
+    switch (config) {
+      case 1:
+        break;
+      case 2:
+        ssc.name = "TH-5 128x400G";
+        ssc.radix = 128;
+        ssc.line_rate = 400.0;
+        break;
+      case 3:
+        ssc.name = "TH-5 64x800G";
+        ssc.radix = 64;
+        ssc.line_rate = 800.0;
+        break;
+      default:
+        fatal("tomahawk5: config must be 1, 2 or 3, got ", config);
+    }
+    return ssc;
+}
+
+std::vector<SscConfig>
+tomahawkSeries()
+{
+    // Fig. 15 catalog. Radix is expressed in 200G-equivalent ports
+    // (aggregate bandwidth / 200 Gbps) so one P(k) law covers the
+    // series. Core powers are calibrated approximations of public
+    // figures with I/O subtracted; once normalized to 5 nm they
+    // reproduce the near-quadratic trend the paper reports.
+    return {
+        {"TH-1", 16, 200.0, 450.0, 10.0, tech::ProcessNode::N28},
+        {"TH-3", 64, 200.0, 660.0, 76.0, tech::ProcessNode::N16},
+        {"TH-4", 128, 200.0, 550.0, 145.0, tech::ProcessNode::N7},
+        {"TH-5", 256, 200.0, 800.0, 400.0, tech::ProcessNode::N5},
+    };
+}
+
+std::vector<SscConfig>
+teralynxSeries()
+{
+    return {
+        {"TeraLynx-7", 64, 200.0, 700.0, 85.0, tech::ProcessNode::N16},
+        {"TeraLynx-8", 128, 200.0, 600.0, 150.0, tech::ProcessNode::N7},
+        {"TeraLynx-10", 256, 200.0, 820.0, 410.0, tech::ProcessNode::N5},
+    };
+}
+
+SscConfig
+scaledSsc(int radix, Gbps line_rate, const std::string &name)
+{
+    if (radix <= 0 || line_rate <= 0.0)
+        fatal("scaledSsc: radix and line rate must be positive");
+
+    const SscConfig ref = tomahawk5(1);
+    const double k_ratio = static_cast<double>(radix) / ref.radix;
+    const double bw_ratio = radix * line_rate / ref.totalBandwidth();
+
+    // Area model: crossbar scales quadratically with radix, port
+    // logic + buffering scale with aggregate bandwidth, plus a fixed
+    // overhead (management, PLLs, fabric glue). Coefficients chosen
+    // so radix 256 x 200G reproduces the TH-5 die exactly:
+    // 250 + 490 + 60 = 800 mm^2.
+    const SquareMillimeters area =
+        250.0 * k_ratio * k_ratio + 490.0 * bw_ratio + 60.0;
+
+    // Core power: quadratic in radix, linear in line rate (the
+    // RadixPowerModel law, inlined to avoid a dependency cycle).
+    const Watts core =
+        ref.core_power * (line_rate / ref.line_rate) * k_ratio * k_ratio;
+
+    SscConfig ssc{
+        .name = name,
+        .radix = radix,
+        .line_rate = line_rate,
+        .area = area,
+        .core_power = core,
+        .node = tech::ProcessNode::N5,
+    };
+    if (ssc.name.empty()) {
+        ssc.name = "SSC-" + std::to_string(radix) + "x" +
+                   std::to_string(static_cast<int>(line_rate)) + "G";
+    }
+    return ssc;
+}
+
+} // namespace wss::power

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Sub-switch chiplet (SSC) models — paper Table II and Fig. 15.
+ *
+ * The waferscale switch is assembled from TH-5-like sub-switch
+ * chiplets. An SscConfig captures one chiplet design point: its
+ * radix, line rate, die area, core (non-I/O) power, and process node.
+ * The catalog also carries the commodity switch-ASIC series
+ * (Broadcom Tomahawk, Marvell TeraLynx) whose reported powers anchor
+ * the radix-power scaling model of Fig. 15.
+ */
+
+#ifndef WSS_POWER_SSC_HPP
+#define WSS_POWER_SSC_HPP
+
+#include <string>
+#include <vector>
+
+#include "tech/process_scaling.hpp"
+#include "util/units.hpp"
+
+namespace wss::power {
+
+/**
+ * One sub-switch chiplet design point.
+ */
+struct SscConfig
+{
+    /// Display name ("TH-5 256x200G", "TH-5-dr128", ...).
+    std::string name;
+    /// Number of bidirectional ports.
+    int radix = 0;
+    /// Line rate per port.
+    Gbps line_rate = 0.0;
+    /// Die area.
+    SquareMillimeters area = 0.0;
+    /// Core power excluding off-chip I/O (paper: 400 W for TH-5).
+    Watts core_power = 0.0;
+    /// Fabrication node.
+    tech::ProcessNode node = tech::ProcessNode::N5;
+
+    /// Aggregate switching bandwidth (one direction).
+    Gbps totalBandwidth() const { return radix * line_rate; }
+
+    /// Die edge length assuming a square die.
+    Millimeters edgeLength() const;
+
+    /// Core power normalized to 5 nm (for Fig. 15 style comparisons).
+    Watts
+    corePowerAt5nm() const
+    {
+        return tech::scalePower(core_power, node, tech::ProcessNode::N5);
+    }
+};
+
+/// TH-5 in its three Table II configurations; @p config in {1,2,3}
+/// selects 256x200G, 128x400G, 64x800G (same die, same power).
+SscConfig tomahawk5(int config = 1);
+
+/// Reported (approximate public) figures for the Tomahawk series used
+/// in Fig. 15: TH-1, TH-3, TH-4, TH-5 with their native nodes.
+std::vector<SscConfig> tomahawkSeries();
+
+/// Reported (approximate public) figures for the Marvell TeraLynx
+/// series used in Fig. 15: TeraLynx 7, 8, 10.
+std::vector<SscConfig> teralynxSeries();
+
+/**
+ * A hypothetical 5 nm SSC with radix @p radix at line rate
+ * @p line_rate, derived from TH-5 by the quadratic radix-power law
+ * (used for heterogeneous leaves and deradixed sub-switches).
+ * Area scales with aggregate bandwidth (port logic + buffers) with a
+ * fixed-cost floor.
+ */
+SscConfig scaledSsc(int radix, Gbps line_rate, const std::string &name = "");
+
+} // namespace wss::power
+
+#endif // WSS_POWER_SSC_HPP

@@ -1,0 +1,23 @@
+#include "power/switch_power.hpp"
+
+namespace wss::power {
+
+Watts
+internalIoPower(Gbps total_crossing_bandwidth, const tech::WsiTechnology &wsi)
+{
+    // The pJ/bit figures of Table I are per bit transported; power
+    // is accounted on the provisioned per-direction bandwidth (this
+    // reproduces the paper's reported totals, e.g. ~62 kW for the
+    // 8192-port 300 mm switch at 6400 Gbps/mm).
+    return units::linkPower(total_crossing_bandwidth, wsi.energy_per_bit);
+}
+
+Watts
+externalIoPower(std::int64_t ports, Gbps line_rate,
+                const tech::ExternalIoTech &io)
+{
+    return units::linkPower(static_cast<double>(ports) * line_rate,
+                            io.energy_per_bit);
+}
+
+} // namespace wss::power

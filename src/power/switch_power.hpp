@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Whole-switch power accounting — paper Figs. 10, 11, 13, 16, 26(c).
+ *
+ * Total waferscale-switch power decomposes into three parts:
+ *   - SSC core power (the sub-switch dies, excluding off-die I/O),
+ *   - internal I/O power (every bit crossing an inter-chiplet mesh
+ *     edge, including feedthrough repeater hops, at the WSI
+ *     technology's pJ/bit), and
+ *   - external I/O power (every bit entering/leaving the substrate
+ *     at the external I/O technology's pJ/bit).
+ */
+
+#ifndef WSS_POWER_SWITCH_POWER_HPP
+#define WSS_POWER_SWITCH_POWER_HPP
+
+#include <cstdint>
+
+#include "tech/external_io.hpp"
+#include "tech/wsi.hpp"
+#include "util/units.hpp"
+
+namespace wss::power {
+
+/**
+ * Power breakdown of one waferscale switch configuration.
+ */
+struct SwitchPowerBreakdown
+{
+    /// Aggregate SSC core (non-I/O) power.
+    Watts ssc_core = 0.0;
+    /// Inter-chiplet link power (includes feedthrough hops).
+    Watts internal_io = 0.0;
+    /// External transceiver power.
+    Watts external_io = 0.0;
+
+    Watts total() const { return ssc_core + internal_io + external_io; }
+
+    /// I/O share of total (paper quotes 33%-43.8% at 6400 Gbps/mm).
+    double
+    ioFraction() const
+    {
+        const Watts t = total();
+        return t > 0.0 ? (internal_io + external_io) / t : 0.0;
+    }
+
+    /// Substrate power density for a square substrate of side mm.
+    double
+    powerDensity(Millimeters substrate_side) const
+    {
+        return total() / (substrate_side * substrate_side);
+    }
+};
+
+/**
+ * Internal I/O power given the total provisioned edge-crossing
+ * bandwidth of the mapped design.
+ *
+ * @param total_crossing_bandwidth  sum over all mesh edges of the
+ *        provisioned logical-link bandwidth crossing that edge, per
+ *        direction (Gbps). Energy is accounted once per provisioned
+ *        direction (the Table I pJ/bit is per bit transported).
+ * @param wsi  the internal interconnect technology.
+ */
+Watts internalIoPower(Gbps total_crossing_bandwidth,
+                      const tech::WsiTechnology &wsi);
+
+/**
+ * External I/O power for @p ports full-duplex ports at @p line_rate.
+ * Transceiver energy is paid per bit in each direction.
+ */
+Watts externalIoPower(std::int64_t ports, Gbps line_rate,
+                      const tech::ExternalIoTech &io);
+
+} // namespace wss::power
+
+#endif // WSS_POWER_SWITCH_POWER_HPP

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Pipelined flit and credit channels.
+ *
+ * A channel of latency L delivers whatever is pushed in cycle t at
+ * cycle t+L, one flit per cycle (it is fully pipelined: L flits can
+ * be in flight). Credits flow on a paired channel of the same
+ * latency in the opposite direction, giving a credit round-trip of
+ * 2L + processing — exactly the RTT that drives the buffer-sizing
+ * results of Fig. 21.
+ */
+
+#ifndef WSS_SIM_CHANNEL_HPP
+#define WSS_SIM_CHANNEL_HPP
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/flit.hpp"
+#include "util/logging.hpp"
+
+namespace wss::sim {
+
+/**
+ * A fixed-latency, fully pipelined delivery line for items of type T.
+ */
+template <typename T>
+class DelayLine
+{
+  public:
+    explicit DelayLine(int latency) : latency_(latency)
+    {
+        if (latency < 1)
+            fatal("DelayLine: latency must be >= 1 cycle");
+    }
+
+    int latency() const { return latency_; }
+
+    /// Push an item in cycle @p now; at most one per cycle.
+    void
+    push(Cycle now, T item)
+    {
+        if (!queue_.empty() && queue_.back().ready == now + latency_)
+            panic("DelayLine: two pushes in one cycle");
+        queue_.push_back({now + latency_, std::move(item)});
+        ++total_pushed_;
+    }
+
+    /// Pop the item arriving in cycle @p now, if any.
+    std::optional<T>
+    pop(Cycle now)
+    {
+        if (queue_.empty() || queue_.front().ready > now)
+            return std::nullopt;
+        if (queue_.front().ready < now)
+            panic("DelayLine: item missed its delivery cycle");
+        T item = std::move(queue_.front().item);
+        queue_.pop_front();
+        return item;
+    }
+
+    bool empty() const { return queue_.empty(); }
+    std::size_t inFlight() const { return queue_.size(); }
+
+    /// Items ever pushed (for utilization statistics).
+    std::uint64_t totalPushed() const { return total_pushed_; }
+
+  private:
+    struct Entry
+    {
+        Cycle ready;
+        T item;
+    };
+
+    int latency_;
+    std::deque<Entry> queue_;
+    std::uint64_t total_pushed_ = 0;
+};
+
+/// A credit message: frees one buffer slot of the given VC upstream.
+struct Credit
+{
+    std::int16_t vc = 0;
+    /// Set when the credited flit was a tail (output VC is free again).
+    bool vc_free = false;
+};
+
+/// Flit channel + its paired reverse credit channel.
+struct ChannelPair
+{
+    DelayLine<Flit> flits;
+    DelayLine<Credit> credits;
+
+    explicit ChannelPair(int latency) : flits(latency), credits(latency)
+    {}
+};
+
+} // namespace wss::sim
+
+#endif // WSS_SIM_CHANNEL_HPP

@@ -1,0 +1,50 @@
+#include "sim/load_sweep.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace wss::sim {
+
+SweepResult
+sweepLoad(const NetworkFactory &make_network,
+          const WorkloadFactory &make_workload,
+          const std::vector<double> &rates, const SimConfig &cfg)
+{
+    if (rates.empty())
+        fatal("sweepLoad: need at least one rate");
+
+    SweepResult result;
+    for (double rate : rates) {
+        auto network = make_network();
+        auto workload = make_workload(rate);
+        Simulator sim(*network, *workload, cfg);
+        const SimResult r = sim.run();
+
+        LoadPoint point;
+        point.offered = r.offered;
+        point.accepted = r.accepted;
+        point.avg_latency = r.avg_packet_latency;
+        point.p99_latency = r.p99_packet_latency;
+        point.stable = r.stable;
+        result.points.push_back(point);
+
+        result.saturation_throughput =
+            std::max(result.saturation_throughput, r.accepted);
+    }
+    result.zero_load_latency = result.points.front().avg_latency;
+    return result;
+}
+
+std::vector<double>
+linearRates(double max_rate, int points)
+{
+    if (points < 1 || max_rate <= 0.0)
+        fatal("linearRates: need positive rate and point count");
+    std::vector<double> rates(points);
+    for (int i = 0; i < points; ++i)
+        rates[i] = max_rate * (i + 1) / points;
+    return rates;
+}
+
+} // namespace wss::sim

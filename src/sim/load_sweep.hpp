@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Latency-versus-load sweeps — the x-axes of Figs. 21-24.
+ */
+
+#ifndef WSS_SIM_LOAD_SWEEP_HPP
+#define WSS_SIM_LOAD_SWEEP_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace wss::sim {
+
+/// One point of a latency-load curve.
+struct LoadPoint
+{
+    double offered = 0.0;
+    double accepted = 0.0;
+    double avg_latency = 0.0;
+    double p99_latency = 0.0;
+    bool stable = false;
+};
+
+/// A whole curve plus its summary metrics.
+struct SweepResult
+{
+    std::vector<LoadPoint> points;
+    /// Latency of the lowest-load point (the "zero-load latency").
+    double zero_load_latency = 0.0;
+    /// Highest accepted throughput seen (flits/terminal/cycle) -- the
+    /// saturation throughput once the curve has flattened.
+    double saturation_throughput = 0.0;
+};
+
+/// Builds a fresh network for one run (state is not reusable).
+using NetworkFactory = std::function<std::unique_ptr<Network>()>;
+/// Builds the workload for a given offered load.
+using WorkloadFactory =
+    std::function<std::unique_ptr<Workload>(double rate)>;
+
+/**
+ * Run the simulator once per rate and collect the curve.
+ */
+SweepResult sweepLoad(const NetworkFactory &make_network,
+                      const WorkloadFactory &make_workload,
+                      const std::vector<double> &rates,
+                      const SimConfig &cfg);
+
+/// Convenience: evenly spaced rates in (0, max_rate].
+std::vector<double> linearRates(double max_rate, int points);
+
+} // namespace wss::sim
+
+#endif // WSS_SIM_LOAD_SWEEP_HPP

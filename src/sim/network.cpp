@@ -1,0 +1,234 @@
+#include "sim/network.hpp"
+
+#include <queue>
+
+#include "util/logging.hpp"
+
+namespace wss::sim {
+
+Network::Network(const topology::LogicalTopology &topo,
+                 const NetworkSpec &spec, std::uint64_t seed)
+    : spec_(spec)
+{
+    const std::string issue = topo.validate();
+    if (!issue.empty())
+        fatal("Network: invalid topology: ", issue);
+    if (!spec.link_latency.empty() &&
+        spec.link_latency.size() != topo.links().size())
+        fatal("Network: link_latency override must cover every link");
+
+    const int n = topo.nodeCount();
+    terminal_count_ = static_cast<int>(topo.totalExternalPorts());
+
+    // Port budget per router: terminals first, then one port per unit
+    // of link multiplicity.
+    std::vector<int> link_ports(n, 0);
+    for (const auto &link : topo.links()) {
+        link_ports[link.a] += link.multiplicity;
+        link_ports[link.b] += link.multiplicity;
+    }
+
+    Rng seeder(seed);
+    std::vector<int> next_port(n);
+    for (int r = 0; r < n; ++r) {
+        RouterConfig cfg;
+        cfg.terminal_ports = topo.nodes()[r].external_ports;
+        cfg.ports = cfg.terminal_ports + link_ports[r];
+        cfg.vcs = spec.vcs;
+        cfg.buffer_per_port = spec.buffer_per_port;
+        cfg.rc_delay_ingress = spec.rc_delay_ingress;
+        cfg.rc_delay_transit = spec.rc_delay_transit;
+        cfg.pipeline_delay = spec.pipeline_delay;
+        cfg.adaptive_routing = spec.adaptive_routing;
+        routers_.push_back(std::make_unique<Router>(r, cfg, seeder()));
+        next_port[r] = cfg.terminal_ports;
+    }
+
+    // Terminals: ids assigned node by node, port by port.
+    terminal_router_.resize(terminal_count_);
+    terminals_.resize(terminal_count_);
+    {
+        int t = 0;
+        for (int r = 0; r < n; ++r) {
+            for (int p = 0; p < topo.nodes()[r].external_ports; ++p) {
+                terminal_router_[t] = r;
+                auto &ep = terminals_[t];
+                ep.to_router = std::make_unique<ChannelPair>(
+                    spec.terminal_link_latency);
+                ep.from_router = std::make_unique<ChannelPair>(
+                    spec.terminal_link_latency);
+                ep.credits = spec.buffer_per_port;
+                routers_[r]->connectInput(p, ep.to_router.get());
+                // The terminal landing buffer is sized to cover the
+                // credit round trip so ejection is never the
+                // artificial bottleneck.
+                routers_[r]->connectOutput(
+                    p, ep.from_router.get(),
+                    2 * spec.terminal_link_latency + 8);
+                ++t;
+            }
+        }
+    }
+
+    // Inter-router channels: one bidirectional pair per unit of
+    // multiplicity. Track which ports lead to which neighbor for the
+    // routing tables.
+    struct PortLink
+    {
+        int port;
+        int neighbor;
+    };
+    std::vector<std::vector<PortLink>> adjacency(n);
+    const auto &links = topo.links();
+    for (std::size_t li = 0; li < links.size(); ++li) {
+        const auto &link = links[li];
+        const int latency = spec.link_latency.empty()
+                                ? spec.internal_link_latency
+                                : spec.link_latency[li];
+        for (int m = 0; m < link.multiplicity; ++m) {
+            auto ab = std::make_unique<ChannelPair>(latency);
+            auto ba = std::make_unique<ChannelPair>(latency);
+            const int pa = next_port[link.a]++;
+            const int pb = next_port[link.b]++;
+            routers_[link.a]->connectOutput(pa, ab.get(),
+                                            spec.buffer_per_port);
+            routers_[link.b]->connectInput(pb, ab.get());
+            routers_[link.b]->connectOutput(pb, ba.get(),
+                                            spec.buffer_per_port);
+            routers_[link.a]->connectInput(pa, ba.get());
+            adjacency[link.a].push_back({pa, link.b});
+            adjacency[link.b].push_back({pb, link.a});
+            link_channels_.push_back(std::move(ab));
+            link_channels_.push_back(std::move(ba));
+        }
+        link_channel_count_.push_back(2 * link.multiplicity);
+    }
+
+    // Routing tables: BFS distances from every router, then per
+    // (router, destination) collect the output ports that step onto
+    // a minimal path.
+    std::vector<std::vector<int>> dist(n, std::vector<int>(n, -1));
+    for (int src = 0; src < n; ++src) {
+        auto &d = dist[src];
+        std::queue<int> queue;
+        d[src] = 0;
+        queue.push(src);
+        while (!queue.empty()) {
+            const int u = queue.front();
+            queue.pop();
+            for (const auto &pl : adjacency[u]) {
+                if (d[pl.neighbor] < 0) {
+                    d[pl.neighbor] = d[u] + 1;
+                    queue.push(pl.neighbor);
+                }
+            }
+        }
+    }
+
+    // Terminal -> local output port maps. Terminal ids were assigned
+    // in router order, so a running counter per router recovers the
+    // local port index.
+    std::vector<std::vector<std::int16_t>> term_port(
+        n, std::vector<std::int16_t>(terminal_count_, -1));
+    {
+        std::vector<int> local(n, 0);
+        for (int t = 0; t < terminal_count_; ++t) {
+            const int r = terminal_router_[t];
+            term_port[r][t] = static_cast<std::int16_t>(local[r]++);
+        }
+    }
+
+    for (int r = 0; r < n; ++r) {
+        std::vector<std::int32_t> offsets(n + 1, 0);
+        std::vector<std::int16_t> ports;
+        for (int d = 0; d < n; ++d) {
+            offsets[d] = static_cast<std::int32_t>(ports.size());
+            if (d == r)
+                continue;
+            if (dist[r][d] < 0)
+                fatal("Network: routers ", r, " and ", d,
+                      " are disconnected");
+            for (const auto &pl : adjacency[r])
+                if (dist[pl.neighbor][d] == dist[r][d] - 1)
+                    ports.push_back(static_cast<std::int16_t>(pl.port));
+        }
+        offsets[n] = static_cast<std::int32_t>(ports.size());
+        routers_[r]->installRoutes(&terminal_router_, std::move(offsets),
+                                   std::move(ports), term_port[r]);
+    }
+}
+
+bool
+Network::tryInject(int t, Cycle now, const Flit &flit)
+{
+    auto &ep = terminals_[t];
+    // Collect returned credits first so injection sees them.
+    while (ep.to_router->credits.pop(now))
+        ++ep.credits;
+    // The terminal link carries one flit per cycle.
+    if (ep.credits <= 0 || ep.last_inject == now)
+        return false;
+    --ep.credits;
+    ep.last_inject = now;
+    ep.to_router->flits.push(now, flit);
+    return true;
+}
+
+std::optional<Flit>
+Network::eject(int t, Cycle now)
+{
+    auto &ep = terminals_[t];
+    // Keep draining credits even on cycles without an injection try.
+    while (ep.to_router->credits.pop(now))
+        ++ep.credits;
+    auto flit = ep.from_router->flits.pop(now);
+    if (flit) {
+        // Hand the landing-buffer slot straight back.
+        ep.from_router->credits.push(now, {flit->vc, flit->tail});
+    }
+    return flit;
+}
+
+void
+Network::step(Cycle now)
+{
+    for (auto &router : routers_)
+        router->step(now);
+}
+
+std::vector<double>
+Network::linkUtilization(Cycle elapsed) const
+{
+    std::vector<double> util(link_channel_count_.size(), 0.0);
+    if (elapsed <= 0)
+        return util;
+    std::size_t channel = 0;
+    for (std::size_t link = 0; link < link_channel_count_.size();
+         ++link) {
+        std::uint64_t pushed = 0;
+        for (int c = 0; c < link_channel_count_[link]; ++c)
+            pushed += link_channels_[channel++]->flits.totalPushed();
+        util[link] = static_cast<double>(pushed) /
+                     (static_cast<double>(elapsed) *
+                      link_channel_count_[link]);
+    }
+    return util;
+}
+
+std::int64_t
+Network::flitsInFlight() const
+{
+    std::int64_t total = 0;
+    for (const auto &router : routers_)
+        total += router->bufferedFlits() + router->stagedFlits();
+    for (const auto &ch : link_channels_)
+        total += static_cast<std::int64_t>(ch->flits.inFlight());
+    for (const auto &ep : terminals_) {
+        total += static_cast<std::int64_t>(ep.to_router->flits.inFlight());
+        total +=
+            static_cast<std::int64_t>(ep.from_router->flits.inFlight());
+    }
+    return total;
+}
+
+} // namespace wss::sim

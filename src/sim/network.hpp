@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fabric network: routers + channels + terminals, built from a
+ * LogicalTopology.
+ *
+ * Every logical-topology node becomes a Router whose first ports face
+ * terminals (the node's external ports) and whose remaining ports
+ * carry the inter-chiplet links (one channel per unit of link
+ * multiplicity). Channel latencies model the physical technology:
+ * on-wafer hops are ~1 cycle while inter-box links in the baseline
+ * switch network take several (Table V); per-link overrides let the
+ * benches charge mapped multi-hop feedthrough latencies.
+ *
+ * Routing is shortest-path ECMP: each router holds, per destination
+ * router, the set of output ports on minimal paths, and picks one
+ * uniformly at random per packet. On the folded-Clos fabrics the
+ * paper simulates this is classic up/down routing and is
+ * deadlock-free.
+ */
+
+#ifndef WSS_SIM_NETWORK_HPP
+#define WSS_SIM_NETWORK_HPP
+
+#include <memory>
+#include <vector>
+
+#include "sim/router.hpp"
+#include "topology/logical_topology.hpp"
+
+namespace wss::sim {
+
+/// Network-wide simulation parameters.
+struct NetworkSpec
+{
+    /// Virtual channels per router port.
+    int vcs = 16;
+    /// Shared input buffer per router port (flits).
+    int buffer_per_port = 32;
+    /// RC delay at ingress (terminal-facing) inputs, cycles.
+    int rc_delay_ingress = 1;
+    /// RC delay at transit inputs, cycles.
+    int rc_delay_transit = 1;
+    /// VA/SA/ST pipeline depth, cycles (>= 1).
+    int pipeline_delay = 1;
+    /// Terminal-to-router channel latency (the paper's "I/O delay").
+    int terminal_link_latency = 1;
+    /// Default router-to-router channel latency.
+    int internal_link_latency = 1;
+    /// Optional per-logical-link latency override (indexed like
+    /// LogicalTopology::links(); empty = use the default).
+    std::vector<int> link_latency;
+    /// ECMP next-hop selection: oblivious (false, default) or
+    /// credit-adaptive (true). See RouterConfig::adaptive_routing.
+    bool adaptive_routing = false;
+};
+
+/**
+ * The simulated fabric. Terminals inject/eject through
+ * tryInject()/eject(); step() advances every router one cycle.
+ */
+class Network
+{
+  public:
+    Network(const topology::LogicalTopology &topo, const NetworkSpec &spec,
+            std::uint64_t seed);
+
+    int terminalCount() const { return terminal_count_; }
+    int routerCount() const { return static_cast<int>(routers_.size()); }
+    const NetworkSpec &spec() const { return spec_; }
+
+    /// Router hosting terminal @p t (for locality-aware workloads).
+    int routerOfTerminal(int t) const { return terminal_router_[t]; }
+
+    /**
+     * Try to inject @p flit at terminal @p t (at most one flit per
+     * terminal per cycle). Fails (returns false) when the terminal
+     * has no credit for the router's input buffer.
+     */
+    bool tryInject(int t, Cycle now, const Flit &flit);
+
+    /// Collect the flit arriving at terminal @p t this cycle, if any.
+    std::optional<Flit> eject(int t, Cycle now);
+
+    /// Advance all routers one cycle. Call after terminal handling.
+    void step(Cycle now);
+
+    /// Flits anywhere in the fabric (buffers, stages, channels) --
+    /// zero means fully drained.
+    std::int64_t flitsInFlight() const;
+
+    /// Number of virtual channels a terminal can spread packets over.
+    int vcs() const { return spec_.vcs; }
+
+    /// Measured utilization of every logical link over @p elapsed
+    /// cycles: flits actually forwarded / channel-cycles offered,
+    /// indexed like LogicalTopology::links(). Both directions and
+    /// all parallel channels of a bundle are aggregated — the
+    /// measured counterpart of the mapping layer's provisioned
+    /// channel loads (Fig. 8).
+    std::vector<double> linkUtilization(Cycle elapsed) const;
+
+  private:
+    struct TerminalEndpoint
+    {
+        std::unique_ptr<ChannelPair> to_router;
+        std::unique_ptr<ChannelPair> from_router;
+        int credits = 0;
+        Cycle last_inject = -1;
+    };
+
+    NetworkSpec spec_;
+    int terminal_count_ = 0;
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<ChannelPair>> link_channels_;
+    /// Channels per logical link (2 x multiplicity), for utilization
+    /// aggregation.
+    std::vector<int> link_channel_count_;
+    std::vector<TerminalEndpoint> terminals_;
+    std::vector<std::int32_t> terminal_router_;
+};
+
+} // namespace wss::sim
+
+#endif // WSS_SIM_NETWORK_HPP

@@ -1,0 +1,273 @@
+#include "sim/router.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace wss::sim {
+
+Router::Router(int id, const RouterConfig &cfg, std::uint64_t seed)
+    : id_(id), cfg_(cfg), rng_(seed)
+{
+    if (cfg.ports < 1 || cfg.terminal_ports < 0 ||
+        cfg.terminal_ports > cfg.ports)
+        fatal("Router: bad port configuration");
+    if (cfg.vcs < 1)
+        fatal("Router: need at least one VC");
+    if (cfg.buffer_per_port < 1)
+        fatal("Router: need at least one buffer slot per port");
+    if (cfg.pipeline_delay < 1)
+        fatal("Router: pipeline delay must be >= 1 cycle");
+    if (cfg.rc_delay_ingress < 0 || cfg.rc_delay_transit < 0)
+        fatal("Router: RC delays must be non-negative");
+
+    inputs_.resize(cfg.ports);
+    for (auto &in : inputs_)
+        in.vcs.resize(cfg.vcs);
+    outputs_.resize(cfg.ports);
+    for (auto &out : outputs_)
+        out.vc_owner.assign(cfg.vcs, -1);
+    requests_.resize(cfg.ports);
+}
+
+void
+Router::connectInput(int port, ChannelPair *channel)
+{
+    inputs_.at(port).channel = channel;
+}
+
+void
+Router::connectOutput(int port, ChannelPair *channel,
+                      int downstream_buffer)
+{
+    auto &out = outputs_.at(port);
+    out.channel = channel;
+    out.credits = downstream_buffer;
+}
+
+void
+Router::installRoutes(
+    const std::vector<std::int32_t> *dst_router_of_terminal,
+    std::vector<std::int32_t> candidate_offsets,
+    std::vector<std::int16_t> candidate_ports,
+    std::vector<std::int16_t> terminal_port_of)
+{
+    dst_router_of_terminal_ = dst_router_of_terminal;
+    route_offsets_ = std::move(candidate_offsets);
+    route_ports_ = std::move(candidate_ports);
+    terminal_port_of_ = std::move(terminal_port_of);
+}
+
+std::int16_t
+Router::route(const Flit &flit)
+{
+    const std::int32_t dst_router = (*dst_router_of_terminal_)[flit.dst];
+    if (dst_router == id_) {
+        const std::int16_t port = terminal_port_of_[flit.dst];
+        if (port < 0)
+            panic("Router ", id_, ": destination terminal ", flit.dst,
+                  " not attached here");
+        return port;
+    }
+    const std::int32_t begin = route_offsets_[dst_router];
+    const std::int32_t count = route_offsets_[dst_router + 1] - begin;
+    if (count == 0)
+        panic("Router ", id_, ": no route toward router ", dst_router);
+    if (count == 1)
+        return route_ports_[begin];
+    if (!cfg_.adaptive_routing) {
+        return route_ports_[begin + static_cast<std::int32_t>(
+                                        rng_.nextBelow(count))];
+    }
+    // Adaptive: power-of-two-choices on downstream credits. Sampling
+    // two random candidates and keeping the less congested one gets
+    // most of the balancing benefit while avoiding the herding that
+    // a fully greedy pick suffers (every ingress chasing the same
+    // momentarily-emptiest spine).
+    const std::int16_t a =
+        route_ports_[begin +
+                     static_cast<std::int32_t>(rng_.nextBelow(count))];
+    const std::int16_t b =
+        route_ports_[begin +
+                     static_cast<std::int32_t>(rng_.nextBelow(count))];
+    return outputs_[a].credits >= outputs_[b].credits ? a : b;
+}
+
+void
+Router::ingest(Cycle now)
+{
+    for (std::size_t port = 0; port < inputs_.size(); ++port) {
+        auto &in = inputs_[port];
+        if (!in.channel)
+            continue;
+        if (auto flit = in.channel->flits.pop(now)) {
+            auto &vc = in.vcs[flit->vc];
+            if (vc.queue.empty())
+                in.occupied.push_back(flit->vc);
+            vc.queue.push_back(*flit);
+            ++in.occupancy;
+            ++buffered_;
+            if (in.occupancy > cfg_.buffer_per_port)
+                panic("Router ", id_, " port ", port,
+                      ": shared buffer overflow (credit protocol bug)");
+        }
+    }
+    for (auto &out : outputs_) {
+        if (!out.channel)
+            continue;
+        while (out.channel->credits.pop(now))
+            ++out.credits;
+    }
+}
+
+void
+Router::runInputStages(Cycle now)
+{
+    for (std::size_t port = 0; port < inputs_.size(); ++port) {
+        auto &in = inputs_[port];
+        if (in.occupied.empty())
+            continue;
+
+        // RC / VA state machines for every occupied VC. Active VCs
+        // (the common case under load) are skipped without touching
+        // their queues.
+        for (std::int16_t vc_id : in.occupied) {
+            auto &vc = in.vcs[vc_id];
+            if (vc.state == VcState::Active)
+                continue;
+            if (vc.state == VcState::Idle) {
+                if (!vc.queue.front().head)
+                    panic("Router ", id_, ": body flit at the head of "
+                          "an idle VC");
+                const int rc = static_cast<int>(port) <
+                                       cfg_.terminal_ports
+                                   ? cfg_.rc_delay_ingress
+                                   : cfg_.rc_delay_transit;
+                vc.state = VcState::Routing;
+                vc.rc_ready = now + rc;
+            }
+            if (vc.state == VcState::Routing && now >= vc.rc_ready) {
+                vc.out_port = route(vc.queue.front());
+                vc.state = VcState::WaitVc;
+            }
+            if (vc.state == VcState::WaitVc) {
+                auto &out = outputs_[vc.out_port];
+                // Claim a free output VC, round-robin.
+                for (int i = 0; i < cfg_.vcs; ++i) {
+                    const int cand = (out.rr_vc + i) % cfg_.vcs;
+                    if (out.vc_owner[cand] < 0) {
+                        out.vc_owner[cand] =
+                            static_cast<std::int32_t>(port) * cfg_.vcs +
+                            vc_id;
+                        out.rr_vc = (cand + 1) % cfg_.vcs;
+                        vc.out_vc = static_cast<std::int16_t>(cand);
+                        vc.state = VcState::Active;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // SA stage, input side: nominate one Active VC with a flit
+        // and downstream credit, round-robin over the occupied set.
+        const int n = static_cast<int>(in.occupied.size());
+        for (int i = 0; i < n; ++i) {
+            const int slot = (in.rr + i) % n;
+            const std::int16_t vc_id = in.occupied[slot];
+            auto &vc = in.vcs[vc_id];
+            if (vc.state != VcState::Active || vc.queue.empty())
+                continue;
+            if (outputs_[vc.out_port].credits <= 0)
+                continue;
+            auto &reqs = requests_[vc.out_port];
+            if (reqs.empty())
+                touched_outputs_.push_back(vc.out_port);
+            reqs.push_back({static_cast<std::int32_t>(port), vc_id});
+            in.rr = (slot + 1) % n;
+            break;
+        }
+    }
+}
+
+void
+Router::arbitrateOutputs(Cycle now)
+{
+    for (std::int16_t out_port : touched_outputs_) {
+        auto &out = outputs_[out_port];
+        auto &reqs = requests_[out_port];
+
+        // Output side of SA: round-robin over requesting inputs.
+        int winner = 0;
+        int best_rank = cfg_.ports;
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+            const int rank =
+                (reqs[i].in_port - out.rr_input + cfg_.ports) %
+                cfg_.ports;
+            if (rank < best_rank) {
+                best_rank = rank;
+                winner = static_cast<int>(i);
+            }
+        }
+        const Request req = reqs[winner];
+        reqs.clear();
+        out.rr_input = (req.in_port + 1) % cfg_.ports;
+
+        auto &in = inputs_[req.in_port];
+        auto &vc = in.vcs[req.in_vc];
+        Flit flit = vc.queue.front();
+        vc.queue.pop_front();
+        --in.occupancy;
+        --buffered_;
+
+        // Return the freed buffer slot upstream.
+        if (in.channel)
+            in.channel->credits.push(now, {req.in_vc, flit.tail});
+
+        if (vc.queue.empty()) {
+            auto it = std::find(in.occupied.begin(), in.occupied.end(),
+                                req.in_vc);
+            *it = in.occupied.back();
+            in.occupied.pop_back();
+        }
+
+        flit.vc = vc.out_vc;
+        ++flit.hops;
+
+        if (flit.tail) {
+            out.vc_owner[vc.out_vc] = -1;
+            vc.state = VcState::Idle;
+            vc.out_port = -1;
+            vc.out_vc = -1;
+        }
+
+        --out.credits;
+        out.stage.push_back(flit);
+        out.stage_ready.push_back(now + cfg_.pipeline_delay);
+    }
+    touched_outputs_.clear();
+}
+
+void
+Router::drainOutputStages(Cycle now)
+{
+    for (auto &out : outputs_) {
+        if (out.stage.empty() || out.stage_ready.front() > now)
+            continue;
+        if (!out.channel)
+            panic("Router ", id_, ": flit routed to an unwired port");
+        out.channel->flits.push(now, out.stage.front());
+        out.stage.erase(out.stage.begin());
+        out.stage_ready.erase(out.stage_ready.begin());
+    }
+}
+
+void
+Router::step(Cycle now)
+{
+    ingest(now);
+    runInputStages(now);
+    arbitrateOutputs(now);
+    drainOutputStages(now);
+}
+
+} // namespace wss::sim

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Cycle-accurate virtual-channel router — paper Section VI, Fig. 20.
+ *
+ * Models the four-stage switch microarchitecture the paper simulates
+ * with Booksim2: route computation (RC), virtual-channel allocation
+ * (VA), switch allocation (SA), and switch traversal (ST). Input
+ * ports hold a shared flit buffer divided into per-VC queues
+ * (the paper's "shared buffer policy for all the input ports");
+ * credit-based flow control tracks the downstream shared pool as an
+ * aggregate credit count plus per-output-VC ownership.
+ *
+ * Timing: a head flit that arrives in cycle t completes RC in
+ * t + rc_delay, may win VA and SA in that same cycle, and spends
+ * pipeline_delay cycles in the output stage (VA/SA/ST pipeline
+ * depth), so the zero-load router traversal is
+ * rc_delay + pipeline_delay cycles. The RC delay differs between
+ * ingress (terminal-facing) and transit inputs to model the paper's
+ * proprietary routing optimization (Fig. 22): with a fixed topology,
+ * non-ingress SSCs skip the L3 IP-table lookup.
+ */
+
+#ifndef WSS_SIM_ROUTER_HPP
+#define WSS_SIM_ROUTER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/flit.hpp"
+#include "util/rng.hpp"
+
+namespace wss::sim {
+
+/// Static configuration of one router.
+struct RouterConfig
+{
+    /// Bidirectional ports (terminal ports first, then link ports).
+    int ports = 0;
+    /// Ports 0..terminal_ports-1 face terminals (ingress RC delay).
+    int terminal_ports = 0;
+    /// Virtual channels per port.
+    int vcs = 1;
+    /// Shared input-buffer capacity per port (flits).
+    int buffer_per_port = 8;
+    /// RC delay for packets arriving from terminals (cycles).
+    int rc_delay_ingress = 1;
+    /// RC delay for packets arriving from other routers (cycles).
+    int rc_delay_transit = 1;
+    /// VA/SA/ST pipeline depth beyond RC (cycles, >= 1).
+    int pipeline_delay = 1;
+    /// ECMP next-hop selection: false = oblivious (uniform random,
+    /// the Booksim default), true = adaptive (most downstream
+    /// credits, ties broken randomly).
+    bool adaptive_routing = false;
+};
+
+/**
+ * One router instance. The Network wires its ports to channels and
+ * calls step() once per cycle.
+ */
+class Router
+{
+  public:
+    /**
+     * @param id    router id (for routing-table lookups)
+     * @param cfg   static configuration
+     * @param seed  RNG seed for ECMP candidate selection
+     */
+    Router(int id, const RouterConfig &cfg, std::uint64_t seed);
+
+    int id() const { return id_; }
+    const RouterConfig &config() const { return cfg_; }
+
+    /**
+     * Wire input port @p port to @p channel (flits arrive on
+     * channel->flits, credits leave on channel->credits). Terminal
+     * injection ports use the terminal's channel; pass nullptr for
+     * unused ports.
+     */
+    void connectInput(int port, ChannelPair *channel);
+
+    /**
+     * Wire output port @p port to @p channel and declare the
+     * downstream buffer capacity backing the credit count.
+     */
+    void connectOutput(int port, ChannelPair *channel,
+                       int downstream_buffer);
+
+    /**
+     * Install the routing table: for every destination router, the
+     * candidate output ports (shortest-path ECMP) in CSR form.
+     * Destinations terminating here use the terminal port directly.
+     *
+     * @param dst_router_of_terminal  terminal id -> router id table,
+     *        owned by the Network and shared by all routers
+     * @param candidate_offsets  CSR offsets, one entry per router + 1
+     * @param candidate_ports    CSR payload of output ports
+     * @param terminal_port_of   terminal id -> local output port, or
+     *        -1 when the terminal is not attached here
+     */
+    void installRoutes(
+        const std::vector<std::int32_t> *dst_router_of_terminal,
+        std::vector<std::int32_t> candidate_offsets,
+        std::vector<std::int16_t> candidate_ports,
+        std::vector<std::int16_t> terminal_port_of);
+
+    /// Advance one cycle: ingest flits/credits, run RC/VA/SA/ST.
+    void step(Cycle now);
+
+    /// Total flits currently buffered (for drain detection).
+    std::int64_t bufferedFlits() const { return buffered_; }
+
+    /// Flits sitting in output pipeline stages (for drain detection).
+    std::int64_t
+    stagedFlits() const
+    {
+        std::int64_t total = 0;
+        for (const auto &out : outputs_)
+            total += static_cast<std::int64_t>(out.stage.size());
+        return total;
+    }
+
+    /// Occupancy of one input port's shared buffer (for tests).
+    int portOccupancy(int port) const { return inputs_[port].occupancy; }
+
+    /// Credits available at an output port (for tests).
+    int outputCredits(int port) const { return outputs_[port].credits; }
+
+  private:
+    /// Per-VC input state machine.
+    enum class VcState : std::uint8_t
+    {
+        Idle,
+        Routing,
+        WaitVc,
+        Active,
+    };
+
+    struct InputVc
+    {
+        std::deque<Flit> queue;
+        VcState state = VcState::Idle;
+        Cycle rc_ready = 0;
+        std::int16_t out_port = -1;
+        std::int16_t out_vc = -1;
+    };
+
+    struct InputPort
+    {
+        ChannelPair *channel = nullptr;
+        std::vector<InputVc> vcs;
+        /// VC ids with non-empty queues (active set; keeps the per-
+        /// cycle work proportional to traffic, not to port * VC).
+        std::vector<std::int16_t> occupied;
+        int occupancy = 0;
+        int rr = 0; // SA round-robin cursor into occupied
+    };
+
+    struct OutputPort
+    {
+        ChannelPair *channel = nullptr;
+        /// Extra pipeline stage modeling VA/SA/ST depth.
+        std::vector<Flit> stage;
+        std::vector<Cycle> stage_ready;
+        /// Owning input VC (encoded port * vcs + vc) per output VC.
+        std::vector<std::int32_t> vc_owner;
+        int credits = 0;
+        int rr_vc = 0;    // VA round-robin over output VCs
+        int rr_input = 0; // SA round-robin over requesting inputs
+    };
+
+    struct Request
+    {
+        std::int32_t in_port;
+        std::int16_t in_vc;
+    };
+
+    void ingest(Cycle now);
+    void runInputStages(Cycle now);
+    void arbitrateOutputs(Cycle now);
+    void drainOutputStages(Cycle now);
+
+    /// Pick the output port for a routed head flit.
+    std::int16_t route(const Flit &flit);
+
+    int id_;
+    RouterConfig cfg_;
+    Rng rng_;
+
+    std::vector<InputPort> inputs_;
+    std::vector<OutputPort> outputs_;
+
+    const std::vector<std::int32_t> *dst_router_of_terminal_ = nullptr;
+    /// CSR routing table: candidates for router d live at
+    /// [offsets[d], offsets[d+1]).
+    std::vector<std::int32_t> route_offsets_;
+    std::vector<std::int16_t> route_ports_;
+    std::vector<std::int16_t> terminal_port_of_;
+
+    /// Per-output request lists, rebuilt each cycle.
+    std::vector<std::vector<Request>> requests_;
+    std::vector<std::int16_t> touched_outputs_;
+
+    std::int64_t buffered_ = 0;
+};
+
+} // namespace wss::sim
+
+#endif // WSS_SIM_ROUTER_HPP

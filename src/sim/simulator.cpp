@@ -1,0 +1,150 @@
+#include "sim/simulator.hpp"
+
+#include "util/logging.hpp"
+
+namespace wss::sim {
+
+Simulator::Simulator(Network &network, Workload &workload,
+                     const SimConfig &cfg)
+    : network_(network), workload_(workload), cfg_(cfg), rng_(cfg.seed)
+{
+    if (cfg.warmup < 0 || cfg.measure < 1 || cfg.drain_limit < 0)
+        fatal("Simulator: bad phase configuration");
+    source_.resize(network.terminalCount());
+    current_vc_.assign(network.terminalCount(), 0);
+    vc_counter_.assign(network.terminalCount(), 0);
+}
+
+void
+Simulator::generate(Cycle now)
+{
+    const bool in_window =
+        cfg_.run_to_exhaustion ||
+        (now >= cfg_.warmup && now < cfg_.warmup + cfg_.measure);
+    workload_.generate(now, rng_, [&](int src, int dst, int flits) {
+        if (src < 0 || src >= network_.terminalCount() || dst < 0 ||
+            dst >= network_.terminalCount())
+            fatal("workload emitted an out-of-range terminal (", src,
+                  " -> ", dst, ")");
+        if (dst == src)
+            return; // self-traffic never enters the fabric
+        const std::uint64_t id = next_packet_id_++;
+        for (int i = 0; i < flits; ++i) {
+            Flit flit;
+            flit.packet_id = id;
+            flit.src = src;
+            flit.dst = dst;
+            flit.head = i == 0;
+            flit.tail = i == flits - 1;
+            flit.created = now;
+            source_[src].push_back(flit);
+        }
+        if (in_window)
+            ++measured_created_;
+    });
+}
+
+void
+Simulator::inject(Cycle now)
+{
+    for (int t = 0; t < network_.terminalCount(); ++t) {
+        auto &queue = source_[t];
+        if (queue.empty())
+            continue;
+        Flit &flit = queue.front();
+        if (flit.head) {
+            // New packet: pick its VC (round-robin per terminal).
+            current_vc_[t] = static_cast<std::int16_t>(
+                vc_counter_[t]++ % network_.vcs());
+        }
+        flit.vc = current_vc_[t];
+        flit.injected = now;
+        if (network_.tryInject(t, now, flit))
+            queue.pop_front();
+    }
+}
+
+void
+Simulator::ejectAll(Cycle now)
+{
+    const bool in_window =
+        cfg_.run_to_exhaustion ||
+        (now >= cfg_.warmup && now < cfg_.warmup + cfg_.measure);
+    for (int t = 0; t < network_.terminalCount(); ++t) {
+        const auto flit = network_.eject(t, now);
+        if (!flit)
+            continue;
+        if (flit->dst != t)
+            panic("flit for terminal ", flit->dst, " ejected at ", t);
+        ++flits_delivered_;
+        if (in_window)
+            ++window_flits_ejected_;
+        if (!flit->tail)
+            continue;
+        // Tail: the whole packet has arrived.
+        workload_.packetDelivered(now);
+        const bool measured =
+            cfg_.run_to_exhaustion ||
+            (flit->created >= cfg_.warmup &&
+             flit->created < cfg_.warmup + cfg_.measure);
+        if (measured) {
+            const auto latency =
+                static_cast<double>(now - flit->created);
+            packet_latency_.add(latency);
+            packet_latency_q_.add(latency);
+            network_latency_.add(
+                static_cast<double>(now - flit->injected));
+            hops_.add(static_cast<double>(flit->hops));
+            ++measured_finished_;
+        }
+    }
+}
+
+SimResult
+Simulator::run()
+{
+    const Cycle window_end = cfg_.warmup + cfg_.measure;
+    const Cycle hard_stop = window_end + cfg_.drain_limit;
+
+    Cycle now = 0;
+    for (;; ++now) {
+        if (cfg_.run_to_exhaustion ? !workload_.exhausted(now)
+                                   : now < window_end)
+            generate(now);
+        // Once generation stops we just drain what is in flight.
+        inject(now);
+        ejectAll(now);
+        network_.step(now);
+
+        if (cfg_.run_to_exhaustion) {
+            const bool done = workload_.exhausted(now) &&
+                              measured_finished_ == measured_created_;
+            if (done || now >= hard_stop)
+                break;
+        } else if (now >= window_end) {
+            const bool drained = measured_finished_ == measured_created_;
+            if (drained || now >= hard_stop)
+                break;
+        }
+    }
+
+    SimResult result;
+    result.offered = workload_.offeredLoad();
+    result.avg_packet_latency = packet_latency_.mean();
+    result.avg_network_latency = network_latency_.mean();
+    result.avg_hops = hops_.mean();
+    result.packets_measured = measured_created_;
+    result.packets_finished = measured_finished_;
+    result.stable = measured_finished_ == measured_created_;
+    result.accepted =
+        static_cast<double>(window_flits_ejected_) /
+        (static_cast<double>(network_.terminalCount()) *
+         static_cast<double>(cfg_.measure));
+    result.end_cycle = now;
+    result.flits_delivered = flits_delivered_;
+    QuantileSampler q = packet_latency_q_;
+    result.p99_packet_latency = q.quantile(0.99);
+    return result;
+}
+
+} // namespace wss::sim

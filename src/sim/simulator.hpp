@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The simulation driver: warmup / measurement / drain phases with
+ * packet-latency and accepted-throughput statistics, in the Booksim2
+ * methodology the paper uses for Figs. 21-24.
+ */
+
+#ifndef WSS_SIM_SIMULATOR_HPP
+#define WSS_SIM_SIMULATOR_HPP
+
+#include <deque>
+
+#include "sim/network.hpp"
+#include "sim/workload.hpp"
+#include "util/stats_accumulator.hpp"
+
+namespace wss::sim {
+
+/// Phase lengths and bookkeeping knobs.
+struct SimConfig
+{
+    /// Cycles before measurement starts (reach steady state).
+    Cycle warmup = 2000;
+    /// Measurement window length.
+    Cycle measure = 8000;
+    /// Extra cycles allowed to drain measured packets; if they do
+    /// not all arrive, the run is flagged unstable (saturated).
+    Cycle drain_limit = 30000;
+    /// RNG seed.
+    std::uint64_t seed = 1;
+    /// Closed-loop trace mode: keep generating until the workload is
+    /// exhausted (ignoring the measure window for generation) and
+    /// measure every packet. The `measure` field then only bounds
+    /// the run length.
+    bool run_to_exhaustion = false;
+};
+
+/// What one simulation run produced.
+struct SimResult
+{
+    /// Mean end-to-end packet latency, creation to tail ejection
+    /// (cycles), over packets created in the measurement window.
+    double avg_packet_latency = 0.0;
+    /// 99th percentile of the same.
+    double p99_packet_latency = 0.0;
+    /// Mean network latency (head injection to tail ejection).
+    double avg_network_latency = 0.0;
+    /// Mean router hops per packet.
+    double avg_hops = 0.0;
+    /// Offered load (flits per terminal per cycle, from the workload).
+    double offered = 0.0;
+    /// Accepted throughput: flits ejected during the measurement
+    /// window per terminal per cycle.
+    double accepted = 0.0;
+    /// Packets created/finished in the measurement window.
+    std::int64_t packets_measured = 0;
+    std::int64_t packets_finished = 0;
+    /// False when measured packets failed to drain (saturation).
+    bool stable = false;
+    /// Cycle the run ended (for run_to_exhaustion: the makespan).
+    Cycle end_cycle = 0;
+    /// Flits delivered over the whole run.
+    std::int64_t flits_delivered = 0;
+};
+
+/**
+ * Runs one workload on one network.
+ */
+class Simulator
+{
+  public:
+    /**
+     * @param network   the fabric (state is consumed; build fresh per
+     *                  run)
+     * @param workload  packet generation process
+     * @param cfg       phase configuration
+     */
+    Simulator(Network &network, Workload &workload, const SimConfig &cfg);
+
+    /// Run to completion and report statistics.
+    SimResult run();
+
+  private:
+    void generate(Cycle now);
+    void inject(Cycle now);
+    void ejectAll(Cycle now);
+
+    Network &network_;
+    Workload &workload_;
+    SimConfig cfg_;
+    Rng rng_;
+
+    /// Per-terminal source queues (open-loop: unbounded).
+    std::vector<std::deque<Flit>> source_;
+    /// Per-terminal VC for the packet currently being injected.
+    std::vector<std::int16_t> current_vc_;
+    std::vector<std::uint32_t> vc_counter_;
+
+    std::uint64_t next_packet_id_ = 0;
+
+    // Measurement bookkeeping.
+    StatsAccumulator packet_latency_;
+    QuantileSampler packet_latency_q_;
+    StatsAccumulator network_latency_;
+    StatsAccumulator hops_;
+    std::int64_t measured_created_ = 0;
+    std::int64_t measured_finished_ = 0;
+    std::int64_t window_flits_ejected_ = 0;
+    std::int64_t flits_delivered_ = 0;
+};
+
+} // namespace wss::sim
+
+#endif // WSS_SIM_SIMULATOR_HPP

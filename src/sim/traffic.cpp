@@ -1,0 +1,249 @@
+#include "sim/traffic.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace wss::sim {
+
+namespace {
+
+/// Bits needed to index @p terminals endpoints (power-of-two width).
+int
+indexBits(int terminals)
+{
+    int bits = 0;
+    while ((1 << bits) < terminals)
+        ++bits;
+    return bits;
+}
+
+class Uniform : public TrafficPattern
+{
+  public:
+    using TrafficPattern::TrafficPattern;
+
+    int
+    destination(int src, Rng &rng) const override
+    {
+        // Uniform over the other terminals.
+        const auto d =
+            static_cast<int>(rng.nextBelow(terminals_ - 1));
+        return d >= src ? d + 1 : d;
+    }
+
+    std::string name() const override { return "uniform"; }
+};
+
+class Transpose : public TrafficPattern
+{
+  public:
+    explicit Transpose(int terminals)
+        : TrafficPattern(terminals),
+          side_(static_cast<int>(std::round(std::sqrt(terminals))))
+    {
+        if (side_ * side_ != terminals)
+            fatal("transpose traffic needs a square terminal count, "
+                  "got ", terminals);
+    }
+
+    int
+    destination(int src, Rng &) const override
+    {
+        const int r = src / side_, c = src % side_;
+        return c * side_ + r;
+    }
+
+    std::string name() const override { return "transpose"; }
+
+  private:
+    int side_;
+};
+
+class BitComplement : public TrafficPattern
+{
+  public:
+    explicit BitComplement(int terminals)
+        : TrafficPattern(terminals), bits_(indexBits(terminals))
+    {
+        if ((1 << bits_) != terminals)
+            fatal("bit-complement traffic needs a power-of-two "
+                  "terminal count, got ", terminals);
+    }
+
+    int
+    destination(int src, Rng &) const override
+    {
+        return ~src & ((1 << bits_) - 1);
+    }
+
+    std::string name() const override { return "bitcomp"; }
+
+  private:
+    int bits_;
+};
+
+class BitReverse : public TrafficPattern
+{
+  public:
+    explicit BitReverse(int terminals)
+        : TrafficPattern(terminals), bits_(indexBits(terminals))
+    {
+        if ((1 << bits_) != terminals)
+            fatal("bit-reverse traffic needs a power-of-two terminal "
+                  "count, got ", terminals);
+    }
+
+    int
+    destination(int src, Rng &) const override
+    {
+        int out = 0;
+        for (int b = 0; b < bits_; ++b)
+            if (src & (1 << b))
+                out |= 1 << (bits_ - 1 - b);
+        return out;
+    }
+
+    std::string name() const override { return "bitrev"; }
+
+  private:
+    int bits_;
+};
+
+class Shuffle : public TrafficPattern
+{
+  public:
+    explicit Shuffle(int terminals)
+        : TrafficPattern(terminals), bits_(indexBits(terminals))
+    {
+        if ((1 << bits_) != terminals)
+            fatal("shuffle traffic needs a power-of-two terminal "
+                  "count, got ", terminals);
+    }
+
+    int
+    destination(int src, Rng &) const override
+    {
+        const int top = (src >> (bits_ - 1)) & 1;
+        return ((src << 1) | top) & ((1 << bits_) - 1);
+    }
+
+    std::string name() const override { return "shuffle"; }
+
+  private:
+    int bits_;
+};
+
+class Tornado : public TrafficPattern
+{
+  public:
+    using TrafficPattern::TrafficPattern;
+
+    int
+    destination(int src, Rng &) const override
+    {
+        return (src + terminals_ / 2 - 1 + terminals_) % terminals_;
+    }
+
+    std::string name() const override { return "tornado"; }
+};
+
+class Asymmetric : public TrafficPattern
+{
+  public:
+    Asymmetric(int terminals, int hot, double fraction)
+        : TrafficPattern(terminals), hot_(hot), fraction_(fraction)
+    {
+        if (hot < 1 || hot > terminals)
+            fatal("asymmetric traffic: hot terminal count out of range");
+        if (fraction < 0.0 || fraction > 1.0)
+            fatal("asymmetric traffic: hot fraction out of range");
+    }
+
+    int
+    destination(int src, Rng &rng) const override
+    {
+        if (rng.nextBool(fraction_)) {
+            const auto d = static_cast<int>(rng.nextBelow(hot_));
+            return d == src ? (d + 1) % terminals_ : d;
+        }
+        const auto d =
+            static_cast<int>(rng.nextBelow(terminals_ - 1));
+        return d >= src ? d + 1 : d;
+    }
+
+    std::string name() const override { return "asymmetric"; }
+
+  private:
+    int hot_;
+    double fraction_;
+};
+
+} // namespace
+
+std::unique_ptr<TrafficPattern>
+uniformTraffic(int terminals)
+{
+    return std::make_unique<Uniform>(terminals);
+}
+
+std::unique_ptr<TrafficPattern>
+transposeTraffic(int terminals)
+{
+    return std::make_unique<Transpose>(terminals);
+}
+
+std::unique_ptr<TrafficPattern>
+bitComplementTraffic(int terminals)
+{
+    return std::make_unique<BitComplement>(terminals);
+}
+
+std::unique_ptr<TrafficPattern>
+bitReverseTraffic(int terminals)
+{
+    return std::make_unique<BitReverse>(terminals);
+}
+
+std::unique_ptr<TrafficPattern>
+shuffleTraffic(int terminals)
+{
+    return std::make_unique<Shuffle>(terminals);
+}
+
+std::unique_ptr<TrafficPattern>
+tornadoTraffic(int terminals)
+{
+    return std::make_unique<Tornado>(terminals);
+}
+
+std::unique_ptr<TrafficPattern>
+asymmetricTraffic(int terminals, int hot_terminals, double hot_fraction)
+{
+    return std::make_unique<Asymmetric>(terminals, hot_terminals,
+                                        hot_fraction);
+}
+
+std::unique_ptr<TrafficPattern>
+makeTraffic(const std::string &name, int terminals)
+{
+    if (name == "uniform")
+        return uniformTraffic(terminals);
+    if (name == "transpose")
+        return transposeTraffic(terminals);
+    if (name == "bitcomp")
+        return bitComplementTraffic(terminals);
+    if (name == "bitrev")
+        return bitReverseTraffic(terminals);
+    if (name == "shuffle")
+        return shuffleTraffic(terminals);
+    if (name == "tornado")
+        return tornadoTraffic(terminals);
+    if (name == "asymmetric")
+        return asymmetricTraffic(terminals, std::max(1, terminals / 16),
+                                 0.5);
+    fatal("unknown traffic pattern '", name, "'");
+}
+
+} // namespace wss::sim

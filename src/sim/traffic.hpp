@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Synthetic traffic patterns — paper Section VI (Figs. 22, 23).
+ *
+ * Destination maps in the Booksim tradition: uniform random, the
+ * classic permutations (transpose, bit-complement, bit-reverse,
+ * shuffle), tornado/neighbor offsets, and the paper's "asymmetric"
+ * pattern (a hotspot subset of terminals receives a share of all
+ * traffic).
+ */
+
+#ifndef WSS_SIM_TRAFFIC_HPP
+#define WSS_SIM_TRAFFIC_HPP
+
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace wss::sim {
+
+/**
+ * A stateless destination map over @p terminals endpoints.
+ */
+class TrafficPattern
+{
+  public:
+    explicit TrafficPattern(int terminals) : terminals_(terminals) {}
+    virtual ~TrafficPattern() = default;
+
+    int terminals() const { return terminals_; }
+
+    /// Destination terminal for a packet from @p src (may use @p rng).
+    virtual int destination(int src, Rng &rng) const = 0;
+
+    /// Pattern name for reports.
+    virtual std::string name() const = 0;
+
+  protected:
+    int terminals_;
+};
+
+/// Uniform random over all other terminals.
+std::unique_ptr<TrafficPattern> uniformTraffic(int terminals);
+
+/// Matrix transpose: src (r, c) -> (c, r) over a near-square layout.
+std::unique_ptr<TrafficPattern> transposeTraffic(int terminals);
+
+/// Bit complement: dst = ~src (within the terminal id width).
+std::unique_ptr<TrafficPattern> bitComplementTraffic(int terminals);
+
+/// Bit reverse: dst = reverse of src's bits.
+std::unique_ptr<TrafficPattern> bitReverseTraffic(int terminals);
+
+/// Perfect shuffle: dst = rotate-left-by-1 of src's bits.
+std::unique_ptr<TrafficPattern> shuffleTraffic(int terminals);
+
+/// Tornado: dst = src + terminals/2 - 1 (mod terminals).
+std::unique_ptr<TrafficPattern> tornadoTraffic(int terminals);
+
+/**
+ * Asymmetric/hotspot: with probability @p hot_fraction the packet
+ * goes to one of the first @p hot_terminals endpoints; otherwise
+ * uniform (the paper's "asymmetric traffic").
+ */
+std::unique_ptr<TrafficPattern> asymmetricTraffic(int terminals,
+                                                  int hot_terminals,
+                                                  double hot_fraction);
+
+/**
+ * Factory by name: "uniform", "transpose", "bitcomp", "bitrev",
+ * "shuffle", "tornado", "asymmetric". Calls fatal() on unknown names.
+ */
+std::unique_ptr<TrafficPattern> makeTraffic(const std::string &name,
+                                            int terminals);
+
+} // namespace wss::sim
+
+#endif // WSS_SIM_TRAFFIC_HPP

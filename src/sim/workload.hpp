@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Workload abstraction: who sends how much to whom, when.
+ *
+ * The Simulator is workload-agnostic: synthetic open-loop injection
+ * (Bernoulli per terminal, Figs. 21-23) and trace replay (NERSC
+ * mini-app traces, Fig. 24) both implement Workload.
+ */
+
+#ifndef WSS_SIM_WORKLOAD_HPP
+#define WSS_SIM_WORKLOAD_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/flit.hpp"
+#include "sim/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace wss::sim {
+
+/// Callback receiving generated packets: (src, dst, flit count).
+using EmitPacket = std::function<void(int, int, int)>;
+
+/**
+ * A packet generation process.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /// Generate this cycle's packets through @p emit.
+    virtual void generate(Cycle now, Rng &rng, const EmitPacket &emit) = 0;
+
+    /// True when no more packets will ever be generated (traces).
+    virtual bool exhausted(Cycle /*now*/) const { return false; }
+
+    /// Called by the simulator when a packet's tail is ejected;
+    /// closed-loop workloads (iteration barriers) use this feedback.
+    virtual void packetDelivered(Cycle /*now*/) {}
+
+    /// Mean offered load in flits per terminal per cycle (if known).
+    virtual double offeredLoad() const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Open-loop Bernoulli injection: every terminal independently starts
+ * a packet with probability rate/packet_size per cycle, destination
+ * drawn from a TrafficPattern.
+ */
+class SyntheticWorkload : public Workload
+{
+  public:
+    /**
+     * @param pattern      destination map (owned)
+     * @param rate         offered load, flits per terminal per cycle
+     * @param packet_size  flits per packet (>= 1)
+     */
+    SyntheticWorkload(std::unique_ptr<TrafficPattern> pattern, double rate,
+                      int packet_size);
+
+    void generate(Cycle now, Rng &rng, const EmitPacket &emit) override;
+    double offeredLoad() const override { return rate_; }
+    std::string name() const override;
+
+  private:
+    std::unique_ptr<TrafficPattern> pattern_;
+    double rate_;
+    int packet_size_;
+};
+
+} // namespace wss::sim
+
+#endif // WSS_SIM_WORKLOAD_HPP

@@ -1,0 +1,38 @@
+#include "sysarch/cooling_loop.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace wss::sysarch {
+
+CoolingLoopPlan
+sizeCoolingLoop(Watts total_power, int grid_side,
+                const CoolingLoopSpec &spec)
+{
+    if (total_power < 0.0 || grid_side < 1)
+        fatal("sizeCoolingLoop: bad inputs");
+
+    CoolingLoopPlan plan;
+    const int pcl_side = static_cast<int>(std::ceil(
+        static_cast<double>(grid_side) / spec.chiplets_per_pcl_side));
+    plan.pcls = pcl_side * pcl_side;
+    plan.supply_channels = static_cast<int>(std::ceil(
+        static_cast<double>(plan.pcls) /
+        (spec.pcls_per_channel * pcl_side)));
+    // Channels run per PCL row, every pcls_per_channel PCLs share one;
+    // total channels leaving the wafer:
+    plan.supply_channels = pcl_side *
+                           static_cast<int>(std::ceil(
+                               static_cast<double>(pcl_side) /
+                               spec.pcls_per_channel));
+
+    plan.power_per_pcl = total_power / plan.pcls;
+    plan.junction_temperature =
+        spec.inlet_temperature +
+        plan.power_per_pcl * spec.pcl_thermal_resistance;
+    plan.within_band = plan.junction_temperature <= 80.0;
+    return plan;
+}
+
+} // namespace wss::sysarch

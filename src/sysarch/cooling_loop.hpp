@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Liquid-cooling loop design — paper Section VIII.A.
+ *
+ * A passive-cold-plate-loop (PCL) copper spreader covers each 2x2
+ * block of chiplets; three consecutive PCLs share a supply channel;
+ * each channel pair connects to the pump. A 1D thermal-resistance
+ * model per PCL reproduces the paper's reported junction band
+ * (70-80 C at 20 C inlet for 1.6 kW per PCL) and the OCP-guideline
+ * flow requirement (10-12 LFM of DI water at 10 psi).
+ */
+
+#ifndef WSS_SYSARCH_COOLING_LOOP_HPP
+#define WSS_SYSARCH_COOLING_LOOP_HPP
+
+#include "util/units.hpp"
+
+namespace wss::sysarch {
+
+/// Cooling-loop constants (Section VIII.A).
+struct CoolingLoopSpec
+{
+    /// Chiplets covered per PCL along each axis (2x2).
+    int chiplets_per_pcl_side = 2;
+    /// PCLs sharing one supply channel.
+    int pcls_per_channel = 3;
+    /// Junction-to-coolant thermal resistance per PCL (K/W);
+    /// calibrated so 1.6 kW -> ~55 K rise (70-80 C junction).
+    double pcl_thermal_resistance = 0.0344;
+    /// Coolant inlet temperature (deg C).
+    double inlet_temperature = 20.0;
+    /// Nominal flow per loop, linear feet per minute (OCP band).
+    double flow_lfm = 11.0;
+    double pressure_psi = 10.0;
+};
+
+/// A sized cooling loop.
+struct CoolingLoopPlan
+{
+    /// PCL spreaders (grid of 2x2 chiplet tiles).
+    int pcls = 0;
+    /// Supply channels leaving the wafer.
+    int supply_channels = 0;
+    /// Heat each PCL must dissipate (W).
+    Watts power_per_pcl = 0.0;
+    /// Predicted junction temperature (deg C).
+    double junction_temperature = 0.0;
+    /// Within the paper's 70-80 C operating band (or below)?
+    bool within_band = false;
+};
+
+/**
+ * Lay out the loop for a @p grid_side x @p grid_side chiplet array
+ * dissipating @p total_power.
+ */
+CoolingLoopPlan sizeCoolingLoop(Watts total_power, int grid_side,
+                                const CoolingLoopSpec &spec = {});
+
+} // namespace wss::sysarch
+
+#endif // WSS_SYSARCH_COOLING_LOOP_HPP

@@ -1,0 +1,47 @@
+#include "sysarch/enclosure.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace wss::sysarch {
+
+EnclosurePlan
+planEnclosure(std::int64_t ports, Gbps line_rate,
+              const EnclosureSpec &spec)
+{
+    if (ports <= 0 || line_rate <= 0.0)
+        fatal("planEnclosure: ports and line rate must be positive");
+
+    EnclosurePlan plan;
+    // Front-panel adapters are 800G CS couplers; lower-rate ports are
+    // bifurcated out of one adapter with splitter cables.
+    constexpr double kAdapterGbps = 800.0;
+    plan.split = std::max(
+        1, std::min(spec.max_split,
+                    static_cast<int>(kAdapterGbps / line_rate)));
+    plan.adapters = static_cast<int>(
+        (ports + plan.split - 1) / plan.split);
+    plan.rack_units =
+        static_cast<int>(std::ceil(static_cast<double>(plan.adapters) /
+                                   spec.adapters_per_ru)) +
+        spec.management_ru;
+    plan.capacity_density_tbps_ru =
+        static_cast<double>(ports) * line_rate /
+        (1000.0 * plan.rack_units);
+    return plan;
+}
+
+std::vector<ModularSwitchRow>
+modularSwitchCatalog()
+{
+    // Table III's commercial rows: Cisco Nexus 9800 [17], Juniper
+    // PTX10008 [12], Huawei NetEngine 8000 [7], at 200G per port.
+    return {
+        {"Cisco Nexus 9808", 16.0, 115.2, 576, 11.2},
+        {"Juniper PTX10008", 21.0, 230.4, 1152, 25.9},
+        {"Huawei NE8000 X8", 15.8, 115.2, 576, 11.0},
+    };
+}
+
+} // namespace wss::sysarch

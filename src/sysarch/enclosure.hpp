@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Chassis / front-panel budgeting — paper Section VIII.A, Fig. 29/30
+ * and the Table III modular-switch comparison.
+ *
+ * O/E/O conversion happens on the wafer plane, so the front panel
+ * needs only passive optical adapters (CS couplers): 108 per rack
+ * unit. Higher port counts than the adapter budget are served with
+ * splitter cables that bifurcate one 800G adapter into multiple
+ * lower-rate ports. One additional RU hosts the management server;
+ * the back panel carries power delivery and cooling.
+ */
+
+#ifndef WSS_SYSARCH_ENCLOSURE_HPP
+#define WSS_SYSARCH_ENCLOSURE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace wss::sysarch {
+
+/// Front-panel constants (Section VIII.A).
+struct EnclosureSpec
+{
+    /// CS optical adapters per rack unit [6].
+    int adapters_per_ru = 108;
+    /// Rack units reserved for the management server.
+    int management_ru = 1;
+    /// Maximum ports one adapter can serve through splitter cables.
+    int max_split = 4;
+};
+
+/// One sized enclosure.
+struct EnclosurePlan
+{
+    /// Physical adapters on the front panel.
+    int adapters = 0;
+    /// Ports carried per adapter (1 = no splitters).
+    int split = 1;
+    /// Total chassis height, rack units.
+    int rack_units = 0;
+    /// Switch capacity density (Tbps per RU), Table III's metric.
+    double capacity_density_tbps_ru = 0.0;
+};
+
+/**
+ * Budget the enclosure for @p ports ports at @p line_rate.
+ *
+ * Picks the smallest splitter factor (1..max_split) whose adapter
+ * count fits a compact chassis; reproduces the paper's 20 RU
+ * (300 mm, 8192 ports) and 11 RU (200 mm, 4096 ports) results.
+ */
+EnclosurePlan planEnclosure(std::int64_t ports, Gbps line_rate,
+                            const EnclosureSpec &spec = {});
+
+/// A commercial modular switch row for the Table III comparison.
+struct ModularSwitchRow
+{
+    std::string name;
+    double rack_units;
+    double total_bandwidth_tbps;
+    std::int64_t ports_200g;
+    double total_power_kw;
+
+    double
+    powerPerPort() const
+    {
+        return total_power_kw * 1000.0 /
+               static_cast<double>(ports_200g);
+    }
+    double
+    capacityDensity() const
+    {
+        return total_bandwidth_tbps / rack_units;
+    }
+};
+
+/// The paper's three commercial comparison points [17], [12], [7].
+std::vector<ModularSwitchRow> modularSwitchCatalog();
+
+} // namespace wss::sysarch
+
+#endif // WSS_SYSARCH_ENCLOSURE_HPP

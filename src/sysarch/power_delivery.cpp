@@ -1,0 +1,40 @@
+#include "sysarch/power_delivery.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace wss::sysarch {
+
+PowerDeliveryPlan
+sizePowerDelivery(Watts switch_power, Millimeters substrate_side,
+                  const PowerDeliverySpec &spec)
+{
+    if (switch_power < 0.0 || substrate_side <= 0.0)
+        fatal("sizePowerDelivery: bad inputs");
+
+    PowerDeliveryPlan plan;
+    const Watts demand = switch_power + spec.non_asic_power;
+
+    // N+N redundancy: two full banks of PSUs.
+    const int bank = static_cast<int>(
+        std::ceil(demand / spec.psu_power));
+    plan.psus = 2 * bank;
+    plan.provisioned = static_cast<double>(bank) * spec.psu_power;
+
+    plan.dcdc_converters = static_cast<int>(
+        std::ceil(switch_power / spec.dcdc_power));
+
+    const double amps = switch_power / spec.core_voltage;
+    plan.vrms = static_cast<int>(std::ceil(
+        amps / spec.vrm_current * (1.0 + spec.vrm_redundancy)));
+
+    plan.board_area = plan.dcdc_converters * spec.dcdc_area +
+                      plan.vrms * spec.vrm_area;
+    const SquareMillimeters usable =
+        substrate_side * substrate_side * (1.0 - spec.passives_fraction);
+    plan.fits_under_wafer = plan.board_area <= usable;
+    return plan;
+}
+
+} // namespace wss::sysarch

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Power-delivery network sizing — paper Section VIII.A.
+ *
+ * The 300 mm waferscale switch draws ~45 kW after the heterogeneous
+ * optimization. The paper's delivery chain: high-density server PSUs
+ * (4 kW each, 3-phase 240 V AC -> 48 V DC) provisioned N+N
+ * redundant, 48 V -> 12 V DC-DC converter bricks (27 x 18 mm, 1 kW+),
+ * and 12 V -> <2 V VRMs (10 x 9 mm, ~130 A) mounted on the back side
+ * of the wafer, with 10% VRM redundancy and a third of the
+ * under-wafer area reserved for passives.
+ */
+
+#ifndef WSS_SYSARCH_POWER_DELIVERY_HPP
+#define WSS_SYSARCH_POWER_DELIVERY_HPP
+
+#include "util/units.hpp"
+
+namespace wss::sysarch {
+
+/// Component ratings (Section VIII.A constants).
+struct PowerDeliverySpec
+{
+    /// One PSU's deliverable power [5].
+    Watts psu_power = 4000.0;
+    /// Non-ASIC system overhead provisioned on top of switch power.
+    Watts non_asic_power = 5000.0;
+    /// One 48V->12V DC-DC brick's power [4].
+    Watts dcdc_power = 1000.0;
+    SquareMillimeters dcdc_area = 27.0 * 18.0;
+    /// One VRM's deliverable current (A) and output voltage (V).
+    double vrm_current = 130.0;
+    Volts core_voltage = 0.85;
+    SquareMillimeters vrm_area = 10.0 * 9.0;
+    /// Extra VRMs for redundancy (fraction).
+    double vrm_redundancy = 0.10;
+    /// Fraction of the under-wafer area that must stay free for
+    /// passive components. (The paper's 300 mm plan uses ~69% of the
+    /// area, leaving about a third for passives.)
+    double passives_fraction = 0.25;
+};
+
+/// A sized power-delivery network.
+struct PowerDeliveryPlan
+{
+    /// PSUs including N+N redundancy.
+    int psus = 0;
+    /// Total provisioned PSU power (what the nameplate says).
+    Watts provisioned = 0.0;
+    int dcdc_converters = 0;
+    int vrms = 0;
+    /// Area the converters + VRMs occupy on the wafer's back side.
+    SquareMillimeters board_area = 0.0;
+    /// Does everything fit under the wafer with the passives margin?
+    bool fits_under_wafer = false;
+};
+
+/**
+ * Size the delivery chain for a switch drawing @p switch_power on a
+ * square substrate of side @p substrate_side.
+ */
+PowerDeliveryPlan sizePowerDelivery(Watts switch_power,
+                                    Millimeters substrate_side,
+                                    const PowerDeliverySpec &spec = {});
+
+} // namespace wss::sysarch
+
+#endif // WSS_SYSARCH_POWER_DELIVERY_HPP

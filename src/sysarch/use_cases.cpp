@@ -1,0 +1,133 @@
+#include "sysarch/use_cases.hpp"
+
+#include "topology/clos.hpp"
+#include "util/logging.hpp"
+
+namespace wss::sysarch {
+
+DeploymentComparison
+singleSwitchDatacenter(std::int64_t servers, Gbps line_rate,
+                       int ws_rack_units)
+{
+    if (servers <= 0)
+        fatal("singleSwitchDatacenter: need a positive server count");
+
+    DeploymentComparison cmp;
+
+    cmp.waferscale.name = "waferscale switch";
+    cmp.waferscale.endpoints = servers;
+    cmp.waferscale.switches = 1;
+    // One optical cable per server, straight into the switch.
+    cmp.waferscale.cables = servers;
+    cmp.waferscale.worst_case_hops = 1;
+    cmp.waferscale.rack_units = ws_rack_units;
+    cmp.waferscale.port_bandwidth = line_rate;
+    cmp.waferscale.bisection_tbps =
+        static_cast<double>(servers) * line_rate / 2.0 / 1000.0;
+
+    // Equivalent 2-level TH-5 Clos: 3N/k switch boxes of 2U each;
+    // every server cable plus every leaf-spine cable.
+    constexpr int kTh5Radix = 256;
+    constexpr int kSwitchBoxRu = 2;
+    cmp.conventional.name = "TH-5 Clos network";
+    cmp.conventional.endpoints = servers;
+    cmp.conventional.switches =
+        topology::closChipletCount(servers, kTh5Radix);
+    cmp.conventional.cables = servers + servers; // host links + uplinks
+    cmp.conventional.worst_case_hops = 3;        // leaf-spine-leaf
+    cmp.conventional.rack_units =
+        cmp.conventional.switches * kSwitchBoxRu;
+    cmp.conventional.port_bandwidth = line_rate;
+    cmp.conventional.bisection_tbps = cmp.waferscale.bisection_tbps;
+    return cmp;
+}
+
+DeploymentComparison
+singularGpuCluster(std::int64_t gpus, int ws_rack_units)
+{
+    DeploymentComparison cmp;
+
+    constexpr Gbps kWsGpuRate = 800.0;
+    cmp.waferscale.name = "waferscale switch";
+    cmp.waferscale.endpoints = gpus;
+    cmp.waferscale.switches = 1;
+    cmp.waferscale.cables = gpus;
+    cmp.waferscale.worst_case_hops = 1;
+    cmp.waferscale.rack_units = ws_rack_units;
+    cmp.waferscale.port_bandwidth = kWsGpuRate;
+    cmp.waferscale.bisection_tbps =
+        static_cast<double>(gpus) * kWsGpuRate / 2.0 / 1000.0;
+
+    // DGX GH200 NVSwitch constants [8]: 256 GPUs at 900 Gbps behind
+    // 132 NVSwitches in a 2-layer network, 2304 cables, 195 RU.
+    cmp.conventional.name = "NVSwitch network (DGX GH200)";
+    cmp.conventional.endpoints = 256;
+    cmp.conventional.switches = 132;
+    cmp.conventional.cables = 2304;
+    cmp.conventional.worst_case_hops = 3;
+    cmp.conventional.rack_units = 195;
+    cmp.conventional.port_bandwidth = 900.0;
+    cmp.conventional.bisection_tbps = 115.2;
+    return cmp;
+}
+
+DeploymentComparison
+waferscaleDcn(std::int64_t racks, int ws_switches, int ws_rack_units)
+{
+    if (racks <= 0 || ws_switches <= 0)
+        fatal("waferscaleDcn: need positive rack and switch counts");
+
+    DeploymentComparison cmp;
+
+    // Every rack connects to the spine with 2 x 800G; each rack-spine
+    // link is one cable, and the spine-internal Clos doubles the
+    // count (Section VIII.B's 65536 cables for 16384 racks).
+    constexpr Gbps kRackLink = 800.0;
+    constexpr int kLinksPerRack = 2;
+
+    cmp.waferscale.name = "waferscale spine DCN";
+    cmp.waferscale.endpoints = racks;
+    cmp.waferscale.switches = ws_switches;
+    cmp.waferscale.cables = racks * kLinksPerRack * 2;
+    cmp.waferscale.worst_case_hops = 3;
+    cmp.waferscale.rack_units =
+        static_cast<std::int64_t>(ws_switches) * ws_rack_units;
+    cmp.waferscale.port_bandwidth = kRackLink * kLinksPerRack;
+    cmp.waferscale.bisection_tbps = static_cast<double>(racks) *
+                                    kRackLink * kLinksPerRack / 2.0 /
+                                    1000.0;
+
+    // TH-5 DCN with the same racks and bisection: a 3-level Clos of
+    // 256 x 200G boxes. Each rack needs 8 x 200G of uplink; the
+    // paper's Table IX: 4608 switches, 163840 cables, 18432 RU for
+    // 16384 racks (scaling linearly in the rack count).
+    cmp.conventional.name = "TH-5 Clos DCN";
+    cmp.conventional.endpoints = racks;
+    cmp.conventional.switches = racks * 4608 / 16384;
+    cmp.conventional.cables = racks * 163840 / 16384;
+    cmp.conventional.worst_case_hops = 5;
+    cmp.conventional.rack_units = racks * 18432 / 16384;
+    cmp.conventional.port_bandwidth = kRackLink * kLinksPerRack;
+    cmp.conventional.bisection_tbps = cmp.waferscale.bisection_tbps;
+    return cmp;
+}
+
+CostDelta
+estimateSavings(const DeploymentComparison &cmp, const CostModel &model)
+{
+    CostDelta delta;
+    const double cable_diff = static_cast<double>(
+        cmp.conventional.cables - cmp.waferscale.cables);
+    // Every removed cable removes two pluggable transceivers and its
+    // fiber run.
+    delta.optics_usd = cable_diff * 2.0 * model.transceiver_usd;
+    delta.fiber_usd =
+        cable_diff * model.mean_cable_km * model.fiber_usd_per_km;
+    const double ru_diff = static_cast<double>(
+        cmp.conventional.rack_units - cmp.waferscale.rack_units);
+    delta.colocation_usd =
+        ru_diff * model.colo_usd_per_ru_month * model.colo_months;
+    return delta;
+}
+
+} // namespace wss::sysarch

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * End-to-end use cases — paper Section VIII.B (Tables VII, VIII, IX).
+ *
+ * Three deployments are modeled, each comparing a waferscale-switch
+ * build against the conventional equivalent:
+ *  - a single-switch datacenter (one waferscale switch replaces a
+ *    full 2-level TH-5 Clos),
+ *  - a "singular GPU" training cluster (one 2048 x 800G waferscale
+ *    switch versus the DGX GH200's 2-layer NVSwitch network),
+ *  - a hyperscale DCN whose spine layer is built from waferscale
+ *    switches.
+ * Plus the cable/colocation cost deltas the paper quotes.
+ */
+
+#ifndef WSS_SYSARCH_USE_CASES_HPP
+#define WSS_SYSARCH_USE_CASES_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sysarch/enclosure.hpp"
+#include "util/units.hpp"
+
+namespace wss::sysarch {
+
+/// One side of a deployment comparison.
+struct DeploymentSide
+{
+    std::string name;
+    std::int64_t endpoints = 0;
+    std::int64_t switches = 0;
+    std::int64_t cables = 0;
+    int worst_case_hops = 0;
+    std::int64_t rack_units = 0;
+    Gbps port_bandwidth = 0.0;
+    /// Bisection bandwidth (Tbps).
+    double bisection_tbps = 0.0;
+};
+
+/// A full comparison (waferscale vs conventional).
+struct DeploymentComparison
+{
+    DeploymentSide waferscale;
+    DeploymentSide conventional;
+};
+
+/**
+ * Table VII: a datacenter whose every server hangs off one
+ * waferscale switch, vs the equivalent 2-level TH-5 Clos.
+ *
+ * @param servers  server count (8192 for 300 mm, 4096 for 200 mm)
+ * @param line_rate  per-server bandwidth (200 Gbps in the paper)
+ * @param ws_rack_units  the waferscale switch chassis height
+ */
+DeploymentComparison singleSwitchDatacenter(std::int64_t servers,
+                                            Gbps line_rate,
+                                            int ws_rack_units);
+
+/**
+ * Table VIII: a 2048-GPU singular-GPU cluster on one waferscale
+ * switch (800G per GPU) vs the DGX GH200 NVSwitch fabric constants.
+ */
+DeploymentComparison singularGpuCluster(std::int64_t gpus,
+                                        int ws_rack_units);
+
+/**
+ * Table IX: a hyperscale DCN whose spine is @p ws_switches
+ * waferscale switches (2048 x 800G each, racks connected at
+ * 2 x 800G), vs a TH-5-built network of the same rack count and
+ * bisection.
+ */
+DeploymentComparison waferscaleDcn(std::int64_t racks, int ws_switches,
+                                   int ws_rack_units);
+
+/// Cost constants quoted in Section VIII.B.
+struct CostModel
+{
+    /// One 800G QSFP-DD transceiver pair... the paper prices the
+    /// module at $5000 [29]; a cable needs one per end.
+    double transceiver_usd = 5000.0;
+    /// Optical fiber per km [paper: ~$400/km].
+    double fiber_usd_per_km = 400.0;
+    /// Mean cable run (km) inside the datacenter.
+    double mean_cable_km = 0.05;
+    /// Colocation cost per RU per month (the paper quotes $75-$300).
+    double colo_usd_per_ru_month = 150.0;
+    /// Amortization horizon for the colocation delta (months).
+    int colo_months = 36;
+};
+
+/// Savings of the waferscale side over the conventional side.
+struct CostDelta
+{
+    double optics_usd = 0.0;
+    double fiber_usd = 0.0;
+    double colocation_usd = 0.0;
+
+    double total() const { return optics_usd + fiber_usd + colocation_usd; }
+};
+
+/// Price the difference between the two sides of a comparison.
+CostDelta estimateSavings(const DeploymentComparison &cmp,
+                          const CostModel &model = {});
+
+} // namespace wss::sysarch
+
+#endif // WSS_SYSARCH_USE_CASES_HPP

@@ -1,0 +1,37 @@
+#include "tech/cooling.hpp"
+
+#include <limits>
+
+namespace wss::tech {
+
+CoolingSolution
+airCooling()
+{
+    return {"air", 0.12};
+}
+
+CoolingSolution
+waterCooling()
+{
+    return {"water", 0.50};
+}
+
+CoolingSolution
+multiphaseCooling()
+{
+    return {"multiphase", 1.20};
+}
+
+CoolingSolution
+unlimitedCooling()
+{
+    return {"unlimited", std::numeric_limits<double>::infinity()};
+}
+
+std::vector<CoolingSolution>
+allCoolingSolutions()
+{
+    return {airCooling(), waterCooling(), multiphaseCooling()};
+}
+
+} // namespace wss::tech

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Cooling solutions and their sustainable power densities.
+ *
+ * Section V.B / Fig. 16 / Fig. 28 of the paper gate the feasible
+ * switch power by the cooling technology: forced-air heat sinks,
+ * single-phase cold-plate water loops (as used for Cerebras WSE-2),
+ * and multi-phase (two-phase immersion / evaporative) cooling.
+ */
+
+#ifndef WSS_TECH_COOLING_HPP
+#define WSS_TECH_COOLING_HPP
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace wss::tech {
+
+/**
+ * One cooling technology and the area power density it can remove.
+ */
+struct CoolingSolution
+{
+    /// Display name ("air", "water", "multiphase").
+    std::string name;
+    /// Sustainable substrate power density (W per mm^2 of substrate).
+    double max_power_density_w_mm2 = 0.0;
+
+    /// Power budget for a square substrate of side @p side mm.
+    Watts
+    powerBudget(Millimeters side) const
+    {
+        return max_power_density_w_mm2 * side * side;
+    }
+};
+
+/// Forced-air limit [Nakayama'06]: ~0.15 W/mm^2 at waferscale.
+CoolingSolution airCooling();
+
+/// Single-phase water cold plates [Lauterbach'21]: ~0.5 W/mm^2
+/// (the paper: "water cooling can sustain 0.5 kW per 1000 mm^2").
+CoolingSolution waterCooling();
+
+/// Multi-phase cooling [Joshi'17]: ~1.2 W/mm^2.
+CoolingSolution multiphaseCooling();
+
+/// An unconstrained pseudo-solution (for no-power-cap analyses).
+CoolingSolution unlimitedCooling();
+
+/// The three real solutions in ascending capability order.
+std::vector<CoolingSolution> allCoolingSolutions();
+
+} // namespace wss::tech
+
+#endif // WSS_TECH_COOLING_HPP

@@ -1,0 +1,55 @@
+#include "tech/external_io.hpp"
+
+namespace wss::tech {
+
+ExternalIoTech
+serdes()
+{
+    // [Lee'15]-class 56G SerDes macros on perimeter chiplets. The 1/3
+    // signal fraction models ground-shielded escape routing (one
+    // signal per G-S-G triple); with it, a 300 mm substrate supports
+    // 512 x 200G ports externally, matching the paper's Fig. 7.
+    return {
+        .name = "SerDes",
+        .placement = IoPlacement::Periphery,
+        .raw_density_per_layer = 512.0,
+        .layers = 1,
+        .energy_per_bit = 8.0,
+        .signal_fraction = 1.0 / 3.0,
+        .io_chiplet_area = 50.0,
+    };
+}
+
+ExternalIoTech
+opticalIo()
+{
+    // Ayar-Labs-class optical I/O chiplets [16]: fibers leave the
+    // package directly, so no shielding derate.
+    return {
+        .name = "Optical",
+        .placement = IoPlacement::Periphery,
+        .raw_density_per_layer = 800.0,
+        .layers = 4,
+        .energy_per_bit = 5.0,
+        .signal_fraction = 1.0,
+        .io_chiplet_area = 50.0,
+    };
+}
+
+ExternalIoTech
+areaIo()
+{
+    // OCP mezzanine-card style Area I/O [9]: through-wafer vias under
+    // every chiplet; the mezzanine PCB is the escape RDL.
+    return {
+        .name = "AreaIO",
+        .placement = IoPlacement::Area,
+        .raw_density_per_layer = 16.0,
+        .layers = 1,
+        .energy_per_bit = 8.0,
+        .signal_fraction = 1.0,
+        .io_chiplet_area = 0.0,
+    };
+}
+
+} // namespace wss::tech

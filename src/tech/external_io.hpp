@@ -1,0 +1,120 @@
+/**
+ * @file
+ * External I/O technology models — paper Table IV.
+ *
+ * A waferscale switch must move its full port bandwidth on and off
+ * the substrate. Three schemes are modeled:
+ *
+ *  - SerDes (periphery): conventional electrical transceivers on
+ *    chiplets at the wafer edge. 512 Gbps/mm of beachfront, 1 layer,
+ *    8 pJ/b. Electrical escapes additionally need ground-shielded
+ *    (G-S-G) routing, which derates usable beachfront by 3x.
+ *  - Optical I/O (periphery): on-substrate E/O-O/E chiplets at the
+ *    wafer edge. 800 Gbps/mm/layer over 4 layers, 5 pJ/b.
+ *  - Area I/O: external signals reach any chiplet through
+ *    through-wafer vias and a mezzanine PCB acting as an RDL.
+ *    16 Gbps/mm^2 of substrate, 8 pJ/b. Because signals drop straight
+ *    down, Area I/O traffic does not consume on-substrate mesh links.
+ *
+ * Capacities returned are per direction; the raw Table IV densities
+ * count physical wires, half of which serve each direction of the
+ * full-duplex ports.
+ */
+
+#ifndef WSS_TECH_EXTERNAL_IO_HPP
+#define WSS_TECH_EXTERNAL_IO_HPP
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace wss::tech {
+
+/// Where external I/O enters the substrate.
+enum class IoPlacement
+{
+    /// Through I/O chiplets on the substrate perimeter.
+    Periphery,
+    /// Through-wafer vias under the whole substrate area.
+    Area,
+};
+
+/**
+ * One external I/O technology (paper Table IV).
+ */
+struct ExternalIoTech
+{
+    /// Display name ("SerDes", "Optical", "AreaIO").
+    std::string name;
+    /// Periphery vs area scheme.
+    IoPlacement placement = IoPlacement::Periphery;
+    /// Raw wire bandwidth density per layer: Gbps/mm of periphery for
+    /// periphery schemes, Gbps/mm^2 of substrate for Area I/O.
+    double raw_density_per_layer = 0.0;
+    /// Escape routing layers available.
+    int layers = 1;
+    /// Transceiver energy per bit moved (pJ/b), per direction.
+    PjPerBit energy_per_bit = 0.0;
+    /// Fraction of raw wires usable for signal (shielding overhead).
+    double signal_fraction = 1.0;
+    /// Silicon area of one I/O chiplet placed on a perimeter site
+    /// (mm^2); 0 for Area I/O, which needs no dedicated chiplets.
+    SquareMillimeters io_chiplet_area = 0.0;
+
+    /**
+     * External bandwidth capacity per direction for a square
+     * substrate of side @p side (mm).
+     *
+     * Periphery: 4*side mm of beachfront; Area: side^2 mm^2. Raw wire
+     * density x layers x signal fraction, halved because half the
+     * wires carry each direction.
+     */
+    Gbps
+    capacityPerDirection(Millimeters side) const
+    {
+        const double extent = placement == IoPlacement::Periphery
+                                  ? 4.0 * side
+                                  : side * side;
+        return extent * raw_density_per_layer * layers * signal_fraction /
+               2.0;
+    }
+
+    /**
+     * Capacity per direction for a round wafer of diameter @p side:
+     * periphery pi*d mm, area pi/4*d^2 mm^2 (what a real wafer
+     * offers before the paper's square-substrate simplification).
+     */
+    Gbps
+    capacityPerDirectionRound(Millimeters diameter) const
+    {
+        constexpr double kPi = 3.14159265358979323846;
+        const double extent =
+            placement == IoPlacement::Periphery
+                ? kPi * diameter
+                : kPi / 4.0 * diameter * diameter;
+        return extent * raw_density_per_layer * layers * signal_fraction /
+               2.0;
+    }
+
+    /// True when external traffic traverses on-substrate mesh links
+    /// between a port's SSC and a perimeter I/O chiplet.
+    bool
+    usesMeshForEscape() const
+    {
+        return placement == IoPlacement::Periphery;
+    }
+};
+
+/// Conventional SerDes periphery I/O: 512 Gbps/mm, 1 layer, 8 pJ/b,
+/// 1/3 signal fraction (G-S-G shielding).
+ExternalIoTech serdes();
+
+/// Optical I/O chiplets at the periphery: 800 Gbps/mm x 4 layers, 5 pJ/b.
+ExternalIoTech opticalIo();
+
+/// Mezzanine-PCB Area I/O: 16 Gbps/mm^2, 8 pJ/b, no perimeter chiplets.
+ExternalIoTech areaIo();
+
+} // namespace wss::tech
+
+#endif // WSS_TECH_EXTERNAL_IO_HPP

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Latencies of connections between two switching ASICs — paper
+ * Table V. Used to parameterize the buffer-sizing analysis (Fig. 21)
+ * and the fabric-simulation channel delays (Figs. 22-24).
+ */
+
+#ifndef WSS_TECH_LINK_LATENCY_HPP
+#define WSS_TECH_LINK_LATENCY_HPP
+
+#include "util/units.hpp"
+
+namespace wss::tech {
+
+/// Latency classes for ASIC-to-ASIC connections (Table V).
+namespace link_latency {
+
+/// On-wafer connection between SSCs (Si-IF class) [Iyer'19].
+inline constexpr Nanoseconds kOnWaferNs = 15.0;
+/// In-rack PCB trace between switch ASICs [60].
+inline constexpr Nanoseconds kInRackPcbNs = 150.0;
+/// 100 m optical link between racks [2].
+inline constexpr Nanoseconds kOptical100mNs = 350.0;
+/// One inter-chiplet hop of the physical mesh (Section III.C).
+inline constexpr Nanoseconds kMeshHopNs = 1.0;
+
+} // namespace link_latency
+} // namespace wss::tech
+
+#endif // WSS_TECH_LINK_LATENCY_HPP

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * CMOS process-node power scaling (Stillmaker & Baas style).
+ *
+ * Figure 15 of the paper normalizes the reported power of commodity
+ * switch ASICs fabricated at different nodes (40 nm .. 5 nm) to a
+ * common 5 nm node using the scaling equations of Stillmaker & Baas,
+ * "Scaling equations for the accurate prediction of CMOS device
+ * performance from 180nm to 7nm" (Integration, 2017). We encode the
+ * resulting per-node relative switching-energy factors (extended to
+ * 5 nm by the same fit) and expose power normalization between nodes.
+ */
+
+#ifndef WSS_TECH_PROCESS_SCALING_HPP
+#define WSS_TECH_PROCESS_SCALING_HPP
+
+#include <string_view>
+
+#include "util/units.hpp"
+
+namespace wss::tech {
+
+/// Fabrication nodes that appear in the switch-ASIC catalog.
+enum class ProcessNode
+{
+    N180,
+    N130,
+    N90,
+    N65,
+    N40,
+    N28,
+    N16,
+    N10,
+    N7,
+    N5,
+};
+
+/// Human-readable node name ("16nm", ...).
+std::string_view toString(ProcessNode node);
+
+/**
+ * Relative dynamic switching energy of @p node, normalized so that
+ * 5 nm == 1.0. Iso-design, iso-frequency: a design burning P at
+ * `from` burns P * factor(to)/factor(from) at `to`.
+ */
+double switchingEnergyFactor(ProcessNode node);
+
+/**
+ * Normalize a power figure measured at @p from to what the same
+ * design would draw at @p to (iso-frequency dynamic power scaling).
+ */
+Watts scalePower(Watts power, ProcessNode from, ProcessNode to);
+
+} // namespace wss::tech
+
+#endif // WSS_TECH_PROCESS_SCALING_HPP

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Waferscale-integration (WSI) technology models — paper Table I.
+ *
+ * A WsiTechnology describes the substrate-level interconnect fabric
+ * between chiplets bonded on a waferscale substrate: how much
+ * bandwidth crosses one mm of chiplet edge per signal layer, what a
+ * bit costs in energy, the hop latency between adjacent chiplets, and
+ * the largest substrate the technology supports.
+ *
+ * Section V.A of the paper additionally derives an "overclocked"
+ * Si-IF operating point: link frequency (and hence Vdd) is raised to
+ * double the per-layer bandwidth density at a superlinear energy
+ * cost, using P ~ Vdd^2 and B ~ (Vdd - Vth)^2 / Vdd. That derivation
+ * lives in power/link_power.*; here we expose the named operating
+ * points used throughout the evaluation.
+ */
+
+#ifndef WSS_TECH_WSI_HPP
+#define WSS_TECH_WSI_HPP
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace wss::tech {
+
+/**
+ * One waferscale-integration interconnect technology operating point.
+ */
+struct WsiTechnology
+{
+    /// Display name ("Si-IF", "Si-IF-2x", "InFO-SoW", ...).
+    std::string name;
+    /// Inter-chiplet I/O bump pitch (um). Informational.
+    double io_pitch_um = 0.0;
+    /// Substrate interconnect wire pitch (um). Informational.
+    double wire_pitch_um = 0.0;
+    /// Bandwidth density per signal layer across a chiplet edge.
+    GbpsPerMm bandwidth_density_per_layer = 0.0;
+    /// Number of signal layers available for chiplet-to-chiplet links.
+    int signal_layers = 1;
+    /// Energy cost of moving one bit across one inter-chiplet hop.
+    PjPerBit energy_per_bit = 0.0;
+    /// Latency of one inter-chiplet hop.
+    Nanoseconds hop_latency_ns = 1.0;
+    /// Largest square substrate side supported (mm).
+    Millimeters max_substrate_side_mm = 0.0;
+
+    /// Total bandwidth density across all signal layers (Gbps/mm).
+    GbpsPerMm
+    totalBandwidthDensity() const
+    {
+        return bandwidth_density_per_layer * signal_layers;
+    }
+};
+
+/// Baseline Si-IF [Iyer'19]: 800 Gbps/mm/layer x 4 layers = 3200 Gbps/mm.
+WsiTechnology siIf();
+
+/**
+ * Overclocked Si-IF (Section V.A): 1600 Gbps/mm/layer x 4 layers =
+ * 6400 Gbps/mm, with energy/bit raised per the Vdd/frequency scaling
+ * relation (computed in power/link_power and cached here).
+ */
+WsiTechnology siIf2x();
+
+/// TSMC InFO-SoW: 3200 Gbps/mm/layer x 4 layers = 12.8 Tbps/mm, 1.5 pJ/b.
+WsiTechnology infoSow();
+
+/// Conventional silicon interposer (for context; size-limited to 8.5 cm^2).
+WsiTechnology siliconInterposer();
+
+/**
+ * A Si-IF-like operating point with an arbitrary number of signal
+ * layers (Fig. 27's metal-layer sensitivity sweep). Energy per bit is
+ * the baseline Si-IF value; density scales linearly with layers.
+ */
+WsiTechnology siIfWithLayers(int layers);
+
+} // namespace wss::tech
+
+#endif // WSS_TECH_WSI_HPP

@@ -1,0 +1,67 @@
+#include "tech/yield.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace wss::tech {
+
+double
+dieYield(SquareMillimeters area, const YieldModel &model)
+{
+    if (area < 0.0)
+        fatal("dieYield: area must be non-negative");
+    if (model.defect_density_cm2 < 0.0 || model.clustering_alpha <= 0.0)
+        fatal("dieYield: bad defect model");
+    const double defects =
+        model.defect_density_cm2 * area / 100.0; // mm^2 -> cm^2
+    return std::pow(1.0 + defects / model.clustering_alpha,
+                    -model.clustering_alpha);
+}
+
+double
+monolithicWaferYield(Millimeters side, double redundancy_coverage,
+                     const YieldModel &model)
+{
+    if (redundancy_coverage < 0.0 || redundancy_coverage > 1.0)
+        fatal("monolithicWaferYield: coverage must be in [0, 1]");
+    // Only the unprotected fraction of the area is yield-critical.
+    const SquareMillimeters critical =
+        side * side * (1.0 - redundancy_coverage);
+    return dieYield(critical, model);
+}
+
+double
+chipletSystemYield(int chiplets, int spares, const YieldModel &model)
+{
+    if (chiplets < 1 || spares < 0)
+        fatal("chipletSystemYield: bad socket counts");
+    if (model.bond_yield <= 0.0 || model.bond_yield > 1.0)
+        fatal("chipletSystemYield: bond yield must be in (0, 1]");
+
+    // P(at least `chiplets` of `chiplets + spares` bonds succeed):
+    // binomial tail, computed with incremental terms for stability.
+    const int n = chiplets + spares;
+    const double p = model.bond_yield;
+    const double q = 1.0 - p;
+
+    // term(k) = C(n, k) p^(n-k) q^k for k failures; sum k = 0..spares.
+    double term = std::pow(p, n); // k = 0
+    double total = term;
+    for (int k = 1; k <= spares; ++k) {
+        term *= static_cast<double>(n - k + 1) / k * (q / p);
+        total += term;
+    }
+    return total > 1.0 ? 1.0 : total;
+}
+
+double
+kgdCostFactor(SquareMillimeters area, const YieldModel &model)
+{
+    const double yield = dieYield(area, model);
+    if (yield <= 0.0)
+        fatal("kgdCostFactor: zero die yield");
+    return 1.0 / yield;
+}
+
+} // namespace wss::tech

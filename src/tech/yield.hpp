@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Manufacturing-yield models for waferscale integration — paper
+ * Section III.A/III.B.
+ *
+ * The paper picks chiplet-based WSI over monolithic WSI "because of
+ * its ability to achieve high yield": known-good dies (KGD) are
+ * tested before bonding [Arnold'98], and bonding succeeds at >99.9%
+ * [Pal'18], so the system yield is an assembly question rather than
+ * a silicon-defect question. This module quantifies that argument:
+ *
+ *  - dieYield(): the negative-binomial (Stapper) defect-limited
+ *    yield of one die,
+ *  - monolithicWaferYield(): the same model applied to an entire
+ *    waferscale device with a given fraction of defect-tolerant
+ *    (redundancy-covered) area,
+ *  - chipletSystemYield(): probability that enough bonded KGD
+ *    chiplets work, with optional spare sockets,
+ *  - kgdCostFactor(): dies fabbed per known-good die.
+ */
+
+#ifndef WSS_TECH_YIELD_HPP
+#define WSS_TECH_YIELD_HPP
+
+#include "util/units.hpp"
+
+namespace wss::tech {
+
+/// Defect model parameters.
+struct YieldModel
+{
+    /// Defect density (defects per cm^2); ~0.1 for a mature node.
+    double defect_density_cm2 = 0.1;
+    /// Stapper clustering parameter (alpha -> inf is pure Poisson).
+    double clustering_alpha = 2.0;
+    /// Probability one chiplet-to-substrate bond succeeds [Pal'18].
+    double bond_yield = 0.999;
+};
+
+/**
+ * Defect-limited yield of a die of @p area (mm^2):
+ * Y = (1 + D*A/alpha)^(-alpha).
+ */
+double dieYield(SquareMillimeters area, const YieldModel &model = {});
+
+/**
+ * Yield of a monolithic waferscale device of substrate side @p side
+ * (mm) where a fraction @p redundancy_coverage of the area is
+ * protected by built-in redundancy (defects there are tolerated, as
+ * in Cerebras' spare-core scheme [Lauterbach'21]).
+ */
+double monolithicWaferYield(Millimeters side, double redundancy_coverage,
+                            const YieldModel &model = {});
+
+/**
+ * Probability that a chiplet-based assembly of @p chiplets sockets
+ * plus @p spares spare sockets ends up with at least @p chiplets
+ * working bonds (KGD chiplets: die defects are screened before
+ * bonding, so only bond failures count).
+ */
+double chipletSystemYield(int chiplets, int spares,
+                          const YieldModel &model = {});
+
+/**
+ * Expected dies fabbed per known-good die of @p area: 1/dieYield.
+ * The KGD flow pays this in silicon cost instead of system yield.
+ */
+double kgdCostFactor(SquareMillimeters area, const YieldModel &model = {});
+
+} // namespace wss::tech
+
+#endif // WSS_TECH_YIELD_HPP

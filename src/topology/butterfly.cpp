@@ -1,0 +1,65 @@
+#include "topology/butterfly.hpp"
+
+#include <map>
+
+#include "util/logging.hpp"
+
+namespace wss::topology {
+
+LogicalTopology
+buildButterfly(std::int64_t total_ports, const power::SscConfig &ssc)
+{
+    const int k = ssc.radix;
+    if (k % kButterflyShareDen != 0)
+        fatal("buildButterfly: SSC radix must be divisible by ",
+              kButterflyShareDen, ", got ", k);
+    const int down = k * kButterflyDownShare / kButterflyShareDen;
+    const int up = k - down;
+    if (total_ports <= 0 || total_ports % down != 0) {
+        fatal("buildButterfly: total ports (", total_ports,
+              ") must be a positive multiple of ", down);
+    }
+
+    const auto leaves = static_cast<int>(total_ports / down);
+    // Spines sized so every uplink lands on a spine port.
+    const auto spines = static_cast<int>(
+        (static_cast<std::int64_t>(leaves) * up + k - 1) / k);
+
+    LogicalTopology topo("butterfly-" + std::to_string(total_ports),
+                         ssc.line_rate);
+    const int type = topo.addSscType(ssc);
+
+    std::vector<int> leaf_ids(leaves), spine_ids(spines);
+    for (int l = 0; l < leaves; ++l)
+        leaf_ids[l] = topo.addNode(NodeRole::Leaf, type, down);
+    for (int s = 0; s < spines; ++s)
+        spine_ids[s] = topo.addNode(NodeRole::Spine, type, 0);
+
+    std::map<std::pair<int, int>, int> bundle;
+    int cursor = 0;
+    for (int l = 0; l < leaves; ++l) {
+        for (int u = 0; u < up; ++u) {
+            ++bundle[{leaf_ids[l], spine_ids[cursor % spines]}];
+            ++cursor;
+        }
+    }
+    for (const auto &[pair, mult] : bundle)
+        topo.addLink(pair.first, pair.second, mult);
+
+    const std::string issue = topo.validate();
+    if (!issue.empty())
+        panic("buildButterfly produced an invalid topology: ", issue);
+    return topo;
+}
+
+std::int64_t
+butterflyChipletCount(std::int64_t total_ports, int ssc_radix)
+{
+    const int down = ssc_radix * kButterflyDownShare / kButterflyShareDen;
+    const int up = ssc_radix - down;
+    const std::int64_t leaves = (total_ports + down - 1) / down;
+    const std::int64_t spines = (leaves * up + ssc_radix - 1) / ssc_radix;
+    return leaves + spines;
+}
+
+} // namespace wss::topology

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Oversubscribed 2-level butterfly builder — paper Section VII.
+ *
+ * The paper's butterfly trades bisection bandwidth and path diversity
+ * for chiplet efficiency: relative to the folded Clos it thins the
+ * second stage. We model it as a leaf-spine fabric where each leaf
+ * dedicates 5/8 of its radix to external ports and 3/8 to uplinks
+ * (a 5:3 oversubscription), so fewer spine chiplets are needed per
+ * port and the achievable radix is ~10% above Clos in the optimized
+ * regime — with ~3x lower bisection bandwidth, as the paper notes.
+ */
+
+#ifndef WSS_TOPOLOGY_BUTTERFLY_HPP
+#define WSS_TOPOLOGY_BUTTERFLY_HPP
+
+#include <cstdint>
+
+#include "topology/logical_topology.hpp"
+
+namespace wss::topology {
+
+/// Numerator of the leaf external-port share (5 of 8).
+inline constexpr int kButterflyDownShare = 5;
+/// Denominator of the leaf radix split.
+inline constexpr int kButterflyShareDen = 8;
+
+/**
+ * Build the oversubscribed butterfly with @p total_ports external
+ * ports on @p ssc chiplets. total_ports must be a multiple of
+ * 5*radix/8; requires radix divisible by 8.
+ */
+LogicalTopology buildButterfly(std::int64_t total_ports,
+                               const power::SscConfig &ssc);
+
+/// Chiplets an oversubscribed butterfly of @p total_ports needs.
+std::int64_t butterflyChipletCount(std::int64_t total_ports, int ssc_radix);
+
+} // namespace wss::topology
+
+#endif // WSS_TOPOLOGY_BUTTERFLY_HPP

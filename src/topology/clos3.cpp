@@ -1,0 +1,109 @@
+#include "topology/clos3.hpp"
+
+#include <map>
+
+#include "util/logging.hpp"
+
+namespace wss::topology {
+
+LogicalTopology
+buildThreeLevelClos(std::int64_t total_ports, const power::SscConfig &ssc)
+{
+    const int k = ssc.radix;
+    if (k < 4 || k % 2 != 0)
+        fatal("buildThreeLevelClos: SSC radix must be even and >= 4");
+    const int half = k / 2;
+    if (total_ports <= 0 || total_ports % half != 0) {
+        fatal("buildThreeLevelClos: total ports (", total_ports,
+              ") must be a positive multiple of half the radix (", half,
+              ")");
+    }
+    if (total_ports > clos3MaxPorts(k)) {
+        fatal("buildThreeLevelClos: ", total_ports,
+              " ports exceed the 3-level limit of ", clos3MaxPorts(k));
+    }
+
+    LogicalTopology topo("clos3-" + std::to_string(total_ports),
+                         ssc.line_rate);
+    const int type = topo.addSscType(ssc);
+
+    const std::int64_t pod_ports =
+        static_cast<std::int64_t>(half) * half;
+    const auto pods =
+        static_cast<int>((total_ports + pod_ports - 1) / pod_ports);
+
+    std::vector<int> agg_ids;
+    std::int64_t remaining = total_ports;
+    for (int pod = 0; pod < pods; ++pod) {
+        const auto pod_now = std::min<std::int64_t>(remaining, pod_ports);
+        const auto leaves = static_cast<int>(pod_now / half);
+        remaining -= pod_now;
+
+        // Aggregation layer of this pod: one switch per leaf uplink.
+        std::vector<int> pod_aggs(half);
+        for (int a = 0; a < half; ++a) {
+            pod_aggs[a] = topo.addNode(NodeRole::Spine, type, 0);
+            agg_ids.push_back(pod_aggs[a]);
+        }
+        for (int l = 0; l < leaves; ++l) {
+            const int leaf = topo.addNode(NodeRole::Leaf, type, half);
+            for (int a = 0; a < half; ++a)
+                topo.addLink(leaf, pod_aggs[a], 1);
+        }
+    }
+
+    // Spine layer: every aggregation switch has `half` uplinks,
+    // spread round-robin.
+    const std::int64_t uplinks =
+        static_cast<std::int64_t>(agg_ids.size()) * half;
+    const auto spines = static_cast<int>((uplinks + k - 1) / k);
+    std::vector<int> spine_ids(spines);
+    for (int s = 0; s < spines; ++s)
+        spine_ids[s] = topo.addNode(NodeRole::Spine, type, 0);
+
+    std::map<std::pair<int, int>, int> bundle;
+    std::int64_t cursor = 0;
+    for (int agg : agg_ids) {
+        for (int u = 0; u < half; ++u) {
+            ++bundle[{agg, spine_ids[cursor % spines]}];
+            ++cursor;
+        }
+    }
+    for (const auto &[pair, mult] : bundle)
+        topo.addLink(pair.first, pair.second, mult);
+
+    const std::string issue = topo.validate();
+    if (!issue.empty())
+        panic("buildThreeLevelClos produced an invalid topology: ",
+              issue);
+    return topo;
+}
+
+std::int64_t
+clos3ChipletCount(std::int64_t total_ports, int ssc_radix)
+{
+    const int half = ssc_radix / 2;
+    const std::int64_t pod_ports =
+        static_cast<std::int64_t>(half) * half;
+    const std::int64_t pods = (total_ports + pod_ports - 1) / pod_ports;
+    const std::int64_t leaves = total_ports / half;
+    const std::int64_t aggs = pods * half;
+    const std::int64_t spines =
+        (aggs * half + ssc_radix - 1) / ssc_radix;
+    return leaves + aggs + spines;
+}
+
+std::int64_t
+clos3MaxPorts(int ssc_radix)
+{
+    // k/2 pods of (k/2)^2 ports: k^3/8... limited by spine radix:
+    // spines absorb pods * (k/2)^2 uplinks over N/k spines of radix
+    // k; the classic fat-tree bound with radix-k switches is k^3/4
+    // hosts, reached with k pods of k/2 leaves. Our pods hold k/2
+    // leaves x k/2 ports, and the spine layer scales until every
+    // spine port is used: k pods.
+    const std::int64_t half = ssc_radix / 2;
+    return ssc_radix * half * half;
+}
+
+} // namespace wss::topology

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Three-level folded Clos (leaf / aggregation / spine) builder.
+ *
+ * A 2-level folded Clos of radix-k sub-switches tops out at k^2/2
+ * ports. The 3-level fabric — pods of leaves behind aggregation
+ * switches, joined by a spine — scales to k^3/4 ports, which is what
+ * datacenter networks (and the paper's Table IX DCN, whose spine
+ * layer is built from waferscale switches) use. Chiplet count is
+ * 5N/k (2N/k leaves + 2N/k aggregation + N/k spines).
+ */
+
+#ifndef WSS_TOPOLOGY_CLOS3_HPP
+#define WSS_TOPOLOGY_CLOS3_HPP
+
+#include <cstdint>
+
+#include "topology/logical_topology.hpp"
+
+namespace wss::topology {
+
+/**
+ * Build a 3-level folded Clos with @p total_ports external ports on
+ * radix-k @p ssc sub-switches.
+ *
+ * Structure: pods of k/2 leaves + k/2 aggregation switches each
+ * (every leaf: k/2 ports down, one uplink bundle to every
+ * aggregation switch of its pod); aggregation uplinks spread
+ * round-robin over N/k spines. total_ports must be a multiple of
+ * k/2 and leave whole pods (multiple of k^2/4) except for the final
+ * partial pod, which is allowed.
+ */
+LogicalTopology buildThreeLevelClos(std::int64_t total_ports,
+                                    const power::SscConfig &ssc);
+
+/// Chiplets a 3-level folded Clos of @p total_ports needs: ~5N/k.
+std::int64_t clos3ChipletCount(std::int64_t total_ports, int ssc_radix);
+
+/// Largest port count a 3-level Clos of radix-k sub-switches offers.
+std::int64_t clos3MaxPorts(int ssc_radix);
+
+} // namespace wss::topology
+
+#endif // WSS_TOPOLOGY_CLOS3_HPP

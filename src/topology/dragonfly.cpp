@@ -1,0 +1,76 @@
+#include "topology/dragonfly.hpp"
+
+#include <map>
+
+#include "util/logging.hpp"
+
+namespace wss::topology {
+
+LogicalTopology
+buildDragonfly(int groups, const power::SscConfig &ssc)
+{
+    if (groups < 2)
+        fatal("buildDragonfly: need at least 2 groups, got ", groups);
+    const int k = ssc.radix;
+    if (k % 16 != 0)
+        fatal("buildDragonfly: SSC radix must be divisible by 16, got ",
+              k);
+
+    const int a = kDragonflyGroupSize;
+    const int external = k / 4;
+    const int local_bundle = k / 16;
+    const int global_budget = k - external - (a - 1) * local_bundle;
+    // Wires from one group to the rest; uniform per-pair width (the
+    // remainder stays unused rather than unbalancing router budgets).
+    const int group_global = a * global_budget;
+    const int pair_width = group_global / (groups - 1);
+    if (pair_width < 1) {
+        fatal("buildDragonfly: ", groups,
+              " groups exceed the global-link budget of radix ", k);
+    }
+
+    LogicalTopology topo("dragonfly-" + std::to_string(groups) + "g",
+                         ssc.line_rate);
+    const int type = topo.addSscType(ssc);
+
+    std::vector<std::vector<int>> id(groups, std::vector<int>(a));
+    for (int g = 0; g < groups; ++g)
+        for (int r = 0; r < a; ++r)
+            id[g][r] = topo.addNode(NodeRole::Router, type, external);
+
+    // Local cliques.
+    for (int g = 0; g < groups; ++g)
+        for (int r = 0; r < a; ++r)
+            for (int r2 = r + 1; r2 < a; ++r2)
+                topo.addLink(id[g][r], id[g][r2], local_bundle);
+
+    // Global links: each unordered group pair gets pair_width wires,
+    // endpoints rotated over the routers of each group.
+    std::map<std::pair<int, int>, int> bundle;
+    std::vector<int> cursor(groups, 0);
+    for (int g1 = 0; g1 < groups; ++g1) {
+        for (int g2 = g1 + 1; g2 < groups; ++g2) {
+            for (int w = 0; w < pair_width; ++w) {
+                const int r1 = cursor[g1]++ % a;
+                const int r2 = cursor[g2]++ % a;
+                ++bundle[{id[g1][r1], id[g2][r2]}];
+            }
+        }
+    }
+    for (const auto &[pair, mult] : bundle)
+        topo.addLink(pair.first, pair.second, mult);
+
+    const std::string issue = topo.validate();
+    if (!issue.empty())
+        panic("buildDragonfly produced an invalid topology: ", issue);
+    return topo;
+}
+
+std::int64_t
+dragonflyPortCount(int groups, int ssc_radix)
+{
+    return static_cast<std::int64_t>(groups) * kDragonflyGroupSize *
+           (ssc_radix / 4);
+}
+
+} // namespace wss::topology

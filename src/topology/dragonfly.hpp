@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Dragonfly builder — paper Section VII.
+ *
+ * Groups of `a` routers form local cliques; groups are joined by
+ * global links spread over the routers of each group [Kim'08]. As a
+ * direct topology each router hosts external ports (k/4 here), and
+ * the global links are long on the wafer, which is why the paper
+ * finds dragonfly achieves 1.7x-3.2x lower radix than Clos once
+ * mapping constraints are applied.
+ */
+
+#ifndef WSS_TOPOLOGY_DRAGONFLY_HPP
+#define WSS_TOPOLOGY_DRAGONFLY_HPP
+
+#include <cstdint>
+
+#include "topology/logical_topology.hpp"
+
+namespace wss::topology {
+
+/// Routers per dragonfly group used throughout (a = 8).
+inline constexpr int kDragonflyGroupSize = 8;
+
+/**
+ * Build a dragonfly of @p groups groups of kDragonflyGroupSize
+ * radix-k routers. Per router: k/4 external ports, 7 local bundles of
+ * k/16 links each, and the remaining ports as global links spread
+ * round-robin over the other groups.
+ *
+ * Requires groups >= 2 and radix divisible by 16.
+ */
+LogicalTopology buildDragonfly(int groups, const power::SscConfig &ssc);
+
+/// External ports a dragonfly of @p groups provides with radix-k SSCs.
+std::int64_t dragonflyPortCount(int groups, int ssc_radix);
+
+} // namespace wss::topology
+
+#endif // WSS_TOPOLOGY_DRAGONFLY_HPP

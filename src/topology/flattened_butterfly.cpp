@@ -1,0 +1,83 @@
+#include "topology/flattened_butterfly.hpp"
+
+#include "util/logging.hpp"
+
+namespace wss::topology {
+
+namespace {
+
+/// Fabric bundle width and external ports for an m x m FB of radix k.
+struct FbSplit
+{
+    int bundle = 0;
+    int external = 0;
+};
+
+FbSplit
+splitRadix(int m, int k)
+{
+    const int bundles = 2 * (m - 1);
+    // Reserve ~13/16 of the radix for fabric wiring (Section VII's
+    // operating point), at least one link per bundle.
+    const int fabric_budget = k * 13 / 16;
+    FbSplit split;
+    split.bundle = std::max(1, fabric_budget / bundles);
+    split.external = k - split.bundle * bundles;
+    return split;
+}
+
+} // namespace
+
+LogicalTopology
+buildFlattenedButterfly(int m, const power::SscConfig &ssc)
+{
+    if (m < 2)
+        fatal("buildFlattenedButterfly: m must be >= 2, got ", m);
+    const FbSplit split = splitRadix(m, ssc.radix);
+    if (split.external < 1) {
+        fatal("buildFlattenedButterfly: radix ", ssc.radix,
+              " cannot support an ", m, "x", m,
+              " array (no ports left for external I/O)");
+    }
+
+    LogicalTopology topo("fb2d-" + std::to_string(m) + "x" +
+                             std::to_string(m),
+                         ssc.line_rate);
+    const int type = topo.addSscType(ssc);
+
+    std::vector<int> id(static_cast<std::size_t>(m) * m);
+    for (int r = 0; r < m; ++r)
+        for (int c = 0; c < m; ++c)
+            id[r * m + c] =
+                topo.addNode(NodeRole::Router, type, split.external);
+
+    for (int r = 0; r < m; ++r) {
+        for (int c = 0; c < m; ++c) {
+            // Row all-to-all (emit each pair once).
+            for (int c2 = c + 1; c2 < m; ++c2)
+                topo.addLink(id[r * m + c], id[r * m + c2], split.bundle);
+            // Column all-to-all.
+            for (int r2 = r + 1; r2 < m; ++r2)
+                topo.addLink(id[r * m + c], id[r2 * m + c], split.bundle);
+        }
+    }
+
+    const std::string issue = topo.validate();
+    if (!issue.empty())
+        panic("buildFlattenedButterfly produced an invalid topology: ",
+              issue);
+    return topo;
+}
+
+std::int64_t
+flattenedButterflyPortCount(int m, int ssc_radix)
+{
+    if (m < 2)
+        return 0;
+    const FbSplit split = splitRadix(m, ssc_radix);
+    if (split.external < 1)
+        return 0;
+    return static_cast<std::int64_t>(m) * m * split.external;
+}
+
+} // namespace wss::topology

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * 2D flattened-butterfly builder — paper Section VII.
+ *
+ * Routers form an m x m array; every router links to every other
+ * router in its row and in its column. Being a direct topology with
+ * all-to-all row/column wiring, its long links make wafer mapping
+ * expensive and its per-router port budget is mostly consumed by
+ * fabric links — the paper finds it achieves 1.7x-3.2x lower radix
+ * than Clos once constraints are applied.
+ */
+
+#ifndef WSS_TOPOLOGY_FLATTENED_BUTTERFLY_HPP
+#define WSS_TOPOLOGY_FLATTENED_BUTTERFLY_HPP
+
+#include <cstdint>
+
+#include "topology/logical_topology.hpp"
+
+namespace wss::topology {
+
+/**
+ * Build an m x m flattened butterfly of @p ssc routers. A fraction
+ * 13/16 of the radix is reserved for fabric wiring, split evenly over
+ * the 2(m-1) row/column bundles (width >= 1); the remainder hosts
+ * external ports.
+ *
+ * Requires m >= 2 and enough radix for at least one link per bundle.
+ */
+LogicalTopology buildFlattenedButterfly(int m, const power::SscConfig &ssc);
+
+/// External ports an m x m flattened butterfly of radix-k provides.
+std::int64_t flattenedButterflyPortCount(int m, int ssc_radix);
+
+} // namespace wss::topology
+
+#endif // WSS_TOPOLOGY_FLATTENED_BUTTERFLY_HPP

@@ -1,0 +1,53 @@
+#include "topology/mesh.hpp"
+
+#include "util/logging.hpp"
+
+namespace wss::topology {
+
+LogicalTopology
+buildMesh(int rows, int cols, const power::SscConfig &ssc)
+{
+    if (rows < 1 || cols < 1)
+        fatal("buildMesh: grid must be at least 1x1");
+    if (ssc.radix % 8 != 0)
+        fatal("buildMesh: SSC radix must be divisible by 8, got ",
+              ssc.radix);
+
+    const int ports_per_router = ssc.radix / 2;
+    const int bundle = ssc.radix / 8;
+
+    LogicalTopology topo(
+        "mesh-" + std::to_string(rows) + "x" + std::to_string(cols),
+        ssc.line_rate);
+    const int type = topo.addSscType(ssc);
+
+    std::vector<int> id(static_cast<std::size_t>(rows) * cols);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            id[r * cols + c] =
+                topo.addNode(NodeRole::Router, type, ports_per_router);
+
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                topo.addLink(id[r * cols + c], id[r * cols + c + 1],
+                             bundle);
+            if (r + 1 < rows)
+                topo.addLink(id[r * cols + c], id[(r + 1) * cols + c],
+                             bundle);
+        }
+    }
+
+    const std::string issue = topo.validate();
+    if (!issue.empty())
+        panic("buildMesh produced an invalid topology: ", issue);
+    return topo;
+}
+
+std::int64_t
+meshPortCount(int rows, int cols, int ssc_radix)
+{
+    return static_cast<std::int64_t>(rows) * cols * (ssc_radix / 2);
+}
+
+} // namespace wss::topology

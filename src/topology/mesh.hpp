@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Direct 2D-mesh fabric builder — paper Section VII (Fig. 25).
+ *
+ * Every chiplet is a router hosting external ports; half the SSC
+ * radix faces users and the other half is split into four equal
+ * neighbor bundles. Mesh lays out natively on the wafer (every
+ * logical link is one physical hop) which is why the paper finds it
+ * gains ~10% radix over Clos — at the price of poor bisection
+ * bandwidth and blocking behaviour.
+ */
+
+#ifndef WSS_TOPOLOGY_MESH_HPP
+#define WSS_TOPOLOGY_MESH_HPP
+
+#include "topology/logical_topology.hpp"
+
+namespace wss::topology {
+
+/**
+ * Build a rows x cols direct mesh of @p ssc routers. Each router
+ * hosts radix/2 external ports; each neighbor bundle is radix/8
+ * links. Requires radix divisible by 8.
+ */
+LogicalTopology buildMesh(int rows, int cols, const power::SscConfig &ssc);
+
+/// External ports a rows x cols mesh of radix-k routers provides.
+std::int64_t meshPortCount(int rows, int cols, int ssc_radix);
+
+} // namespace wss::topology
+
+#endif // WSS_TOPOLOGY_MESH_HPP

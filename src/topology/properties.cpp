@@ -1,0 +1,220 @@
+#include "topology/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.hpp"
+
+namespace wss::topology {
+
+namespace {
+
+/// Adjacency list with bundle bandwidth (Gbps) per edge.
+struct Adjacency
+{
+    struct Edge
+    {
+        int to;
+        Gbps bandwidth;
+    };
+    std::vector<std::vector<Edge>> out;
+
+    explicit Adjacency(const LogicalTopology &topo)
+        : out(topo.nodeCount())
+    {
+        for (const auto &link : topo.links()) {
+            const Gbps bw = link.multiplicity * topo.lineRate();
+            out[link.a].push_back({link.b, bw});
+            out[link.b].push_back({link.a, bw});
+        }
+    }
+};
+
+/// Unweighted BFS distances (in links) from @p src.
+std::vector<int>
+bfsDistances(const Adjacency &adj, int src)
+{
+    std::vector<int> dist(adj.out.size(), -1);
+    std::queue<int> queue;
+    dist[src] = 0;
+    queue.push(src);
+    while (!queue.empty()) {
+        const int u = queue.front();
+        queue.pop();
+        for (const auto &edge : adj.out[u]) {
+            if (dist[edge.to] < 0) {
+                dist[edge.to] = dist[u] + 1;
+                queue.push(edge.to);
+            }
+        }
+    }
+    return dist;
+}
+
+} // namespace
+
+std::int64_t
+hierarchicalCrossbarChiplets(std::int64_t ports, int ssc_radix)
+{
+    if (ssc_radix <= 0)
+        fatal("hierarchicalCrossbarChiplets: radix must be positive");
+    const std::int64_t n = (ports + ssc_radix - 1) / ssc_radix;
+    return n * n;
+}
+
+std::int64_t
+modularCrossbarChiplets(std::int64_t ports, int ssc_radix)
+{
+    // Same asymptotic cost as the hierarchical crossbar (Table VI).
+    return hierarchicalCrossbarChiplets(ports, ssc_radix);
+}
+
+Gbps
+estimateBisectionBandwidth(const LogicalTopology &topo, Rng &rng,
+                           int trials)
+{
+    const int n = topo.nodeCount();
+    if (n < 2)
+        return 0.0;
+
+    const auto &nodes = topo.nodes();
+    const std::int64_t total_ports = topo.totalExternalPorts();
+    if (total_ports == 0)
+        return 0.0;
+
+    Gbps best = -1.0;
+    std::vector<int> order(n);
+    for (int i = 0; i < n; ++i)
+        order[i] = i;
+
+    for (int t = 0; t < trials; ++t) {
+        std::shuffle(order.begin(), order.end(), rng);
+
+        // Greedy balanced split by external ports: walk the shuffled
+        // nodes, assign port-carrying nodes to the lighter side.
+        std::vector<char> side(n, 0);
+        std::int64_t ports_a = 0;
+        for (int id : order) {
+            if (nodes[id].external_ports == 0) {
+                side[id] = static_cast<char>(rng.nextBelow(2));
+                continue;
+            }
+            if (ports_a * 2 < total_ports) {
+                side[id] = 0;
+                ports_a += nodes[id].external_ports;
+            } else {
+                side[id] = 1;
+            }
+        }
+
+        auto cut = [&] {
+            Gbps c = 0.0;
+            for (const auto &link : topo.links())
+                if (side[link.a] != side[link.b])
+                    c += link.multiplicity * topo.lineRate();
+            return c;
+        };
+
+        // Greedy refinement: move port-less nodes (free to move) and
+        // swap equal-port node pairs while the cut shrinks.
+        Gbps current = cut();
+        bool improved = true;
+        while (improved) {
+            improved = false;
+            for (int id = 0; id < n; ++id) {
+                if (nodes[id].external_ports != 0)
+                    continue;
+                side[id] ^= 1;
+                const Gbps candidate = cut();
+                if (candidate < current) {
+                    current = candidate;
+                    improved = true;
+                } else {
+                    side[id] ^= 1;
+                }
+            }
+            for (int i = 0; i < n && !improved; ++i) {
+                for (int j = i + 1; j < n; ++j) {
+                    if (side[i] == side[j] ||
+                        nodes[i].external_ports !=
+                            nodes[j].external_ports ||
+                        nodes[i].external_ports == 0) {
+                        continue;
+                    }
+                    std::swap(side[i], side[j]);
+                    const Gbps candidate = cut();
+                    if (candidate < current) {
+                        current = candidate;
+                        improved = true;
+                        break;
+                    }
+                    std::swap(side[i], side[j]);
+                }
+            }
+        }
+        if (best < 0.0 || current < best)
+            best = current;
+    }
+    return best;
+}
+
+double
+averageHopCount(const LogicalTopology &topo)
+{
+    const Adjacency adj(topo);
+    const auto &nodes = topo.nodes();
+    const int n = topo.nodeCount();
+
+    double weighted = 0.0;
+    double weight = 0.0;
+    for (int src = 0; src < n; ++src) {
+        if (nodes[src].external_ports == 0)
+            continue;
+        const auto dist = bfsDistances(adj, src);
+        const double src_ports = nodes[src].external_ports;
+        for (int dst = 0; dst < n; ++dst) {
+            if (nodes[dst].external_ports == 0)
+                continue;
+            double pairs = src_ports * nodes[dst].external_ports;
+            if (dst == src) {
+                // Port pairs on the same chiplet: 1 chiplet traversed.
+                pairs = src_ports * (src_ports - 1);
+                weighted += pairs * 1.0;
+                weight += pairs;
+                continue;
+            }
+            if (dist[dst] < 0)
+                fatal("averageHopCount: topology is disconnected");
+            // Chiplets traversed = link hops + 1.
+            weighted += pairs * (dist[dst] + 1);
+            weight += pairs;
+        }
+    }
+    return weight > 0.0 ? weighted / weight : 0.0;
+}
+
+int
+worstCaseHopCount(const LogicalTopology &topo)
+{
+    const Adjacency adj(topo);
+    const auto &nodes = topo.nodes();
+    const int n = topo.nodeCount();
+
+    int worst = 0;
+    for (int src = 0; src < n; ++src) {
+        if (nodes[src].external_ports == 0)
+            continue;
+        const auto dist = bfsDistances(adj, src);
+        for (int dst = 0; dst < n; ++dst) {
+            if (nodes[dst].external_ports == 0 || dst == src)
+                continue;
+            if (dist[dst] < 0)
+                fatal("worstCaseHopCount: topology is disconnected");
+            worst = std::max(worst, dist[dst] + 1);
+        }
+    }
+    // A single-chiplet fabric still traverses that chiplet.
+    return std::max(worst, 1);
+}
+
+} // namespace wss::topology

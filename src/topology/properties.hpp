@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Topology metrics: chiplet-count laws (Table VI), bisection
+ * bandwidth, and hop counts.
+ */
+
+#ifndef WSS_TOPOLOGY_PROPERTIES_HPP
+#define WSS_TOPOLOGY_PROPERTIES_HPP
+
+#include <cstdint>
+
+#include "topology/logical_topology.hpp"
+#include "util/rng.hpp"
+
+namespace wss::topology {
+
+/// Chiplets a hierarchical crossbar needs: (N/k)^2 (Table VI).
+std::int64_t hierarchicalCrossbarChiplets(std::int64_t ports, int ssc_radix);
+
+/// Chiplets a modular crossbar needs: (N/k)^2 (Table VI).
+std::int64_t modularCrossbarChiplets(std::int64_t ports, int ssc_radix);
+
+/**
+ * Bisection bandwidth estimate (Gbps, one direction): the fabric
+ * nodes are split into two halves of equal external-port count and
+ * the cut link bandwidth is minimized by randomized
+ * partitioning + greedy refinement over @p trials trials.
+ *
+ * Exact for leaf-spine fabrics (where the optimum is to split the
+ * leaves evenly); a good upper-bound heuristic elsewhere.
+ */
+Gbps estimateBisectionBandwidth(const LogicalTopology &topo, Rng &rng,
+                                int trials = 8);
+
+/**
+ * Average chiplet-level hop count between external ports, weighted
+ * by port-pair traffic under uniform random traffic (includes the
+ * ingress and egress chiplets; a port pair on the same chiplet
+ * counts 1 hop). BFS over the logical links.
+ */
+double averageHopCount(const LogicalTopology &topo);
+
+/// Worst-case chiplet-level hop count between any two external ports.
+int worstCaseHopCount(const LogicalTopology &topo);
+
+} // namespace wss::topology
+
+#endif // WSS_TOPOLOGY_PROPERTIES_HPP

@@ -1,0 +1,291 @@
+#include "trace/generators.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace wss::trace {
+
+namespace {
+
+/// 3D rank-grid helper for the cube-structured mini-apps.
+struct Grid3
+{
+    int side = 0;
+
+    explicit Grid3(int ranks)
+    {
+        side = static_cast<int>(std::round(std::cbrt(ranks)));
+        if (side * side * side != ranks)
+            fatal("mini-app generator: rank count ", ranks,
+                  " is not a cube");
+    }
+
+    int rank(int x, int y, int z) const
+    {
+        return (z * side + y) * side + x;
+    }
+    bool
+    inside(int x, int y, int z) const
+    {
+        return x >= 0 && x < side && y >= 0 && y < side && z >= 0 &&
+               z < side;
+    }
+};
+
+/// Recursive-doubling allreduce: log2(ranks) stages of pairwise
+/// exchanges of @p flits-flit messages, @p stage_gap cycles apart.
+void
+emitAllreduce(MessageTrace &trace, int ranks, sim::Cycle start,
+              int flits, sim::Cycle stage_gap)
+{
+    for (int bit = 1; bit < ranks; bit <<= 1) {
+        for (int r = 0; r < ranks; ++r) {
+            const int partner = r ^ bit;
+            if (partner < ranks)
+                trace.events.push_back({start, r, partner, flits});
+        }
+        start += stage_gap;
+    }
+}
+
+} // namespace
+
+MessageTrace
+generateLulesh(int ranks, const GeneratorConfig &cfg)
+{
+    const Grid3 grid(ranks);
+    Rng rng(cfg.seed);
+    MessageTrace trace;
+    trace.name = "lulesh";
+    trace.ranks = ranks;
+
+    const int face = cfg.base_message_flits;
+    const int edge = std::max(1, face / 2);
+    const int corner = std::max(1, face / 4);
+
+    for (int it = 0; it < cfg.iterations; ++it) {
+        const sim::Cycle start = it * cfg.iteration_period;
+        for (int z = 0; z < grid.side; ++z) {
+            for (int y = 0; y < grid.side; ++y) {
+                for (int x = 0; x < grid.side; ++x) {
+                    const int src = grid.rank(x, y, z);
+                    for (int dz = -1; dz <= 1; ++dz) {
+                        for (int dy = -1; dy <= 1; ++dy) {
+                            for (int dx = -1; dx <= 1; ++dx) {
+                                if (!dx && !dy && !dz)
+                                    continue;
+                                if (!grid.inside(x + dx, y + dy, z + dz))
+                                    continue;
+                                const int dims = (dx != 0) + (dy != 0) +
+                                                 (dz != 0);
+                                const int size = dims == 1 ? face
+                                                 : dims == 2 ? edge
+                                                             : corner;
+                                const auto jitter = static_cast<
+                                    sim::Cycle>(rng.nextBelow(32));
+                                trace.events.push_back(
+                                    {start + jitter, src,
+                                     grid.rank(x + dx, y + dy, z + dz),
+                                     size});
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Residual-norm allreduce after the halo phase.
+        emitAllreduce(trace, ranks, start + cfg.iteration_period * 2 / 3,
+                      1, 8);
+    }
+    trace.normalize();
+    return trace;
+}
+
+MessageTrace
+generateMocfe(int ranks, const GeneratorConfig &cfg)
+{
+    const Grid3 grid(ranks);
+    MessageTrace trace;
+    trace.name = "mocfe";
+    trace.ranks = ranks;
+
+    const int size = std::max(1, cfg.base_message_flits / 2);
+    const sim::Cycle hop_stagger = 4;
+
+    for (int it = 0; it < cfg.iterations; ++it) {
+        const sim::Cycle iter_start = it * cfg.iteration_period;
+        // Eight angular octants, one pipelined sweep each.
+        int octant = 0;
+        for (int sz = -1; sz <= 1; sz += 2) {
+            for (int sy = -1; sy <= 1; sy += 2) {
+                for (int sx = -1; sx <= 1; sx += 2, ++octant) {
+                    const sim::Cycle sweep_start =
+                        iter_start +
+                        octant * (cfg.iteration_period / 8);
+                    for (int z = 0; z < grid.side; ++z) {
+                        for (int y = 0; y < grid.side; ++y) {
+                            for (int x = 0; x < grid.side; ++x) {
+                                // Wavefront depth from the sweep
+                                // origin corner.
+                                const int wx = sx > 0 ? x
+                                                      : grid.side - 1 - x;
+                                const int wy = sy > 0 ? y
+                                                      : grid.side - 1 - y;
+                                const int wz = sz > 0 ? z
+                                                      : grid.side - 1 - z;
+                                const sim::Cycle t =
+                                    sweep_start +
+                                    (wx + wy + wz) * hop_stagger;
+                                const int src = grid.rank(x, y, z);
+                                if (grid.inside(x + sx, y, z))
+                                    trace.events.push_back(
+                                        {t, src,
+                                         grid.rank(x + sx, y, z), size});
+                                if (grid.inside(x, y + sy, z))
+                                    trace.events.push_back(
+                                        {t, src,
+                                         grid.rank(x, y + sy, z), size});
+                                if (grid.inside(x, y, z + sz))
+                                    trace.events.push_back(
+                                        {t, src,
+                                         grid.rank(x, y, z + sz), size});
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    trace.normalize();
+    return trace;
+}
+
+MessageTrace
+generateMultigrid(int ranks, const GeneratorConfig &cfg)
+{
+    const Grid3 grid(ranks);
+    if ((grid.side & (grid.side - 1)) != 0)
+        fatal("multigrid generator: grid side must be a power of two");
+    MessageTrace trace;
+    trace.name = "multigrid";
+    trace.ranks = ranks;
+
+    int levels = 0;
+    while ((1 << levels) < grid.side)
+        ++levels;
+
+    static const int kFaceDirs[6][3] = {{1, 0, 0},  {-1, 0, 0},
+                                        {0, 1, 0},  {0, -1, 0},
+                                        {0, 0, 1},  {0, 0, -1}};
+
+    for (int it = 0; it < cfg.iterations; ++it) {
+        const sim::Cycle start = it * cfg.iteration_period;
+        const sim::Cycle level_gap =
+            cfg.iteration_period / (2 * levels + 1);
+
+        // V-cycle: down (restriction) then up (prolongation). Phase p
+        // walks levels 0..levels-1..0.
+        for (int p = 0; p < 2 * levels - 1; ++p) {
+            const int level = p < levels ? p : 2 * levels - 2 - p;
+            const int stride = 1 << level;
+            const int size =
+                std::max(1, cfg.base_message_flits >> level);
+            const sim::Cycle t = start + p * level_gap;
+
+            for (int z = 0; z < grid.side; z += stride) {
+                for (int y = 0; y < grid.side; y += stride) {
+                    for (int x = 0; x < grid.side; x += stride) {
+                        const int src = grid.rank(x, y, z);
+                        // Smoother halo with 6 level-neighbors.
+                        for (const auto &d : kFaceDirs) {
+                            const int nx = x + d[0] * stride;
+                            const int ny = y + d[1] * stride;
+                            const int nz = z + d[2] * stride;
+                            if (grid.inside(nx, ny, nz))
+                                trace.events.push_back(
+                                    {t, src, grid.rank(nx, ny, nz),
+                                     size});
+                        }
+                        // Restriction to the parent rank on the way
+                        // down.
+                        if (p < levels - 1) {
+                            const int ps = stride * 2;
+                            const int parent = grid.rank(
+                                x / ps * ps, y / ps * ps, z / ps * ps);
+                            if (parent != src)
+                                trace.events.push_back(
+                                    {t + level_gap / 2, src, parent,
+                                     std::max(1, size / 2)});
+                        }
+                    }
+                }
+            }
+        }
+    }
+    trace.normalize();
+    return trace;
+}
+
+MessageTrace
+generateNekbone(int ranks, const GeneratorConfig &cfg)
+{
+    const Grid3 grid(ranks);
+    MessageTrace trace;
+    trace.name = "nekbone";
+    trace.ranks = ranks;
+
+    static const int kFaceDirs[6][3] = {{1, 0, 0},  {-1, 0, 0},
+                                        {0, 1, 0},  {0, -1, 0},
+                                        {0, 0, 1},  {0, 0, -1}};
+    const int size = std::max(1, cfg.base_message_flits / 2);
+
+    for (int it = 0; it < cfg.iterations; ++it) {
+        const sim::Cycle start = it * cfg.iteration_period;
+        // CG gather/scatter: two nearest-neighbor exchange rounds.
+        for (int round = 0; round < 2; ++round) {
+            const sim::Cycle t =
+                start + round * (cfg.iteration_period / 4);
+            for (int z = 0; z < grid.side; ++z) {
+                for (int y = 0; y < grid.side; ++y) {
+                    for (int x = 0; x < grid.side; ++x) {
+                        const int src = grid.rank(x, y, z);
+                        for (const auto &d : kFaceDirs) {
+                            if (grid.inside(x + d[0], y + d[1],
+                                            z + d[2]))
+                                trace.events.push_back(
+                                    {t, src,
+                                     grid.rank(x + d[0], y + d[1],
+                                               z + d[2]),
+                                     size});
+                        }
+                    }
+                }
+            }
+        }
+        // Two dot-product allreduces per CG iteration.
+        emitAllreduce(trace, ranks, start + cfg.iteration_period / 2, 1,
+                      8);
+        emitAllreduce(trace, ranks, start + cfg.iteration_period * 3 / 4,
+                      1, 8);
+    }
+    trace.normalize();
+    return trace;
+}
+
+MessageTrace
+generateMiniApp(const std::string &name, int ranks,
+                const GeneratorConfig &cfg)
+{
+    if (name == "lulesh")
+        return generateLulesh(ranks, cfg);
+    if (name == "mocfe")
+        return generateMocfe(ranks, cfg);
+    if (name == "multigrid")
+        return generateMultigrid(ranks, cfg);
+    if (name == "nekbone")
+        return generateNekbone(ranks, cfg);
+    fatal("unknown mini-app '", name, "'");
+}
+
+} // namespace wss::trace

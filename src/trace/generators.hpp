@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Synthetic NERSC mini-app trace generators — the Fig. 24 workloads.
+ *
+ * The real DOE mini-app traces are not redistributable; these
+ * generators synthesize message traces whose communication structure
+ * matches each mini-app's published characterization (see the DOE
+ * "Characterization of the DOE Mini-apps" study the paper's traces
+ * come from):
+ *
+ *  - LULESH: Lagrangian shock hydrodynamics on a 3D domain; per
+ *    iteration every rank exchanges halos with up to 26 neighbors
+ *    (large face, medium edge, small corner messages) followed by a
+ *    small global allreduce.
+ *  - MOCFE: method-of-characteristics neutron transport; angular
+ *    sweeps form wavefront pipelines across the 3D rank grid, one
+ *    staggered send per neighbor per sweep direction.
+ *  - MultiGrid (MG): geometric multigrid V-cycles; 6-neighbor halo
+ *    exchanges whose active rank set and message size shrink by 8x
+ *    and 4x per level, plus restriction/prolongation transfers to
+ *    the parent rank.
+ *  - Nekbone: spectral-element CG solve; per iteration a
+ *    gather/scatter nearest-neighbor exchange plus a ring allreduce
+ *    of small messages.
+ *
+ * All sizes/periods are in simulator flits/cycles and are chosen so
+ * the traces exercise the fabric at a comparable average load;
+ * absolute values are documented constants, not measurements.
+ */
+
+#ifndef WSS_TRACE_GENERATORS_HPP
+#define WSS_TRACE_GENERATORS_HPP
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace wss::trace {
+
+/// Tuning knobs shared by the generators.
+struct GeneratorConfig
+{
+    /// Communication iterations to synthesize.
+    int iterations = 8;
+    /// Cycles between iteration starts (compute phase length).
+    sim::Cycle iteration_period = 600;
+    /// Base message size in flits (faces / large transfers).
+    int base_message_flits = 8;
+    /// Seed for the small jitter applied to message start times.
+    std::uint64_t seed = 1;
+};
+
+/// 3D 27-point halo exchange + allreduce. @p ranks must be a cube
+/// (512 = 8^3 matches the paper's trace scale).
+MessageTrace generateLulesh(int ranks, const GeneratorConfig &cfg = {});
+
+/// Wavefront sweep pipelines over a 3D rank grid. @p ranks must be a
+/// cube.
+MessageTrace generateMocfe(int ranks, const GeneratorConfig &cfg = {});
+
+/// Multigrid V-cycles. @p ranks must be a cube with side a power of
+/// two (512 or 4096).
+MessageTrace generateMultigrid(int ranks, const GeneratorConfig &cfg = {});
+
+/// Nearest-neighbor gather/scatter + ring allreduce. @p ranks must be
+/// a cube.
+MessageTrace generateNekbone(int ranks, const GeneratorConfig &cfg = {});
+
+/// Generator lookup by mini-app name ("lulesh", "mocfe", "multigrid",
+/// "nekbone"). Calls fatal() on unknown names.
+MessageTrace generateMiniApp(const std::string &name, int ranks,
+                             const GeneratorConfig &cfg = {});
+
+} // namespace wss::trace
+
+#endif // WSS_TRACE_GENERATORS_HPP

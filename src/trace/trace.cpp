@@ -1,0 +1,129 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace wss::trace {
+
+sim::Cycle
+MessageTrace::span() const
+{
+    return events.empty() ? 0 : events.back().cycle;
+}
+
+std::int64_t
+MessageTrace::totalFlits() const
+{
+    return std::accumulate(events.begin(), events.end(),
+                           std::int64_t{0},
+                           [](std::int64_t acc, const TraceEvent &e) {
+                               return acc + e.size_flits;
+                           });
+}
+
+double
+MessageTrace::averageLoad() const
+{
+    const sim::Cycle s = span();
+    if (s <= 0 || ranks <= 0)
+        return 0.0;
+    return static_cast<double>(totalFlits()) /
+           (static_cast<double>(s) * ranks);
+}
+
+void
+MessageTrace::normalize()
+{
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.cycle < b.cycle;
+                     });
+}
+
+std::string
+MessageTrace::validate() const
+{
+    std::ostringstream err;
+    if (ranks <= 0)
+        return "rank count must be positive";
+    sim::Cycle prev = 0;
+    for (const auto &e : events) {
+        if (e.cycle < prev) {
+            err << "events out of order at cycle " << e.cycle;
+            return err.str();
+        }
+        prev = e.cycle;
+        if (e.src < 0 || e.src >= ranks || e.dst < 0 || e.dst >= ranks) {
+            err << "rank out of range: " << e.src << " -> " << e.dst;
+            return err.str();
+        }
+        if (e.size_flits < 1) {
+            err << "non-positive message size at cycle " << e.cycle;
+            return err.str();
+        }
+    }
+    return "";
+}
+
+MessageTrace
+duplicateTrace(const MessageTrace &trace, int factor)
+{
+    if (factor < 1)
+        fatal("duplicateTrace: factor must be >= 1");
+    MessageTrace out;
+    out.name = trace.name + "-x" + std::to_string(factor);
+    out.ranks = trace.ranks * factor;
+    out.events.reserve(trace.events.size() * factor);
+    // Interleave copies per cycle so the result stays sorted.
+    for (const auto &e : trace.events) {
+        for (int c = 0; c < factor; ++c) {
+            TraceEvent dup = e;
+            dup.src += c * trace.ranks;
+            dup.dst += c * trace.ranks;
+            out.events.push_back(dup);
+        }
+    }
+    return out;
+}
+
+void
+saveTrace(const MessageTrace &trace, std::ostream &os)
+{
+    os << "wss-trace 1 " << trace.name << ' ' << trace.ranks << ' '
+       << trace.events.size() << '\n';
+    for (const auto &e : trace.events) {
+        os << e.cycle << ' ' << e.src << ' ' << e.dst << ' '
+           << e.size_flits << '\n';
+    }
+}
+
+MessageTrace
+loadTrace(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    MessageTrace trace;
+    std::size_t count = 0;
+    if (!(is >> magic >> version >> trace.name >> trace.ranks >> count))
+        fatal("loadTrace: malformed header");
+    if (magic != "wss-trace" || version != 1)
+        fatal("loadTrace: unsupported trace format '", magic, " ",
+              version, "'");
+    trace.events.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        auto &e = trace.events[i];
+        if (!(is >> e.cycle >> e.src >> e.dst >> e.size_flits))
+            fatal("loadTrace: truncated event list at entry ", i);
+    }
+    const std::string issue = trace.validate();
+    if (!issue.empty())
+        fatal("loadTrace: invalid trace: ", issue);
+    return trace;
+}
+
+} // namespace wss::trace

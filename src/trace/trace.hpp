@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Message traces — paper Section VI, Fig. 24.
+ *
+ * The paper replays four DOE/NERSC mini-app communication traces
+ * (LULESH, MOCFE, MultiGrid, Nekbone) through Booksim2. Those trace
+ * files are not redistributable, so this module defines the trace
+ * representation plus loaders/savers; src/trace/generators.hpp
+ * synthesizes traces whose communication structure matches the
+ * published characterization of each mini-app (see DESIGN.md's
+ * substitution notes).
+ */
+
+#ifndef WSS_TRACE_TRACE_HPP
+#define WSS_TRACE_TRACE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/flit.hpp"
+
+namespace wss::trace {
+
+/// One message: @p size_flits flits from @p src to @p dst at @p cycle.
+struct TraceEvent
+{
+    sim::Cycle cycle = 0;
+    std::int32_t src = 0;
+    std::int32_t dst = 0;
+    std::int32_t size_flits = 1;
+};
+
+/**
+ * A complete trace: events sorted by cycle, over a fixed number of
+ * ranks (terminals).
+ */
+struct MessageTrace
+{
+    std::string name;
+    int ranks = 0;
+    std::vector<TraceEvent> events;
+
+    /// Last event cycle (0 for an empty trace).
+    sim::Cycle span() const;
+
+    /// Total flits carried.
+    std::int64_t totalFlits() const;
+
+    /// Mean offered load in flits per rank per cycle over the span.
+    double averageLoad() const;
+
+    /// Sort events by cycle (generators emit per-phase; call once).
+    void normalize();
+
+    /// Validity check: sorted, ranks in range, positive sizes.
+    /// Returns an empty string when valid.
+    std::string validate() const;
+};
+
+/**
+ * Duplicate a trace @p factor times onto disjoint rank ranges with
+ * identical timing — the paper's method for scaling 512/1024-rank
+ * traces to its 2048-node network.
+ */
+MessageTrace duplicateTrace(const MessageTrace &trace, int factor);
+
+/// Serialize as "cycle src dst flits" lines with a small header.
+void saveTrace(const MessageTrace &trace, std::ostream &os);
+
+/// Parse the saveTrace() format. Calls fatal() on malformed input.
+MessageTrace loadTrace(std::istream &is);
+
+} // namespace wss::trace
+
+#endif // WSS_TRACE_TRACE_HPP

@@ -1,0 +1,73 @@
+#include "trace/trace_workload.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace wss::trace {
+
+TraceWorkload::TraceWorkload(const MessageTrace &trace, double intensity,
+                             sim::Cycle barrier_period)
+    : trace_(&trace), intensity_(intensity),
+      barrier_period_(barrier_period)
+{
+    if (intensity <= 0.0)
+        fatal("TraceWorkload: intensity must be positive");
+    if (barrier_period < 0)
+        fatal("TraceWorkload: barrier period must be non-negative");
+    const std::string issue = trace.validate();
+    if (!issue.empty())
+        fatal("TraceWorkload: invalid trace: ", issue);
+}
+
+void
+TraceWorkload::generate(sim::Cycle now, Rng &,
+                        const sim::EmitPacket &emit)
+{
+    const auto &events = trace_->events;
+    while (next_ < events.size()) {
+        const auto &e = events[next_];
+        sim::Cycle release;
+        if (barrier_period_ > 0) {
+            const std::int64_t epoch = e.cycle / barrier_period_;
+            if (epoch != current_epoch_) {
+                // A new epoch opens only once everything already
+                // emitted has been delivered (bulk-synchronous
+                // iteration barrier).
+                if (delivered_ < emitted_)
+                    return;
+                current_epoch_ = epoch;
+                epoch_release_ = now;
+            }
+            const sim::Cycle offset =
+                e.cycle - current_epoch_ * barrier_period_;
+            release = epoch_release_ +
+                      static_cast<sim::Cycle>(
+                          static_cast<double>(offset) / intensity_);
+        } else {
+            release = static_cast<sim::Cycle>(
+                static_cast<double>(e.cycle) / intensity_);
+        }
+        if (release > now)
+            return;
+        emit(e.src, e.dst, e.size_flits);
+        if (e.src != e.dst)
+            ++emitted_; // self-traffic never enters the fabric
+        ++next_;
+    }
+}
+
+double
+TraceWorkload::offeredLoad() const
+{
+    return trace_->averageLoad() * intensity_;
+}
+
+sim::Cycle
+TraceWorkload::scaledSpan() const
+{
+    return static_cast<sim::Cycle>(
+        std::ceil(static_cast<double>(trace_->span()) / intensity_));
+}
+
+} // namespace wss::trace

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Trace replay as a simulator workload — feeds Fig. 24.
+ *
+ * Replays a MessageTrace through the fabric simulator. The intensity
+ * factor compresses (>1) or stretches (<1) the trace timeline, which
+ * is how the load axis of a trace-driven latency/load curve is swept
+ * (message order and structure are preserved; only the injection
+ * tempo changes).
+ */
+
+#ifndef WSS_TRACE_TRACE_WORKLOAD_HPP
+#define WSS_TRACE_TRACE_WORKLOAD_HPP
+
+#include "sim/workload.hpp"
+#include "trace/trace.hpp"
+
+namespace wss::trace {
+
+/**
+ * sim::Workload adapter over a MessageTrace.
+ *
+ * Two replay modes:
+ *  - open loop (barrier_period == 0): events fire at their scaled
+ *    timestamps regardless of delivery — the load axis of a
+ *    latency/load curve;
+ *  - iteration barriers (barrier_period > 0): events are grouped
+ *    into epochs of barrier_period original cycles (the generators'
+ *    iteration period) and an epoch is released only after every
+ *    earlier packet has been delivered — modeling the bulk-
+ *    synchronous dependence of the mini-apps, where fabric latency
+ *    stretches the application critical path.
+ */
+class TraceWorkload : public sim::Workload
+{
+  public:
+    /**
+     * @param trace      the trace (must outlive the workload)
+     * @param intensity  timeline compression factor (> 0)
+     * @param barrier_period  epoch length in original trace cycles;
+     *        0 disables barriers (open loop)
+     */
+    TraceWorkload(const MessageTrace &trace, double intensity,
+                  sim::Cycle barrier_period = 0);
+
+    void generate(sim::Cycle now, Rng &rng,
+                  const sim::EmitPacket &emit) override;
+    bool
+    exhausted(sim::Cycle) const override
+    {
+        return next_ >= trace_->events.size();
+    }
+    void
+    packetDelivered(sim::Cycle) override
+    {
+        ++delivered_;
+    }
+    double offeredLoad() const override;
+    std::string name() const override { return trace_->name; }
+
+    /// Replay length in simulator cycles (open-loop lower bound).
+    sim::Cycle scaledSpan() const;
+
+  private:
+    const MessageTrace *trace_;
+    double intensity_;
+    sim::Cycle barrier_period_;
+    std::size_t next_ = 0;
+    // Closed-loop bookkeeping.
+    std::int64_t emitted_ = 0;
+    std::int64_t delivered_ = 0;
+    std::int64_t current_epoch_ = -1;
+    sim::Cycle epoch_release_ = 0;
+};
+
+} // namespace wss::trace
+
+#endif // WSS_TRACE_TRACE_WORKLOAD_HPP

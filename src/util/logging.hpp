@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal status/error reporting, in the spirit of gem5's logging.hh.
+ *
+ * fatal()  — the run cannot continue because of a user/configuration
+ *            error (bad parameters, infeasible request); exits with 1.
+ * panic()  — an internal invariant was violated (a wss bug); aborts.
+ * warn()   — something is suspicious but the run continues.
+ */
+
+#ifndef WSS_UTIL_LOGGING_HPP
+#define WSS_UTIL_LOGGING_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace wss {
+namespace detail {
+
+inline void
+appendAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    appendAll(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    appendAll(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/// Report a configuration/user error and exit(1).
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::cerr << "fatal: " << detail::concat(args...) << std::endl;
+    std::exit(1);
+}
+
+/// Report an internal invariant violation and abort().
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::cerr << "panic: " << detail::concat(args...) << std::endl;
+    std::abort();
+}
+
+/// Report a suspicious-but-survivable condition.
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::cerr << "warn: " << detail::concat(args...) << std::endl;
+}
+
+/// Report progress/status (to stderr so CSV on stdout stays clean).
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::cerr << "info: " << detail::concat(args...) << std::endl;
+}
+
+} // namespace wss
+
+#endif // WSS_UTIL_LOGGING_HPP

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components (mapping initialisations, traffic
+ * injection, trace synthesis) take an explicit Rng so experiments are
+ * reproducible from a seed. The implementation is xoshiro256**, which
+ * is fast, high-quality, and identical across platforms (unlike
+ * std::mt19937 + distribution objects whose output is not pinned by
+ * the standard).
+ */
+
+#ifndef WSS_UTIL_RNG_HPP
+#define WSS_UTIL_RNG_HPP
+
+#include <cassert>
+#include <cstdint>
+
+namespace wss {
+
+/**
+ * xoshiro256** pseudo-random generator with convenience draws.
+ *
+ * Satisfies UniformRandomBitGenerator so it can also be handed to
+ * std::shuffle and friends.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /// Construct from a 64-bit seed (expanded via splitmix64).
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            // splitmix64 step: guarantees a non-degenerate state even
+            // for seed == 0.
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /// Next raw 64-bit draw.
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). @p bound must be positive.
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        assert(bound > 0);
+        // Lemire's nearly-divisionless bounded draw with rejection to
+        // remove modulo bias.
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            const std::uint64_t threshold = -bound % bound;
+            while (low < threshold) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * bound;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t
+    nextInRange(std::int64_t lo, std::int64_t hi)
+    {
+        assert(lo <= hi);
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(nextBelow(span));
+    }
+
+    /// Uniform double in [0, 1).
+    double
+    nextDouble()
+    {
+        // 53 random mantissa bits.
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// Bernoulli draw with probability @p p of returning true.
+    bool nextBool(double p) { return nextDouble() < p; }
+
+    /// Derive an independent generator (for parallel substreams).
+    Rng
+    split()
+    {
+        return Rng((*this)());
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace wss
+
+#endif // WSS_UTIL_RNG_HPP

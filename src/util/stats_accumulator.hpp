@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Streaming statistics accumulators used by the fabric simulator.
+ */
+
+#ifndef WSS_UTIL_STATS_ACCUMULATOR_HPP
+#define WSS_UTIL_STATS_ACCUMULATOR_HPP
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace wss {
+
+/**
+ * Mean / min / max / variance of a stream of samples (Welford update,
+ * so it is numerically stable even for millions of latency samples).
+ */
+class StatsAccumulator
+{
+  public:
+    /// Add one sample.
+    void
+    add(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    /// Merge another accumulator into this one (Chan's formula).
+    void
+    merge(const StatsAccumulator &other)
+    {
+        if (other.n_ == 0)
+            return;
+        if (n_ == 0) {
+            *this = other;
+            return;
+        }
+        const double delta = other.mean_ - mean_;
+        const auto n = static_cast<double>(n_);
+        const auto m = static_cast<double>(other.n_);
+        mean_ += delta * m / (n + m);
+        m2_ += other.m2_ + delta * delta * n * m / (n + m);
+        n_ += other.n_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
+    std::uint64_t count() const { return n_; }
+    bool empty() const { return n_ == 0; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /// Population variance.
+    double
+    variance() const
+    {
+        return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Sample container with exact quantiles; used for tail latency where
+ * a streaming mean is not enough. Stores all samples.
+ */
+class QuantileSampler
+{
+  public:
+    void add(double x) { samples_.push_back(x); }
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    /**
+     * Exact quantile by nearest-rank, q in [0, 1]. Sorts lazily.
+     * @return 0 for an empty sampler.
+     */
+    double
+    quantile(double q)
+    {
+        if (samples_.empty())
+            return 0.0;
+        std::sort(samples_.begin(), samples_.end());
+        const double pos = q * static_cast<double>(samples_.size() - 1);
+        const auto idx = static_cast<std::size_t>(pos + 0.5);
+        return samples_[std::min(idx, samples_.size() - 1)];
+    }
+
+  private:
+    std::vector<double> samples_;
+};
+
+} // namespace wss
+
+#endif // WSS_UTIL_STATS_ACCUMULATOR_HPP

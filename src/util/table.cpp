@@ -1,0 +1,103 @@
+#include "util/table.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+namespace wss {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+    if (headers_.empty())
+        throw std::invalid_argument("Table requires at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument(
+            "Table row width does not match header count");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::formatInteger(long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return buf;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto rule = [&] {
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            os << '+' << std::string(width[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << "| " << cells[c]
+               << std::string(width[c] - cells[c].size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    os << "== " << title_ << " ==\n";
+    rule();
+    emit(headers_);
+    rule();
+    for (const auto &row : rows_)
+        emit(row);
+    rule();
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            os << quote(cells[c]);
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+} // namespace wss

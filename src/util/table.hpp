@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Plain-text result tables.
+ *
+ * Every bench binary reproduces one table or figure from the paper and
+ * prints it as an aligned ASCII table (and optionally CSV). Table keeps
+ * that output uniform across the ~25 experiment harnesses.
+ */
+
+#ifndef WSS_UTIL_TABLE_HPP
+#define WSS_UTIL_TABLE_HPP
+
+#include <concepts>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wss {
+
+/**
+ * A column-aligned text table with a title and column headers.
+ *
+ * Cells are stored as strings; numeric convenience overloads format
+ * with a fixed precision. Rendering pads each column to its widest
+ * cell.
+ */
+class Table
+{
+  public:
+    /// Create a table with a human-readable title and column headers.
+    Table(std::string title, std::vector<std::string> headers);
+
+    /// Append a fully formatted row; must match the header count.
+    void addRow(std::vector<std::string> cells);
+
+    /// Number of data rows added so far.
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /// Format a double with @p precision decimals (trailing zeros kept).
+    static std::string num(double v, int precision = 1);
+
+    /// Format any integer type.
+    template <typename T>
+        requires std::integral<T>
+    static std::string
+    num(T v)
+    {
+        return formatInteger(static_cast<long long>(v));
+    }
+
+    /// Render as an aligned ASCII table.
+    void print(std::ostream &os) const;
+
+    /// Render as CSV (RFC-4180-ish quoting; headers first).
+    void printCsv(std::ostream &os) const;
+
+  private:
+    static std::string formatInteger(long long v);
+
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace wss
+
+#endif // WSS_UTIL_TABLE_HPP

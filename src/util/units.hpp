@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Strong-ish unit helpers used across the waferscale-switch models.
+ *
+ * The design-space models in this repository mix many physical
+ * quantities (bandwidth in Gbps, bandwidth density in Gbps/mm and
+ * Gbps/mm^2, power in W and kW, energy in pJ/bit, area in mm^2).
+ * To keep formulas readable we use plain doubles with documented
+ * canonical units, plus a small set of conversion constants and
+ * self-describing constructor helpers. Canonical units are:
+ *
+ *   - length:            mm
+ *   - area:              mm^2
+ *   - bandwidth:         Gbps
+ *   - bandwidth density: Gbps/mm (linear), Gbps/mm^2 (areal)
+ *   - power:             W
+ *   - energy per bit:    pJ/bit
+ *   - time:              ns
+ */
+
+#ifndef WSS_UTIL_UNITS_HPP
+#define WSS_UTIL_UNITS_HPP
+
+namespace wss {
+
+/// Millimetres (canonical length unit).
+using Millimeters = double;
+/// Square millimetres (canonical area unit).
+using SquareMillimeters = double;
+/// Gigabits per second (canonical bandwidth unit).
+using Gbps = double;
+/// Gbps per mm of cross-section (linear bandwidth density).
+using GbpsPerMm = double;
+/// Gbps per mm^2 of substrate (areal bandwidth density).
+using GbpsPerMm2 = double;
+/// Watts (canonical power unit).
+using Watts = double;
+/// Picojoules per bit (canonical link-energy unit).
+using PjPerBit = double;
+/// Nanoseconds (canonical latency unit).
+using Nanoseconds = double;
+/// Volts.
+using Volts = double;
+
+namespace units {
+
+/// 1 Tbps expressed in Gbps.
+inline constexpr double kGbpsPerTbps = 1000.0;
+/// 1 kW expressed in W.
+inline constexpr double kWattsPerKilowatt = 1000.0;
+/// 1 mm expressed in mm (identity; documents intent at call sites).
+inline constexpr double kMm = 1.0;
+
+/// Convert terabits/s to the canonical Gbps.
+constexpr Gbps tbps(double v) { return v * kGbpsPerTbps; }
+/// Convert kilowatts to the canonical W.
+constexpr Watts kilowatts(double v) { return v * kWattsPerKilowatt; }
+/// Convert W to kW for reporting.
+constexpr double toKilowatts(Watts w) { return w / kWattsPerKilowatt; }
+/// Convert Gbps to Tbps for reporting.
+constexpr double toTbps(Gbps b) { return b / kGbpsPerTbps; }
+
+/**
+ * Power drawn by a link moving @p bandwidth at @p energy_per_bit.
+ *
+ * W = (Gbit/s * 1e9 bit/s/Gbit) * (pJ/bit * 1e-12 J/pJ) = Gbps * pJ/bit * 1e-3.
+ */
+constexpr Watts linkPower(Gbps bandwidth, PjPerBit energy_per_bit)
+{
+    return bandwidth * energy_per_bit * 1e-3;
+}
+
+} // namespace units
+} // namespace wss
+
+#endif // WSS_UTIL_UNITS_HPP

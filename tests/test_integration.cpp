@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Cross-module integration tests: the solver's chosen fabric runs on
+ * the cycle simulator; the full system chain (radix -> power ->
+ * delivery -> cooling -> enclosure) holds together at paper scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/radix_solver.hpp"
+#include "sim/load_sweep.hpp"
+#include "sysarch/cooling_loop.hpp"
+#include "sysarch/enclosure.hpp"
+#include "sysarch/power_delivery.hpp"
+#include "sysarch/use_cases.hpp"
+#include "topology/clos.hpp"
+#include "topology/properties.hpp"
+
+namespace wss {
+namespace {
+
+TEST(Integration, SolvedFabricSimulatesCleanly)
+{
+    // Solve a small design point, then actually run packets through
+    // the fabric the solver chose.
+    core::DesignSpec spec;
+    spec.substrate_side = 100.0;
+    spec.wsi = tech::siIf();
+    spec.external_io = tech::opticalIo();
+    spec.ssc = power::scaledSsc(32, 200.0);
+    spec.cooling = tech::unlimitedCooling();
+    spec.mapping_restarts = 2;
+    const core::RadixSolver solver(spec);
+    const auto solved = solver.solveMaxPorts();
+    ASSERT_GT(solved.best.ports, 0);
+
+    const auto topo = solver.buildTopology(solved.best.ports);
+    sim::NetworkSpec net_spec;
+    net_spec.vcs = 4;
+    net_spec.buffer_per_port = 16;
+    net_spec.pipeline_delay = 2;
+    net_spec.terminal_link_latency = 2;
+    sim::Network net(topo, net_spec, 5);
+    sim::SyntheticWorkload workload(
+        sim::uniformTraffic(net.terminalCount()), 0.2, 1);
+    sim::SimConfig cfg;
+    cfg.warmup = 300;
+    cfg.measure = 1500;
+    sim::Simulator sim(net, workload, cfg);
+    const auto result = sim.run();
+    EXPECT_TRUE(result.stable);
+    EXPECT_NEAR(result.accepted, 0.2, 0.04);
+}
+
+TEST(Integration, FullSystemChainAtPaperScale)
+{
+    // 300 mm, 6400 Gbps/mm, optical I/O, heterogeneous leaves: the
+    // paper's flagship switch. Radix, power, delivery, cooling and
+    // chassis must all line up.
+    core::DesignSpec spec;
+    spec.substrate_side = 300.0;
+    spec.wsi = tech::siIf2x();
+    spec.external_io = tech::opticalIo();
+    spec.ssc = power::tomahawk5(1);
+    spec.cooling = tech::waterCooling();
+    spec.leaf_split = 4;
+    spec.mapping_restarts = 2;
+    const auto solved = core::RadixSolver(spec).solveMaxPorts();
+    ASSERT_EQ(solved.best.ports, 8192);
+
+    const auto delivery = sysarch::sizePowerDelivery(
+        solved.best.power.total(), spec.substrate_side);
+    EXPECT_TRUE(delivery.fits_under_wafer);
+
+    const auto cooling =
+        sysarch::sizeCoolingLoop(solved.best.power.total(), 12);
+    EXPECT_TRUE(cooling.within_band);
+
+    const auto enclosure = sysarch::planEnclosure(solved.best.ports,
+                                                  200.0);
+    EXPECT_EQ(enclosure.rack_units, 20);
+
+    // The Table III punchline: ~10x the capacity density of the best
+    // modular switch.
+    double best_modular = 0.0;
+    for (const auto &row : sysarch::modularSwitchCatalog())
+        best_modular = std::max(best_modular, row.capacityDensity());
+    EXPECT_GT(enclosure.capacity_density_tbps_ru, 7.0 * best_modular);
+}
+
+TEST(Integration, DatacenterUseCaseUsesSolvedSwitch)
+{
+    core::DesignSpec spec;
+    spec.substrate_side = 300.0;
+    spec.wsi = tech::siIf2x();
+    spec.external_io = tech::opticalIo();
+    spec.ssc = power::tomahawk5(1);
+    spec.cooling = tech::unlimitedCooling();
+    spec.mapping_restarts = 2;
+    const auto solved = core::RadixSolver(spec).solveMaxPorts();
+    const auto enclosure =
+        sysarch::planEnclosure(solved.best.ports, 200.0);
+    const auto cmp = sysarch::singleSwitchDatacenter(
+        solved.best.ports, 200.0, enclosure.rack_units);
+    // 90% rack-space reduction (Table VII: 20 RU vs 192 RU).
+    EXPECT_NEAR(1.0 - static_cast<double>(cmp.waferscale.rack_units) /
+                          cmp.conventional.rack_units,
+                0.9, 0.02);
+}
+
+TEST(Integration, HopCountMatchesSimulatedHops)
+{
+    // The analytic chiplet hop count and the simulator's measured
+    // hops agree on a folded Clos.
+    const auto topo = topology::buildFoldedClos(
+        {64, power::scaledSsc(16, 200.0), 1});
+    const double analytic = topology::averageHopCount(topo);
+
+    sim::NetworkSpec spec;
+    spec.vcs = 4;
+    spec.buffer_per_port = 16;
+    sim::Network net(topo, spec, 9);
+    sim::SyntheticWorkload workload(sim::uniformTraffic(64), 0.1, 1);
+    sim::SimConfig cfg;
+    cfg.warmup = 300;
+    cfg.measure = 3000;
+    sim::Simulator sim(net, workload, cfg);
+    const auto result = sim.run();
+    ASSERT_TRUE(result.stable);
+    EXPECT_NEAR(result.avg_hops, analytic, 0.1);
+}
+
+} // namespace
+} // namespace wss

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Unit and property tests for the mapping layer: floorplan geometry,
+ * channel-load routing, incremental-update correctness, and the
+ * Algorithm 1 pairwise-exchange optimizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mapping/pairwise_exchange.hpp"
+#include "mapping/wafer_mapping.hpp"
+#include "power/ssc.hpp"
+#include "topology/clos.hpp"
+#include "topology/mesh.hpp"
+
+namespace wss::mapping {
+namespace {
+
+using topology::LogicalTopology;
+using topology::NodeRole;
+
+TEST(Floorplan, CountsWithoutRing)
+{
+    const WaferFloorplan fp(3, 4, false, 28.28);
+    EXPECT_EQ(fp.interiorCount(), 12);
+    EXPECT_EQ(fp.ringCount(), 0);
+    EXPECT_EQ(fp.siteCount(), 12);
+    // Grid edges: 3*3 horizontal + 2*4 vertical.
+    EXPECT_EQ(fp.edgeCount(), 17);
+}
+
+TEST(Floorplan, CountsWithRing)
+{
+    const WaferFloorplan fp(3, 4, true, 28.28);
+    EXPECT_EQ(fp.ringCount(), 14);
+    EXPECT_EQ(fp.siteCount(), 26);
+    // Interior 17 + one ring edge per boundary-cell side: 2*4 + 2*3.
+    EXPECT_EQ(fp.edgeCount(), 17 + 14);
+}
+
+TEST(Floorplan, PaperScaleIsTwelveByTwelve)
+{
+    // The paper's largest system: a 12x12 array of switching and I/O
+    // chiplets = a 10x10 SSC grid plus the ring.
+    const WaferFloorplan fp(10, 10, true, 28.28);
+    EXPECT_EQ(fp.interiorCount() + fp.ringCount(), 100 + 40);
+}
+
+TEST(Floorplan, EdgeTowardIsConsistentWithEdgeBetween)
+{
+    const WaferFloorplan fp(4, 5, true, 28.28);
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 5; ++c) {
+            const int site = fp.interiorSite(r, c);
+            if (c + 1 < 5) {
+                EXPECT_EQ(fp.edgeToward(r, c, 3),
+                          fp.edgeBetween(site, fp.interiorSite(r, c + 1)));
+            }
+            if (r + 1 < 4) {
+                EXPECT_EQ(fp.edgeToward(r, c, 1),
+                          fp.edgeBetween(site, fp.interiorSite(r + 1, c)));
+            }
+        }
+    }
+}
+
+TEST(Floorplan, RingSitesConnectInwardOnly)
+{
+    const WaferFloorplan fp(3, 3, true, 28.28);
+    for (int site = fp.interiorCount(); site < fp.siteCount(); ++site)
+        EXPECT_EQ(fp.edgesOf(site).size(), 1u);
+    // Boundary interior cell (0,0) reaches rings upward and leftward.
+    EXPECT_GE(fp.ringSiteToward(0, 0, 0), fp.interiorCount());
+    EXPECT_GE(fp.ringSiteToward(0, 0, 2), fp.interiorCount());
+    EXPECT_EQ(fp.ringSiteToward(1, 1, 0), -1); // interior cell: none
+}
+
+/// Two-node topology with one bundle, placed at controlled sites.
+LogicalTopology
+pairTopology(int multiplicity, int ext_a = 0, int ext_b = 0)
+{
+    LogicalTopology topo("pair", 200.0);
+    const int type = topo.addSscType(power::tomahawk5(1));
+    const int a = topo.addNode(NodeRole::Router, type, ext_a);
+    const int b = topo.addNode(NodeRole::Router, type, ext_b);
+    topo.addLink(a, b, multiplicity);
+    return topo;
+}
+
+TEST(WaferMapping, AdjacentRouteLoadsOneEdge)
+{
+    const LogicalTopology topo = pairTopology(4);
+    const WaferFloorplan fp(1, 2, false, 28.28);
+    WaferMapping wm(topo, fp, false);
+    wm.assignIdentity();
+    EXPECT_DOUBLE_EQ(wm.maxEdgeLoad(), 4 * 200.0);
+    EXPECT_DOUBLE_EQ(wm.totalCrossingBandwidth(), 800.0);
+    EXPECT_DOUBLE_EQ(wm.averageLinkHops(), 1.0);
+}
+
+TEST(WaferMapping, MultiHopRouteLoadsEveryEdgeOnThePath)
+{
+    const LogicalTopology topo = pairTopology(1);
+    const WaferFloorplan fp(1, 5, false, 28.28);
+    WaferMapping wm(topo, fp, false);
+    wm.assign({0, 4}); // ends of the row: 4 hops
+    EXPECT_DOUBLE_EQ(wm.maxEdgeLoad(), 200.0);
+    EXPECT_DOUBLE_EQ(wm.totalCrossingBandwidth(), 4 * 200.0);
+    EXPECT_DOUBLE_EQ(wm.averageLinkHops(), 4.0);
+}
+
+TEST(WaferMapping, ExternalTrafficSplitsFourWays)
+{
+    LogicalTopology topo("solo", 200.0);
+    const int type = topo.addSscType(power::tomahawk5(1));
+    topo.addNode(NodeRole::Leaf, type, 4); // 800 Gbps of ports
+    const WaferFloorplan fp(3, 3, true, 28.28);
+    WaferMapping wm(topo, fp, true);
+    wm.assign({fp.interiorSite(1, 1)}); // center
+    // Each direction carries a quarter: 200 Gbps on each of the two
+    // edges toward the ring in every direction.
+    EXPECT_DOUBLE_EQ(wm.maxEdgeLoad(), 200.0);
+    EXPECT_DOUBLE_EQ(wm.totalCrossingBandwidth(), 4 * 2 * 200.0);
+}
+
+TEST(WaferMapping, AreaIoSchemesAddNoMeshLoad)
+{
+    LogicalTopology topo("solo", 200.0);
+    const int type = topo.addSscType(power::tomahawk5(1));
+    topo.addNode(NodeRole::Leaf, type, 4);
+    const WaferFloorplan fp(3, 3, false, 28.28);
+    WaferMapping wm(topo, fp, false);
+    wm.assign({fp.interiorSite(1, 1)});
+    EXPECT_DOUBLE_EQ(wm.maxEdgeLoad(), 0.0);
+}
+
+TEST(WaferMapping, SwapIsAnInvolution)
+{
+    const LogicalTopology topo =
+        topology::buildFoldedClos({512, power::tomahawk5(1), 1});
+    const WaferFloorplan fp(3, 3, true, 28.28);
+    WaferMapping wm(topo, fp, true);
+    Rng rng(1);
+    wm.assignRandom(rng);
+    const auto before = wm.edgeLoads();
+    wm.swapNodes(0, 4);
+    wm.swapNodes(0, 4);
+    const auto after = wm.edgeLoads();
+    for (std::size_t e = 0; e < before.size(); ++e)
+        EXPECT_NEAR(before[e], after[e], 1e-9) << "edge " << e;
+}
+
+/// Property: after arbitrary swap/move sequences, incrementally
+/// maintained loads equal a from-scratch rebuild.
+TEST(WaferMapping, IncrementalUpdatesMatchRebuildOracle)
+{
+    const LogicalTopology topo =
+        topology::buildFoldedClos({768, power::tomahawk5(1), 1});
+    const WaferFloorplan fp(4, 4, true, 28.28); // 16 sites, 9 nodes
+    WaferMapping wm(topo, fp, true);
+    Rng rng(42);
+    wm.assignRandom(rng);
+
+    for (int step = 0; step < 200; ++step) {
+        if (rng.nextBool(0.5)) {
+            const int a = static_cast<int>(
+                rng.nextBelow(topo.nodeCount()));
+            const int b = static_cast<int>(
+                rng.nextBelow(topo.nodeCount()));
+            if (a != b)
+                wm.swapNodes(a, b);
+        } else {
+            // Move to a random empty site, if any.
+            const int node = static_cast<int>(
+                rng.nextBelow(topo.nodeCount()));
+            std::vector<int> empty;
+            for (int s = 0; s < fp.interiorCount(); ++s)
+                if (wm.nodeAt(s) == -1)
+                    empty.push_back(s);
+            if (!empty.empty())
+                wm.moveNode(node,
+                            empty[rng.nextBelow(empty.size())]);
+        }
+    }
+
+    const auto incremental = wm.edgeLoads();
+    wm.rebuildLoads();
+    const auto oracle = wm.edgeLoads();
+    ASSERT_EQ(incremental.size(), oracle.size());
+    for (std::size_t e = 0; e < oracle.size(); ++e)
+        EXPECT_NEAR(incremental[e], oracle[e], 1e-6) << "edge " << e;
+}
+
+TEST(WaferMapping, EquivalentLeavesShareKeys)
+{
+    const LogicalTopology topo =
+        topology::buildFoldedClos({2048, power::tomahawk5(1), 1});
+    const WaferFloorplan fp(5, 5, true, 28.28);
+    WaferMapping wm(topo, fp, true);
+    // 2048 = 8 spines x 256: every leaf has mult-16 bundles to all 8
+    // spines, so all leaves are interchangeable; spines likewise.
+    std::size_t leaf_key = 0, spine_key = 0;
+    bool first_leaf = true, first_spine = true;
+    for (int i = 0; i < topo.nodeCount(); ++i) {
+        if (topo.nodes()[i].role == NodeRole::Leaf) {
+            if (first_leaf) {
+                leaf_key = wm.equivalenceKey(i);
+                first_leaf = false;
+            }
+            EXPECT_EQ(wm.equivalenceKey(i), leaf_key);
+        } else {
+            if (first_spine) {
+                spine_key = wm.equivalenceKey(i);
+                first_spine = false;
+            }
+            EXPECT_EQ(wm.equivalenceKey(i), spine_key);
+        }
+    }
+    EXPECT_NE(leaf_key, spine_key);
+}
+
+TEST(WaferMapping, RejectsOversizedTopology)
+{
+    const LogicalTopology topo =
+        topology::buildFoldedClos({2048, power::tomahawk5(1), 1});
+    const WaferFloorplan fp(3, 3, true, 28.28); // 9 < 24 nodes
+    EXPECT_DEATH(WaferMapping(topo, fp, true), "interior sites");
+}
+
+TEST(PairwiseExchange, NeverWorsensTheObjective)
+{
+    const LogicalTopology topo =
+        topology::buildFoldedClos({1024, power::tomahawk5(1), 1});
+    const WaferFloorplan fp(4, 4, true, 28.28);
+    WaferMapping wm(topo, fp, true);
+    Rng rng(7);
+    for (int trial = 0; trial < 5; ++trial) {
+        wm.assignRandom(rng);
+        const double before = wm.maxEdgeLoad();
+        const double after = optimizePairwiseExchange(wm);
+        EXPECT_LE(after, before + 1e-9);
+        EXPECT_NEAR(after, wm.maxEdgeLoad(), 1e-9);
+    }
+}
+
+TEST(PairwiseExchange, ImprovesRandomMappings)
+{
+    // Fig. 5's direction: the heuristic beats random placement. (The
+    // paper reports ~147% better worst-case per-port bandwidth; our
+    // four-way external-escape model softens random placements, so
+    // the measured gap is smaller — see EXPERIMENTS.md.)
+    const LogicalTopology topo =
+        topology::buildFoldedClos({2048, power::tomahawk5(1), 1});
+    const WaferFloorplan fp(5, 5, true, 28.28);
+    Rng rng(11);
+    const auto result = searchBestMapping(topo, fp, true, rng, 4);
+    EXPECT_LT(result.max_edge_load,
+              result.initial_max_edge_load * 0.85);
+}
+
+TEST(PairwiseExchange, ImprovesAtPaperScaleToo)
+{
+    const LogicalTopology topo =
+        topology::buildFoldedClos({8192, power::tomahawk5(1), 1});
+    const WaferFloorplan fp(10, 10, true, 28.28);
+    Rng rng(11);
+    const auto result = searchBestMapping(topo, fp, true, rng, 3);
+    EXPECT_LT(result.max_edge_load,
+              result.initial_max_edge_load * 0.92);
+}
+
+TEST(PairwiseExchange, ReturnsAValidAssignment)
+{
+    const LogicalTopology topo =
+        topology::buildFoldedClos({512, power::tomahawk5(1), 1});
+    const WaferFloorplan fp(3, 3, true, 28.28);
+    Rng rng(3);
+    const auto result = searchBestMapping(topo, fp, true, rng, 2);
+    ASSERT_EQ(result.assignment.size(),
+              static_cast<std::size_t>(topo.nodeCount()));
+    std::vector<bool> used(fp.interiorCount(), false);
+    for (int site : result.assignment) {
+        ASSERT_GE(site, 0);
+        ASSERT_LT(site, fp.interiorCount());
+        EXPECT_FALSE(used[site]);
+        used[site] = true;
+    }
+    // Replaying the assignment reproduces the reported objective.
+    WaferMapping wm(topo, fp, true);
+    wm.assign(result.assignment);
+    EXPECT_NEAR(wm.maxEdgeLoad(), result.max_edge_load, 1e-9);
+    EXPECT_NEAR(wm.totalCrossingBandwidth(),
+                result.total_crossing_bandwidth, 1e-6);
+}
+
+TEST(PairwiseExchange, MeshIdentityIsAlreadyOptimal)
+{
+    // A mesh topology placed identically onto the grid has every
+    // logical link on its own physical edge; the optimizer cannot
+    // beat bundle-width load.
+    const LogicalTopology topo =
+        topology::buildMesh(3, 3, power::tomahawk5(1));
+    const WaferFloorplan fp(3, 3, false, 28.28);
+    WaferMapping wm(topo, fp, false);
+    wm.assignIdentity();
+    EXPECT_DOUBLE_EQ(wm.maxEdgeLoad(), 32 * 200.0);
+    const double optimized = optimizePairwiseExchange(wm);
+    EXPECT_DOUBLE_EQ(optimized, 32 * 200.0);
+}
+
+} // namespace
+} // namespace wss::mapping

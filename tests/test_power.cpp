@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit tests for the power models: SSC catalog, the quadratic
+ * radix-power law (Fig. 15), Vdd/frequency link scaling (Section
+ * V.A), and whole-switch power accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "power/link_power.hpp"
+#include "power/radix_power_model.hpp"
+#include "power/ssc.hpp"
+#include "power/switch_power.hpp"
+
+namespace wss::power {
+namespace {
+
+TEST(Ssc, Tomahawk5ConfigurationsShareTheDie)
+{
+    const SscConfig c1 = tomahawk5(1);
+    const SscConfig c2 = tomahawk5(2);
+    const SscConfig c3 = tomahawk5(3);
+    EXPECT_EQ(c1.radix, 256);
+    EXPECT_EQ(c2.radix, 128);
+    EXPECT_EQ(c3.radix, 64);
+    EXPECT_DOUBLE_EQ(c1.totalBandwidth(), 51200.0);
+    EXPECT_DOUBLE_EQ(c2.totalBandwidth(), 51200.0);
+    EXPECT_DOUBLE_EQ(c3.totalBandwidth(), 51200.0);
+    EXPECT_DOUBLE_EQ(c1.area, 800.0);
+    EXPECT_DOUBLE_EQ(c1.core_power, 400.0);
+}
+
+TEST(Ssc, EdgeLengthIsSquareRootOfArea)
+{
+    EXPECT_NEAR(tomahawk5(1).edgeLength(), std::sqrt(800.0), 1e-12);
+}
+
+TEST(Ssc, CatalogNormalizationTracksQuadratic)
+{
+    // Fig. 15: after 5 nm normalization the series should sit near
+    // P(k) = 400 (k/256)^2 within ~25%.
+    for (const auto &ssc : tomahawkSeries()) {
+        const double expected =
+            400.0 * ssc.radix / 256.0 * ssc.radix / 256.0;
+        EXPECT_NEAR(ssc.corePowerAt5nm(), expected, expected * 0.25)
+            << ssc.name;
+    }
+}
+
+TEST(Ssc, TeralynxSeriesIsDistinctButSimilar)
+{
+    const auto tl = teralynxSeries();
+    ASSERT_EQ(tl.size(), 3u);
+    EXPECT_GT(tl[2].corePowerAt5nm(), tl[1].corePowerAt5nm());
+    EXPECT_GT(tl[1].corePowerAt5nm(), tl[0].corePowerAt5nm());
+}
+
+TEST(Ssc, ScaledSscReproducesReferenceAnchors)
+{
+    const SscConfig full = scaledSsc(256, 200.0);
+    EXPECT_NEAR(full.area, 800.0, 1e-9);
+    EXPECT_NEAR(full.core_power, 400.0, 1e-9);
+
+    const SscConfig half = scaledSsc(128, 200.0);
+    EXPECT_NEAR(half.core_power, 100.0, 1e-9); // quadratic: /4
+    const SscConfig quarter = scaledSsc(64, 200.0);
+    EXPECT_NEAR(quarter.core_power, 25.0, 1e-9); // quadratic: /16
+    EXPECT_LT(quarter.area, half.area);
+    EXPECT_LT(half.area, full.area);
+}
+
+TEST(Ssc, ScaledSscNamesDefaultSensibly)
+{
+    EXPECT_EQ(scaledSsc(64, 200.0).name, "SSC-64x200G");
+    EXPECT_EQ(scaledSsc(64, 200.0, "custom").name, "custom");
+}
+
+TEST(RadixPowerModel, QuadraticInRadixLinearInRate)
+{
+    const RadixPowerModel model;
+    const Watts base = model.corePower(256, 200.0);
+    EXPECT_NEAR(model.corePower(128, 200.0), base / 4.0, 1e-9);
+    EXPECT_NEAR(model.corePower(64, 200.0), base / 16.0, 1e-9);
+    EXPECT_NEAR(model.corePower(256, 400.0), base * 2.0, 1e-9);
+    EXPECT_NEAR(model.corePower(512, 200.0), base * 4.0, 1e-9);
+}
+
+TEST(RadixPowerModel, DisaggregationSavesPower)
+{
+    // The heterogeneous-switch insight: m smaller switches beat one
+    // big one by ~m-fold.
+    const RadixPowerModel model;
+    const Watts one = model.corePower(256, 200.0);
+    const Watts four = 4.0 * model.corePower(64, 200.0);
+    EXPECT_NEAR(four, one / 4.0, 1e-9);
+}
+
+TEST(QuadraticFitter, RecoversExactQuadratic)
+{
+    // Synthesize catalog points on P(k) = 0.005 k^2 + 0.3 k + 7 at
+    // 5 nm (factor 1) and expect exact coefficient recovery.
+    std::vector<SscConfig> catalog;
+    for (int k : {32, 64, 128, 256}) {
+        SscConfig ssc;
+        ssc.radix = k;
+        ssc.line_rate = 200.0;
+        ssc.core_power = 0.005 * k * k + 0.3 * k + 7.0;
+        ssc.node = tech::ProcessNode::N5;
+        catalog.push_back(ssc);
+    }
+    const QuadraticFit fit = fitQuadratic(catalog);
+    EXPECT_NEAR(fit.a, 0.005, 1e-9);
+    EXPECT_NEAR(fit.b, 0.3, 1e-7);
+    EXPECT_NEAR(fit.c, 7.0, 1e-5);
+    EXPECT_NEAR(fit(100.0), 0.005 * 1e4 + 30.0 + 7.0, 1e-6);
+}
+
+TEST(QuadraticFitter, CatalogFitHasPositiveCurvature)
+{
+    EXPECT_GT(fitQuadratic(tomahawkSeries()).a, 0.0);
+    EXPECT_GT(fitQuadratic(teralynxSeries()).a, 0.0);
+}
+
+TEST(LinkPower, UnitSpeedupIsIdentity)
+{
+    EXPECT_NEAR(vddForSpeedup(1.0), kDefaultVdd, 1e-9);
+    EXPECT_NEAR(energyPerBitScale(1.0), 1.0, 1e-9);
+}
+
+TEST(LinkPower, DoubleSpeedMatchesClosedForm)
+{
+    // (V-0.3)^2/V = 2*(0.4)^2/0.7 solves to V = 0.9637 V, so
+    // energy/bit scales by (0.9637/0.7)^2 = 1.895.
+    EXPECT_NEAR(vddForSpeedup(2.0), 0.9637, 5e-4);
+    EXPECT_NEAR(energyPerBitScale(2.0), 1.895, 2e-3);
+}
+
+TEST(LinkPower, VddSatisfiesTheScalingRelation)
+{
+    for (double s : {0.5, 1.5, 2.0, 3.0, 4.0}) {
+        const Volts v = vddForSpeedup(s);
+        const double lhs = (v - kDefaultVth) * (v - kDefaultVth) / v;
+        const double rhs = s * (kDefaultVdd - kDefaultVth) *
+                           (kDefaultVdd - kDefaultVth) / kDefaultVdd;
+        EXPECT_NEAR(lhs, rhs, 1e-9) << "speedup " << s;
+    }
+}
+
+TEST(LinkPower, EnergyScaleIsMonotoneInSpeedup)
+{
+    double prev = 0.0;
+    for (double s : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+        const double e = energyPerBitScale(s);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(LinkPower, OverclockWsiScalesFields)
+{
+    const auto base = tech::siIf();
+    const auto fast = overclockWsi(base, 2.0);
+    EXPECT_DOUBLE_EQ(fast.totalBandwidthDensity(),
+                     2.0 * base.totalBandwidthDensity());
+    EXPECT_NEAR(fast.energy_per_bit,
+                base.energy_per_bit * energyPerBitScale(2.0), 1e-9);
+    EXPECT_NE(fast.name, base.name);
+}
+
+TEST(LinkPower, SiIf2xPresetMatchesDerivation)
+{
+    const auto preset = tech::siIf2x();
+    const auto derived = overclockWsi(tech::siIf(), 2.0);
+    EXPECT_NEAR(preset.energy_per_bit, derived.energy_per_bit, 0.005);
+    EXPECT_DOUBLE_EQ(preset.totalBandwidthDensity(),
+                     derived.totalBandwidthDensity());
+}
+
+TEST(SwitchPower, BreakdownArithmetic)
+{
+    SwitchPowerBreakdown p;
+    p.ssc_core = 38400.0;
+    p.internal_io = 11000.0;
+    p.external_io = 8200.0;
+    EXPECT_DOUBLE_EQ(p.total(), 57600.0);
+    EXPECT_NEAR(p.ioFraction(), 19200.0 / 57600.0, 1e-12);
+    EXPECT_NEAR(p.powerDensity(300.0), 57600.0 / 90000.0, 1e-12);
+}
+
+TEST(SwitchPower, InternalIoPowerPerBit)
+{
+    // 1e6 Gbps of crossings at 0.3 pJ/b = 300 W.
+    EXPECT_NEAR(internalIoPower(1e6, tech::siIf()), 300.0, 1e-9);
+}
+
+TEST(SwitchPower, ExternalIoPowerPerPort)
+{
+    // 8192 ports x 200G at 5 pJ/b = 8192 W.
+    EXPECT_NEAR(externalIoPower(8192, 200.0, tech::opticalIo()),
+                8192.0, 1e-9);
+}
+
+TEST(SwitchPower, EmptyBreakdownIsSafe)
+{
+    SwitchPowerBreakdown p;
+    EXPECT_DOUBLE_EQ(p.total(), 0.0);
+    EXPECT_DOUBLE_EQ(p.ioFraction(), 0.0);
+}
+
+} // namespace
+} // namespace wss::power

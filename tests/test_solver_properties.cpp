@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Property tests for the radix solver: monotonicity of the feasible
+ * frontier in every resource axis, internal consistency of
+ * evaluations, and cross-checks between the solver's answers and the
+ * underlying models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/radix_solver.hpp"
+#include "power/link_power.hpp"
+#include "topology/clos.hpp"
+
+namespace wss::core {
+namespace {
+
+DesignSpec
+baseSpec()
+{
+    DesignSpec spec;
+    spec.substrate_side = 300.0;
+    spec.wsi = tech::siIf();
+    spec.external_io = tech::opticalIo();
+    spec.ssc = power::tomahawk5(1);
+    spec.cooling = tech::unlimitedCooling();
+    spec.mapping_restarts = 2;
+    spec.seed = 1;
+    return spec;
+}
+
+TEST(SolverProperties, MaxPortsMonotoneInSubstrate)
+{
+    std::int64_t prev = 0;
+    for (double side : {100.0, 150.0, 200.0, 250.0, 300.0}) {
+        DesignSpec spec = baseSpec();
+        spec.substrate_side = side;
+        const auto result = RadixSolver(spec).solveMaxPorts();
+        EXPECT_GE(result.best.ports, prev) << side << " mm";
+        prev = result.best.ports;
+    }
+}
+
+TEST(SolverProperties, MaxPortsMonotoneInInternalBandwidth)
+{
+    std::int64_t prev = 0;
+    for (int layers : {1, 2, 4, 8, 16}) {
+        DesignSpec spec = baseSpec();
+        spec.wsi = tech::siIfWithLayers(layers);
+        const auto result = RadixSolver(spec).solveMaxPorts();
+        EXPECT_GE(result.best.ports, prev) << layers << " layers";
+        prev = result.best.ports;
+    }
+}
+
+TEST(SolverProperties, MaxPortsMonotoneInCooling)
+{
+    DesignSpec spec = baseSpec();
+    std::int64_t prev = 0;
+    for (const auto &cooling : tech::allCoolingSolutions()) {
+        spec.cooling = cooling;
+        const auto result = RadixSolver(spec).solveMaxPorts();
+        EXPECT_GE(result.best.ports, prev) << cooling.name;
+        prev = result.best.ports;
+    }
+}
+
+TEST(SolverProperties, IdealNeverBelowConstrained)
+{
+    for (double side : {100.0, 200.0, 300.0}) {
+        DesignSpec constrained = baseSpec();
+        constrained.substrate_side = side;
+        DesignSpec ideal = constrained;
+        ideal.area_only = true;
+        EXPECT_GE(RadixSolver(ideal).solveMaxPorts().best.ports,
+                  RadixSolver(constrained).solveMaxPorts().best.ports)
+            << side << " mm";
+    }
+}
+
+TEST(SolverProperties, SerdesNeverBeatsOptical)
+{
+    for (double side : {100.0, 200.0, 300.0}) {
+        DesignSpec optical = baseSpec();
+        optical.substrate_side = side;
+        DesignSpec serdes = optical;
+        serdes.external_io = tech::serdes();
+        EXPECT_LE(RadixSolver(serdes).solveMaxPorts().best.ports,
+                  RadixSolver(optical).solveMaxPorts().best.ports)
+            << side << " mm";
+    }
+}
+
+TEST(SolverProperties, SolveResultBoundariesAreConsistent)
+{
+    for (bool overclocked : {false, true}) {
+        DesignSpec spec = baseSpec();
+        if (overclocked)
+            spec.wsi = tech::siIf2x();
+        const auto result = RadixSolver(spec).solveMaxPorts();
+        EXPECT_TRUE(result.best.feasible);
+        EXPECT_EQ(result.best.violated, Constraint::None);
+        if (result.blocking) {
+            EXPECT_FALSE(result.blocking->feasible);
+            EXPECT_NE(result.blocking->violated, Constraint::None);
+            EXPECT_GT(result.blocking->ports, result.best.ports);
+        }
+    }
+}
+
+TEST(SolverProperties, EvaluationPowerMatchesComponentSum)
+{
+    const auto eval = RadixSolver(baseSpec()).evaluate(1024);
+    EXPECT_NEAR(eval.power.total(),
+                eval.power.ssc_core + eval.power.internal_io +
+                    eval.power.external_io,
+                1e-9);
+    EXPECT_NEAR(eval.power_density,
+                eval.power.total() / (300.0 * 300.0), 1e-12);
+}
+
+TEST(SolverProperties, EvaluationMatchesTopologyAggregates)
+{
+    const RadixSolver solver(baseSpec());
+    const auto eval = solver.evaluate(2048);
+    const auto topo = solver.buildTopology(2048);
+    EXPECT_EQ(eval.ssc_chiplets, topo.nodeCount());
+    EXPECT_NEAR(eval.power.ssc_core, topo.totalSscCorePower(), 1e-6);
+    EXPECT_GE(eval.silicon_area, topo.totalSscArea());
+}
+
+TEST(SolverProperties, HigherLineRateConfigsShiftTheFrontier)
+{
+    // Same die, fewer fatter ports: the port count shrinks with the
+    // configuration's line rate but aggregate bandwidth should not
+    // collapse.
+    DesignSpec spec = baseSpec();
+    spec.wsi = tech::siIf2x();
+    std::int64_t prev_ports = 1LL << 40;
+    for (int cfg : {1, 2, 3}) {
+        spec.ssc = power::tomahawk5(cfg);
+        const auto result = RadixSolver(spec).solveMaxPorts();
+        EXPECT_LT(result.best.ports, prev_ports) << "config " << cfg;
+        EXPECT_GT(static_cast<double>(result.best.ports) *
+                      spec.ssc.line_rate,
+                  200000.0)
+            << "config " << cfg; // >= 200 Tbps aggregate
+        prev_ports = result.best.ports;
+    }
+}
+
+TEST(SolverProperties, DeterministicAcrossRuns)
+{
+    const DesignSpec spec = baseSpec();
+    const auto a = RadixSolver(spec).solveMaxPorts();
+    const auto b = RadixSolver(spec).solveMaxPorts();
+    EXPECT_EQ(a.best.ports, b.best.ports);
+    EXPECT_DOUBLE_EQ(a.best.max_edge_load, b.best.max_edge_load);
+    EXPECT_DOUBLE_EQ(a.best.power.total(), b.best.power.total());
+}
+
+TEST(SolverProperties, SeedChangesMappingOnlyMarginally)
+{
+    // The paper reports <1% spread over random restarts; different
+    // seeds must agree on the solved radix.
+    DesignSpec spec = baseSpec();
+    const auto a = RadixSolver(spec).solveMaxPorts();
+    spec.seed = 99;
+    const auto b = RadixSolver(spec).solveMaxPorts();
+    EXPECT_EQ(a.best.ports, b.best.ports);
+}
+
+TEST(SolverProperties, HeterogeneousNeverRaisesPowerAtIsoRadix)
+{
+    DesignSpec spec = baseSpec();
+    spec.wsi = tech::siIf2x();
+    const auto homo = RadixSolver(spec).evaluate(4096);
+    spec.leaf_split = 2;
+    const auto hetero2 = RadixSolver(spec).evaluate(4096);
+    spec.leaf_split = 4;
+    const auto hetero4 = RadixSolver(spec).evaluate(4096);
+    EXPECT_LT(hetero2.power.total(), homo.power.total());
+    EXPECT_LT(hetero4.power.total(), hetero2.power.total());
+}
+
+TEST(SolverProperties, EveryTopologySolvesSomething)
+{
+    for (TopologyKind kind :
+         {TopologyKind::Clos, TopologyKind::Mesh, TopologyKind::Butterfly,
+          TopologyKind::FlattenedButterfly, TopologyKind::Dragonfly}) {
+        DesignSpec spec = baseSpec();
+        spec.topology = kind;
+        const auto result = RadixSolver(spec).solveMaxPorts();
+        EXPECT_GT(result.best.ports, 0) << toString(kind);
+        EXPECT_TRUE(result.best.feasible) << toString(kind);
+    }
+}
+
+TEST(SolverProperties, CandidateEvaluateRoundTrip)
+{
+    const RadixSolver solver(baseSpec());
+    for (std::int64_t ports : solver.candidatePorts()) {
+        const auto eval = solver.evaluate(ports);
+        EXPECT_EQ(eval.ports, ports);
+        // Either feasible or tagged with a concrete constraint.
+        if (!eval.feasible) {
+            EXPECT_NE(eval.violated, Constraint::None) << ports;
+        }
+    }
+}
+
+
+TEST(SolverProperties, ExtremeLayerCountsShiftTheBottleneckToArea)
+{
+    // Fig. 27: once internal density is high enough, substrate area
+    // itself binds the next candidate.
+    DesignSpec spec = baseSpec();
+    spec.wsi = tech::siIfWithLayers(32); // 25.6 Tbps/mm
+    const auto result = RadixSolver(spec).solveMaxPorts();
+    EXPECT_EQ(result.best.ports, 8192); // the area-bound ideal
+    // The next candidate either fails the area check outright or was
+    // already pruned from the ladder by the area cut-off.
+    if (result.blocking) {
+        EXPECT_EQ(result.blocking->violated, Constraint::Area);
+    }
+}
+
+TEST(SolverProperties, BlockingConstraintMovesWithTheBottleneck)
+{
+    // SerDes: external binds. Optical @3200: internal binds.
+    DesignSpec spec = baseSpec();
+    spec.external_io = tech::serdes();
+    const auto serdes = RadixSolver(spec).solveMaxPorts();
+    ASSERT_TRUE(serdes.blocking.has_value());
+    EXPECT_EQ(serdes.blocking->violated,
+              Constraint::ExternalBandwidth);
+
+    spec = baseSpec();
+    const auto optical = RadixSolver(spec).solveMaxPorts();
+    ASSERT_TRUE(optical.blocking.has_value());
+    EXPECT_EQ(optical.blocking->violated,
+              Constraint::InternalBandwidth);
+
+    spec.cooling = tech::airCooling();
+    const auto cooled = RadixSolver(spec).solveMaxPorts();
+    ASSERT_TRUE(cooled.blocking.has_value());
+    EXPECT_EQ(cooled.blocking->violated, Constraint::PowerDensity);
+}
+
+} // namespace
+} // namespace wss::core

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the system-architecture layer: power delivery, cooling
+ * loop, enclosure budgeting, and the Table VII/VIII/IX use cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sysarch/cooling_loop.hpp"
+#include "sysarch/enclosure.hpp"
+#include "sysarch/power_delivery.hpp"
+#include "sysarch/use_cases.hpp"
+
+namespace wss::sysarch {
+namespace {
+
+TEST(PowerDelivery, PaperScaleDeliveryChain)
+{
+    // Section VIII.A: ~45 kW switch + 5 kW non-ASIC -> 50 kW bank,
+    // N+N redundant PSUs at 4 kW, ~50 DC-DC bricks, ~420 VRMs.
+    const PowerDeliveryPlan plan = sizePowerDelivery(45000.0, 300.0);
+    EXPECT_EQ(plan.psus, 26); // 2 x ceil(50/4); paper rounds to 25
+    EXPECT_DOUBLE_EQ(plan.provisioned, 52000.0);
+    EXPECT_EQ(plan.dcdc_converters, 45);
+    EXPECT_NEAR(plan.vrms, 448, 30); // paper: ~420 with redundancy
+    EXPECT_TRUE(plan.fits_under_wafer);
+}
+
+TEST(PowerDelivery, BoardAreaScalesWithPower)
+{
+    const auto small = sizePowerDelivery(10000.0, 300.0);
+    const auto large = sizePowerDelivery(60000.0, 300.0);
+    EXPECT_LT(small.board_area, large.board_area);
+    EXPECT_TRUE(small.fits_under_wafer);
+}
+
+TEST(PowerDelivery, SmallWaferCanOverflow)
+{
+    // 60 kW of converters cannot hide under a 100 mm wafer.
+    const auto plan = sizePowerDelivery(60000.0, 100.0);
+    EXPECT_FALSE(plan.fits_under_wafer);
+}
+
+TEST(CoolingLoop, PaperScaleLayout)
+{
+    // 12x12 chiplet array -> 36 PCLs, 12 supply channels; 57.6 kW
+    // gives 1.6 kW per PCL and a 70-80 C junction at 20 C inlet.
+    const CoolingLoopPlan plan = sizeCoolingLoop(57600.0, 12);
+    EXPECT_EQ(plan.pcls, 36);
+    EXPECT_EQ(plan.supply_channels, 12);
+    EXPECT_NEAR(plan.power_per_pcl, 1600.0, 1e-9);
+    EXPECT_GE(plan.junction_temperature, 70.0);
+    EXPECT_LE(plan.junction_temperature, 80.0);
+    EXPECT_TRUE(plan.within_band);
+}
+
+TEST(CoolingLoop, HeterogeneousPowerRunsCooler)
+{
+    const auto hot = sizeCoolingLoop(57600.0, 12);
+    const auto cool = sizeCoolingLoop(45000.0, 12);
+    EXPECT_LT(cool.junction_temperature, hot.junction_temperature);
+    EXPECT_TRUE(cool.within_band);
+}
+
+TEST(Enclosure, PaperRackBudgets)
+{
+    // 8192 x 200G -> 2048 adapters via 4-way splitters -> 19U + 1U
+    // management = 20U; 4096 x 200G -> 11U (the 200 mm column).
+    const EnclosurePlan big = planEnclosure(8192, 200.0);
+    EXPECT_EQ(big.split, 4);
+    EXPECT_EQ(big.adapters, 2048);
+    EXPECT_EQ(big.rack_units, 20);
+    EXPECT_NEAR(big.capacity_density_tbps_ru, 81.9, 0.1);
+
+    const EnclosurePlan mid = planEnclosure(4096, 200.0);
+    EXPECT_EQ(mid.rack_units, 11);
+    EXPECT_NEAR(mid.capacity_density_tbps_ru, 74.5, 0.1);
+
+    // 2048 x 800G (the GPU configuration): no splitters, still 20U.
+    const EnclosurePlan gpu = planEnclosure(2048, 800.0);
+    EXPECT_EQ(gpu.split, 1);
+    EXPECT_EQ(gpu.rack_units, 20);
+}
+
+TEST(Enclosure, ModularCatalogMatchesTableIII)
+{
+    const auto catalog = modularSwitchCatalog();
+    ASSERT_EQ(catalog.size(), 3u);
+    // Power per port: 19.4 / 22.5 / 19.1 W (Table III).
+    EXPECT_NEAR(catalog[0].powerPerPort(), 19.4, 0.1);
+    EXPECT_NEAR(catalog[1].powerPerPort(), 22.5, 0.1);
+    EXPECT_NEAR(catalog[2].powerPerPort(), 19.1, 0.1);
+    // Capacity densities: 7.2 / 11 / 7.5 Tbps/RU.
+    EXPECT_NEAR(catalog[0].capacityDensity(), 7.2, 0.1);
+    EXPECT_NEAR(catalog[1].capacityDensity(), 11.0, 0.1);
+    EXPECT_NEAR(catalog[2].capacityDensity(), 7.5, 0.3);
+}
+
+TEST(UseCases, TableVIISingleSwitchDatacenter)
+{
+    const auto cmp = singleSwitchDatacenter(8192, 200.0, 20);
+    EXPECT_EQ(cmp.waferscale.switches, 1);
+    EXPECT_EQ(cmp.waferscale.cables, 8192);
+    EXPECT_EQ(cmp.waferscale.worst_case_hops, 1);
+    EXPECT_EQ(cmp.waferscale.rack_units, 20);
+    EXPECT_NEAR(cmp.waferscale.bisection_tbps, 819.2, 0.1);
+
+    EXPECT_EQ(cmp.conventional.switches, 96);
+    EXPECT_EQ(cmp.conventional.cables, 16384);
+    EXPECT_EQ(cmp.conventional.worst_case_hops, 3);
+    EXPECT_EQ(cmp.conventional.rack_units, 192);
+}
+
+TEST(UseCases, TableVIIScalesTo200mm)
+{
+    const auto cmp = singleSwitchDatacenter(4096, 200.0, 11);
+    EXPECT_EQ(cmp.conventional.switches, 48);
+    EXPECT_EQ(cmp.conventional.cables, 8192);
+    EXPECT_EQ(cmp.conventional.rack_units, 96);
+    EXPECT_NEAR(cmp.waferscale.bisection_tbps, 409.6, 0.1);
+}
+
+TEST(UseCases, TableVIIISingularGpu)
+{
+    const auto cmp = singularGpuCluster(2048, 20);
+    EXPECT_EQ(cmp.waferscale.endpoints, 2048);
+    EXPECT_EQ(cmp.waferscale.switches, 1);
+    EXPECT_EQ(cmp.waferscale.cables, 2048);
+    EXPECT_NEAR(cmp.waferscale.bisection_tbps, 819.2, 0.1);
+    // DGX GH200 constants.
+    EXPECT_EQ(cmp.conventional.endpoints, 256);
+    EXPECT_EQ(cmp.conventional.switches, 132);
+    EXPECT_EQ(cmp.conventional.cables, 2304);
+    EXPECT_EQ(cmp.conventional.rack_units, 195);
+    EXPECT_NEAR(cmp.conventional.bisection_tbps, 115.2, 0.1);
+    // 8x the GPUs of the largest NVSwitch-built singular GPU.
+    EXPECT_EQ(cmp.waferscale.endpoints / cmp.conventional.endpoints, 8);
+}
+
+TEST(UseCases, TableIXDcn)
+{
+    const auto cmp = waferscaleDcn(16384, 48, 20);
+    EXPECT_EQ(cmp.waferscale.switches, 48);
+    EXPECT_EQ(cmp.waferscale.cables, 65536);
+    EXPECT_EQ(cmp.waferscale.rack_units, 960);
+    EXPECT_EQ(cmp.waferscale.worst_case_hops, 3);
+    EXPECT_NEAR(cmp.waferscale.bisection_tbps, 13107.2, 0.1);
+
+    EXPECT_EQ(cmp.conventional.switches, 4608);
+    EXPECT_EQ(cmp.conventional.cables, 163840);
+    EXPECT_EQ(cmp.conventional.rack_units, 18432);
+    EXPECT_EQ(cmp.conventional.worst_case_hops, 5);
+
+    // The paper's claims: ~66% fewer optical links, ~94% less spine
+    // rack space.
+    const double cable_cut =
+        1.0 - static_cast<double>(cmp.waferscale.cables) /
+                  cmp.conventional.cables;
+    EXPECT_NEAR(cable_cut, 0.6, 0.07);
+    const double ru_cut =
+        1.0 - static_cast<double>(cmp.waferscale.rack_units) /
+                  cmp.conventional.rack_units;
+    EXPECT_NEAR(ru_cut, 0.94, 0.01);
+}
+
+TEST(UseCases, SavingsAreMillionsForTheDcn)
+{
+    const auto cmp = waferscaleDcn(16384, 48, 20);
+    const CostDelta delta = estimateSavings(cmp);
+    EXPECT_GT(delta.optics_usd, 1e8); // hundreds of millions
+    EXPECT_GT(delta.colocation_usd, 1e7);
+    EXPECT_GT(delta.total(), delta.optics_usd);
+}
+
+TEST(UseCases, SavingsScaleWithDeploymentSize)
+{
+    const auto small = estimateSavings(singleSwitchDatacenter(4096, 200.0, 11));
+    const auto large = estimateSavings(singleSwitchDatacenter(8192, 200.0, 20));
+    EXPECT_GT(large.total(), small.total());
+}
+
+
+TEST(CoolingLoop, OddGridsRoundUp)
+{
+    // A 7x7 chiplet array needs ceil(7/2) = 4 PCLs per side.
+    const auto plan = sizeCoolingLoop(10000.0, 7);
+    EXPECT_EQ(plan.pcls, 16);
+    EXPECT_EQ(plan.supply_channels, 4 * 2); // ceil(4/3) = 2 per row
+    EXPECT_GT(plan.junction_temperature, 20.0);
+}
+
+TEST(CoolingLoop, OverPoweredLoopLeavesTheBand)
+{
+    const auto plan = sizeCoolingLoop(120000.0, 12);
+    EXPECT_FALSE(plan.within_band);
+    EXPECT_GT(plan.junction_temperature, 80.0);
+}
+
+TEST(Enclosure, SmallSwitchesFitInTwoRackUnits)
+{
+    const auto plan = planEnclosure(256, 200.0);
+    EXPECT_EQ(plan.split, 4);
+    EXPECT_EQ(plan.adapters, 64);
+    EXPECT_EQ(plan.rack_units, 2); // 1 adapter RU + management
+}
+
+TEST(Enclosure, FourHundredGigUsesTwoWaySplitters)
+{
+    const auto plan = planEnclosure(4096, 400.0);
+    EXPECT_EQ(plan.split, 2);
+    EXPECT_EQ(plan.adapters, 2048);
+    EXPECT_EQ(plan.rack_units, 20);
+}
+
+TEST(PowerDelivery, RedundancyIsAlwaysNPlusN)
+{
+    for (double kw : {5.0, 20.0, 45.0, 60.0}) {
+        const auto plan = sizePowerDelivery(kw * 1000.0, 300.0);
+        EXPECT_EQ(plan.psus % 2, 0) << kw;
+        EXPECT_GE(plan.provisioned, kw * 1000.0);
+    }
+}
+
+TEST(UseCases, CablesScaleLinearlyWithServers)
+{
+    const auto small = singleSwitchDatacenter(2048, 200.0, 20);
+    const auto large = singleSwitchDatacenter(8192, 200.0, 20);
+    EXPECT_EQ(large.waferscale.cables, 4 * small.waferscale.cables);
+    EXPECT_EQ(large.conventional.cables,
+              4 * small.conventional.cables);
+}
+
+} // namespace
+} // namespace wss::sysarch

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit tests for the topology layer: LogicalTopology invariants and
+ * the Clos / mesh / butterfly / flattened-butterfly / dragonfly
+ * builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/ssc.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/clos.hpp"
+#include "topology/dragonfly.hpp"
+#include "topology/flattened_butterfly.hpp"
+#include "topology/logical_topology.hpp"
+#include "topology/mesh.hpp"
+
+namespace wss::topology {
+namespace {
+
+power::SscConfig
+th5()
+{
+    return power::tomahawk5(1);
+}
+
+TEST(LogicalTopology, ValidatesPortBudget)
+{
+    LogicalTopology topo("t", 200.0);
+    const int type = topo.addSscType(power::scaledSsc(4, 200.0));
+    const int a = topo.addNode(NodeRole::Router, type, 2);
+    const int b = topo.addNode(NodeRole::Router, type, 0);
+    topo.addLink(a, b, 2);
+    EXPECT_EQ(topo.validate(), "");
+    topo.addLink(a, b, 1); // now a uses 5 > 4 ports
+    EXPECT_NE(topo.validate(), "");
+}
+
+TEST(LogicalTopology, RejectsSelfLinks)
+{
+    LogicalTopology topo("t", 200.0);
+    const int type = topo.addSscType(power::scaledSsc(4, 200.0));
+    const int a = topo.addNode(NodeRole::Router, type, 0);
+    EXPECT_DEATH(topo.addLink(a, a, 1), "self-link");
+}
+
+TEST(LogicalTopology, RejectsLineRateMismatch)
+{
+    LogicalTopology topo("t", 200.0);
+    const int type = topo.addSscType(power::scaledSsc(4, 400.0));
+    topo.addNode(NodeRole::Router, type, 0);
+    EXPECT_NE(topo.validate(), "");
+}
+
+TEST(LogicalTopology, AggregatesAreConsistent)
+{
+    LogicalTopology topo("t", 200.0);
+    const int type = topo.addSscType(power::scaledSsc(8, 200.0));
+    const int a = topo.addNode(NodeRole::Leaf, type, 3);
+    const int b = topo.addNode(NodeRole::Spine, type, 1);
+    topo.addLink(a, b, 2);
+    EXPECT_EQ(topo.totalExternalPorts(), 4);
+    EXPECT_EQ(topo.portsUsed(a), 5);
+    EXPECT_EQ(topo.portsUsed(b), 3);
+    EXPECT_DOUBLE_EQ(topo.totalInternalLinkBandwidth(), 400.0);
+    EXPECT_DOUBLE_EQ(topo.totalSscArea(),
+                     2.0 * power::scaledSsc(8, 200.0).area);
+}
+
+class ClosSizes : public ::testing::TestWithParam<std::int64_t>
+{};
+
+TEST_P(ClosSizes, StructureMatchesPaperArithmetic)
+{
+    const std::int64_t ports = GetParam();
+    const LogicalTopology topo = buildFoldedClos({ports, th5(), 1});
+    EXPECT_EQ(topo.validate(), "");
+    EXPECT_EQ(topo.totalExternalPorts(), ports);
+    // 2N/k leaves + ceil(N/k) spines = 3N/k when k | N (Table VI).
+    EXPECT_EQ(topo.nodeCount(), closChipletCount(ports, 256));
+
+    int leaves = 0, spines = 0;
+    for (const auto &node : topo.nodes()) {
+        if (node.role == NodeRole::Leaf) {
+            ++leaves;
+            EXPECT_EQ(node.external_ports, 128);
+        } else {
+            ++spines;
+            EXPECT_EQ(node.external_ports, 0);
+        }
+    }
+    EXPECT_EQ(leaves, 2 * ports / 256);
+    EXPECT_EQ(spines, (ports + 255) / 256);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperLadder, ClosSizes,
+                         ::testing::Values(128, 256, 512, 1024, 2048,
+                                           4096, 8192));
+
+TEST(Clos, PaperScaleHasNinetySixChiplets)
+{
+    // "a 2-level Clos network with 96 radix-256 SSCs, forming an
+    // overall radix of 8192".
+    EXPECT_EQ(closChipletCount(8192, 256), 96);
+    EXPECT_EQ(closChipletCount(2048, 256), 24);
+}
+
+TEST(Clos, UplinksAreBalancedAcrossSpines)
+{
+    const LogicalTopology topo = buildFoldedClos({2048, th5(), 1});
+    std::vector<int> spine_down(topo.nodeCount(), 0);
+    for (const auto &link : topo.links()) {
+        // Builder emits (leaf, spine) pairs.
+        spine_down[link.b] += link.multiplicity;
+    }
+    int min_down = 1 << 30, max_down = 0;
+    for (int i = 0; i < topo.nodeCount(); ++i) {
+        if (topo.nodes()[i].role == NodeRole::Spine) {
+            min_down = std::min(min_down, spine_down[i]);
+            max_down = std::max(max_down, spine_down[i]);
+        }
+    }
+    EXPECT_EQ(min_down, max_down); // 2048 = 8 x 256: exactly even
+    EXPECT_EQ(max_down, 256);
+}
+
+TEST(Clos, RejectsNonMultiplePortCounts)
+{
+    EXPECT_DEATH(buildFoldedClos({2000, th5(), 1}), "multiple");
+}
+
+TEST(Clos, HeterogeneousSplitPreservesRadixAndSpines)
+{
+    const LogicalTopology homo = buildFoldedClos({2048, th5(), 1});
+    const LogicalTopology hetero = buildFoldedClos({2048, th5(), 4});
+    EXPECT_EQ(hetero.validate(), "");
+    EXPECT_EQ(hetero.totalExternalPorts(), homo.totalExternalPorts());
+
+    int homo_spines = 0, hetero_spines = 0, hetero_leaves = 0;
+    for (const auto &n : homo.nodes())
+        homo_spines += n.role == NodeRole::Spine;
+    for (const auto &n : hetero.nodes()) {
+        hetero_spines += n.role == NodeRole::Spine;
+        hetero_leaves += n.role == NodeRole::Leaf;
+    }
+    EXPECT_EQ(hetero_spines, homo_spines);
+    EXPECT_EQ(hetero_leaves, 4 * 2 * 2048 / 256);
+
+    // The whole point: smaller leaf dies cut total core power.
+    EXPECT_LT(hetero.totalSscCorePower(), homo.totalSscCorePower());
+}
+
+TEST(Clos, HeterogeneousSavesPaperScalePower)
+{
+    // Section V.B: ~30% at the 8192-port scale (core power only here;
+    // the solver adds I/O power on top).
+    const LogicalTopology homo = buildFoldedClos({8192, th5(), 1});
+    const LogicalTopology hetero = buildFoldedClos({8192, th5(), 4});
+    const double saving = 1.0 - hetero.totalSscCorePower() /
+                                    homo.totalSscCorePower();
+    EXPECT_NEAR(saving, 0.50, 0.01); // 64x400 -> (256x25 + spines)
+}
+
+TEST(Clos, DeradixedSscKeepsAreaAndCutsPower)
+{
+    const power::SscConfig dr = deradixedSsc(th5(), 2);
+    EXPECT_EQ(dr.radix, 128);
+    EXPECT_DOUBLE_EQ(dr.area, 800.0);
+    EXPECT_NEAR(dr.core_power, 100.0, 1e-9);
+    EXPECT_DEATH(deradixedSsc(th5(), 3), "divide");
+}
+
+TEST(Mesh, StructureAndPortCount)
+{
+    const LogicalTopology topo = buildMesh(3, 4, th5());
+    EXPECT_EQ(topo.validate(), "");
+    EXPECT_EQ(topo.nodeCount(), 12);
+    EXPECT_EQ(topo.totalExternalPorts(), meshPortCount(3, 4, 256));
+    EXPECT_EQ(topo.totalExternalPorts(), 12 * 128);
+    // Edges: horizontal 3*3 + vertical 2*4 = 17 bundles of width 32.
+    EXPECT_EQ(topo.links().size(), 17u);
+    for (const auto &link : topo.links())
+        EXPECT_EQ(link.multiplicity, 32);
+}
+
+TEST(Mesh, SingleNodeHasNoLinks)
+{
+    const LogicalTopology topo = buildMesh(1, 1, th5());
+    EXPECT_EQ(topo.links().size(), 0u);
+    EXPECT_EQ(topo.totalExternalPorts(), 128);
+}
+
+TEST(Butterfly, OversubscribedLeafSpine)
+{
+    const std::int64_t ports = 5 * 256 / 8 * 16; // 16 leaves
+    const LogicalTopology topo = buildButterfly(ports, th5());
+    EXPECT_EQ(topo.validate(), "");
+    EXPECT_EQ(topo.totalExternalPorts(), ports);
+    int leaves = 0, spines = 0;
+    for (const auto &n : topo.nodes()) {
+        leaves += n.role == NodeRole::Leaf;
+        spines += n.role == NodeRole::Spine;
+    }
+    EXPECT_EQ(leaves, 16);
+    // 16 leaves x 96 uplinks / 256 = 6 spines.
+    EXPECT_EQ(spines, 6);
+    EXPECT_EQ(topo.nodeCount(), butterflyChipletCount(ports, 256));
+}
+
+TEST(Butterfly, UsesFewerChipletsPerPortThanClos)
+{
+    const std::int64_t ports = 7680;
+    EXPECT_LT(butterflyChipletCount(ports, 256),
+              closChipletCount(ports, 256));
+}
+
+class FlattenedButterflySizes : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FlattenedButterflySizes, AllToAllRowsAndColumns)
+{
+    const int m = GetParam();
+    const LogicalTopology topo = buildFlattenedButterfly(m, th5());
+    EXPECT_EQ(topo.validate(), "");
+    EXPECT_EQ(topo.nodeCount(), m * m);
+    EXPECT_EQ(topo.totalExternalPorts(),
+              flattenedButterflyPortCount(m, 256));
+    // Bundles: per row C(m,2), times m rows, times 2 dimensions.
+    EXPECT_EQ(topo.links().size(),
+              static_cast<std::size_t>(2 * m * m * (m - 1) / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sides, FlattenedButterflySizes,
+                         ::testing::Values(2, 3, 5, 9));
+
+TEST(FlattenedButterfly, FabricDominatesRadix)
+{
+    // Direct all-to-all wiring leaves fewer externals than mesh.
+    EXPECT_LT(flattenedButterflyPortCount(9, 256) / (9 * 9),
+              meshPortCount(9, 9, 256) / (9 * 9));
+}
+
+class DragonflySizes : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(DragonflySizes, GroupsCliquesAndGlobals)
+{
+    const int groups = GetParam();
+    const LogicalTopology topo = buildDragonfly(groups, th5());
+    EXPECT_EQ(topo.validate(), "");
+    EXPECT_EQ(topo.nodeCount(), groups * kDragonflyGroupSize);
+    EXPECT_EQ(topo.totalExternalPorts(),
+              dragonflyPortCount(groups, 256));
+    for (const auto &node : topo.nodes())
+        EXPECT_EQ(node.external_ports, 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, DragonflySizes,
+                         ::testing::Values(2, 3, 5, 8, 13));
+
+TEST(Dragonfly, GlobalBudgetCapsGroupCount)
+{
+    // 8 routers x 80 global wires; with uniform pair width >= 1 the
+    // group count is bounded by 641.
+    EXPECT_DEATH(buildDragonfly(1000, th5()), "global-link budget");
+}
+
+} // namespace
+} // namespace wss::topology

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Tests for the trace layer: format round-trip, duplication, the
+ * mini-app generators' structure, and trace-driven replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "power/ssc.hpp"
+#include "sim/simulator.hpp"
+#include "topology/clos.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace_workload.hpp"
+
+namespace wss::trace {
+namespace {
+
+TEST(MessageTrace, SaveLoadRoundTrip)
+{
+    MessageTrace trace;
+    trace.name = "demo";
+    trace.ranks = 4;
+    trace.events = {{0, 0, 1, 2}, {5, 1, 2, 1}, {9, 3, 0, 7}};
+    std::stringstream ss;
+    saveTrace(trace, ss);
+    const MessageTrace loaded = loadTrace(ss);
+    EXPECT_EQ(loaded.name, "demo");
+    EXPECT_EQ(loaded.ranks, 4);
+    ASSERT_EQ(loaded.events.size(), 3u);
+    EXPECT_EQ(loaded.events[2].cycle, 9);
+    EXPECT_EQ(loaded.events[2].size_flits, 7);
+}
+
+TEST(MessageTrace, ValidateCatchesProblems)
+{
+    MessageTrace trace;
+    trace.ranks = 2;
+    trace.events = {{5, 0, 1, 1}, {3, 1, 0, 1}}; // out of order
+    EXPECT_NE(trace.validate(), "");
+    trace.normalize();
+    EXPECT_EQ(trace.validate(), "");
+    trace.events.push_back({10, 0, 5, 1}); // rank out of range
+    EXPECT_NE(trace.validate(), "");
+}
+
+TEST(MessageTrace, Metrics)
+{
+    MessageTrace trace;
+    trace.ranks = 2;
+    trace.events = {{0, 0, 1, 3}, {10, 1, 0, 7}};
+    EXPECT_EQ(trace.span(), 10);
+    EXPECT_EQ(trace.totalFlits(), 10);
+    EXPECT_DOUBLE_EQ(trace.averageLoad(), 10.0 / (10.0 * 2));
+}
+
+TEST(MessageTrace, DuplicationMapsOntoDisjointRanges)
+{
+    MessageTrace trace;
+    trace.name = "demo";
+    trace.ranks = 8;
+    trace.events = {{0, 0, 7, 1}, {4, 3, 2, 2}};
+    const MessageTrace big = duplicateTrace(trace, 4);
+    EXPECT_EQ(big.ranks, 32);
+    EXPECT_EQ(big.events.size(), 8u);
+    EXPECT_EQ(big.validate(), "");
+    // The third copy's first event runs 16..23.
+    EXPECT_EQ(big.events[2].src, 16);
+    EXPECT_EQ(big.events[2].dst, 23);
+}
+
+class MiniAppGenerators
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(MiniAppGenerators, ProducesAValidStructuredTrace)
+{
+    GeneratorConfig cfg;
+    cfg.iterations = 2;
+    const MessageTrace trace = generateMiniApp(GetParam(), 64, cfg);
+    EXPECT_EQ(trace.validate(), "");
+    EXPECT_EQ(trace.ranks, 64);
+    EXPECT_GT(trace.events.size(), 100u);
+    EXPECT_GT(trace.span(), 0);
+    EXPECT_GT(trace.averageLoad(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, MiniAppGenerators,
+                         ::testing::Values("lulesh", "mocfe",
+                                           "multigrid", "nekbone"));
+
+TEST(MiniAppGenerators, LuleshTalksToAllNeighborClasses)
+{
+    GeneratorConfig cfg;
+    cfg.iterations = 1;
+    cfg.base_message_flits = 8;
+    const MessageTrace trace = generateLulesh(27, cfg); // 3x3x3
+    // The center rank (1,1,1) = 13 sends to all 26 neighbors.
+    int center_sends = 0;
+    bool saw_face = false, saw_edge = false, saw_corner = false;
+    for (const auto &e : trace.events) {
+        if (e.src == 13 && e.size_flits > 0) {
+            ++center_sends;
+            saw_face |= e.size_flits == 8;
+            saw_edge |= e.size_flits == 4;
+            saw_corner |= e.size_flits == 2;
+        }
+    }
+    EXPECT_GE(center_sends, 26);
+    EXPECT_TRUE(saw_face);
+    EXPECT_TRUE(saw_edge);
+    EXPECT_TRUE(saw_corner);
+}
+
+TEST(MiniAppGenerators, MocfeSweepsAreWavefrontStaggered)
+{
+    GeneratorConfig cfg;
+    cfg.iterations = 1;
+    const MessageTrace trace = generateMocfe(64, cfg); // 4x4x4
+    // The first octant sweeps (-,-,-) from the far corner (rank 63),
+    // so rank 63 fires at cycle 0 while rank 0 sits at the deepest
+    // wavefront of that sweep and fires strictly later.
+    sim::Cycle first_origin = -1, first_far = -1;
+    for (const auto &e : trace.events) {
+        if (first_origin < 0 && e.src == 63)
+            first_origin = e.cycle;
+        if (first_far < 0 && e.src == 0)
+            first_far = e.cycle;
+    }
+    ASSERT_GE(first_origin, 0);
+    ASSERT_GE(first_far, 0);
+    EXPECT_EQ(first_origin, 0);
+    EXPECT_LT(first_origin, first_far);
+}
+
+TEST(MiniAppGenerators, MultigridShrinksMessagesUpTheHierarchy)
+{
+    GeneratorConfig cfg;
+    cfg.iterations = 1;
+    cfg.base_message_flits = 8;
+    const MessageTrace trace = generateMultigrid(64, cfg); // side 4
+    bool saw_fine = false, saw_coarse = false;
+    for (const auto &e : trace.events) {
+        saw_fine |= e.size_flits == 8;
+        saw_coarse |= e.size_flits <= 4;
+    }
+    EXPECT_TRUE(saw_fine);
+    EXPECT_TRUE(saw_coarse);
+}
+
+TEST(MiniAppGenerators, NekboneIncludesAllreducePhases)
+{
+    GeneratorConfig cfg;
+    cfg.iterations = 1;
+    const MessageTrace trace = generateNekbone(64, cfg);
+    // Recursive doubling: every rank exchanges with rank^1.
+    bool saw_pair = false;
+    for (const auto &e : trace.events)
+        saw_pair |= (e.src ^ e.dst) == 1 && e.size_flits == 1;
+    EXPECT_TRUE(saw_pair);
+}
+
+TEST(MiniAppGenerators, RejectsNonCubeRanks)
+{
+    EXPECT_DEATH(generateLulesh(50), "cube");
+    EXPECT_DEATH(generateMiniApp("bogus", 64), "unknown mini-app");
+}
+
+TEST(TraceWorkload, ReplaysEveryMessageExactlyOnce)
+{
+    GeneratorConfig cfg;
+    cfg.iterations = 1;
+    const MessageTrace trace = generateNekbone(8, cfg); // 2x2x2
+    TraceWorkload workload(trace, 1.0);
+    Rng rng(1);
+    std::int64_t packets = 0, flits = 0;
+    for (sim::Cycle now = 0; now <= trace.span() + 1; ++now) {
+        workload.generate(now, rng, [&](int, int, int f) {
+            ++packets;
+            flits += f;
+        });
+    }
+    EXPECT_TRUE(workload.exhausted(trace.span() + 1));
+    EXPECT_EQ(packets,
+              static_cast<std::int64_t>(trace.events.size()));
+    EXPECT_EQ(flits, trace.totalFlits());
+}
+
+TEST(TraceWorkload, IntensityCompressesTheTimeline)
+{
+    GeneratorConfig cfg;
+    cfg.iterations = 2;
+    const MessageTrace trace = generateNekbone(8, cfg);
+    TraceWorkload half(trace, 0.5);
+    TraceWorkload twice(trace, 2.0);
+    EXPECT_NEAR(static_cast<double>(half.scaledSpan()),
+                2.0 * trace.span(), 2.0);
+    EXPECT_NEAR(static_cast<double>(twice.scaledSpan()),
+                0.5 * trace.span(), 2.0);
+    EXPECT_NEAR(twice.offeredLoad(), 4.0 * half.offeredLoad(), 1e-9);
+}
+
+TEST(TraceWorkload, DrivesTheSimulatorEndToEnd)
+{
+    GeneratorConfig cfg;
+    cfg.iterations = 2;
+    cfg.iteration_period = 400;
+    const MessageTrace trace = generateLulesh(27, cfg);
+    // 27 ranks on a 64-port fabric (extra terminals stay idle).
+    const auto topo = topology::buildFoldedClos(
+        {64, power::scaledSsc(16, 200.0), 1});
+    sim::NetworkSpec spec;
+    spec.vcs = 4;
+    spec.buffer_per_port = 16;
+    spec.pipeline_delay = 2;
+    spec.terminal_link_latency = 2;
+    sim::Network net(topo, spec, 3);
+    TraceWorkload workload(trace, 1.0);
+    sim::SimConfig sim_cfg;
+    sim_cfg.warmup = 0;
+    sim_cfg.measure = workload.scaledSpan() + 1;
+    sim_cfg.drain_limit = 50000;
+    sim::Simulator sim(net, workload, sim_cfg);
+    const auto result = sim.run();
+    EXPECT_TRUE(result.stable);
+    EXPECT_EQ(result.packets_finished,
+              static_cast<std::int64_t>(trace.events.size()));
+    EXPECT_GT(result.avg_packet_latency, 0.0);
+}
+
+
+TEST(TraceWorkload, BarrierModeHoldsEpochsUntilDelivery)
+{
+    // Two epochs of one message each; without delivery feedback the
+    // second epoch must never be released.
+    MessageTrace trace;
+    trace.name = "barrier";
+    trace.ranks = 4;
+    trace.events = {{0, 0, 1, 1}, {100, 2, 3, 1}};
+    TraceWorkload workload(trace, 1.0, 100);
+    Rng rng(1);
+    int emitted = 0;
+    for (sim::Cycle now = 0; now < 500; ++now)
+        workload.generate(now, rng, [&](int, int, int) { ++emitted; });
+    EXPECT_EQ(emitted, 1);
+    EXPECT_FALSE(workload.exhausted(500));
+
+    // Delivering the first packet opens the second epoch.
+    workload.packetDelivered(500);
+    for (sim::Cycle now = 500; now < 510; ++now)
+        workload.generate(now, rng, [&](int, int, int) { ++emitted; });
+    EXPECT_EQ(emitted, 2);
+    EXPECT_TRUE(workload.exhausted(510));
+}
+
+TEST(TraceWorkload, BarrierModeStretchesWithLatency)
+{
+    // The same trace completes later when delivery feedback lags:
+    // the makespan is latency-sensitive, the mechanism behind the
+    // Fig. 24 comparison.
+    MessageTrace trace;
+    trace.name = "stretch";
+    trace.ranks = 2;
+    trace.events = {{0, 0, 1, 1}, {10, 1, 0, 1}, {20, 0, 1, 1}};
+    Rng rng(1);
+    auto makespan = [&](sim::Cycle delivery_lag) {
+        TraceWorkload workload(trace, 1.0, 10);
+        std::vector<sim::Cycle> deliveries;
+        sim::Cycle done = 0;
+        int emitted = 0;
+        for (sim::Cycle now = 0; now < 1000 && done == 0; ++now) {
+            while (!deliveries.empty() && deliveries.front() <= now) {
+                workload.packetDelivered(now);
+                deliveries.erase(deliveries.begin());
+            }
+            workload.generate(now, rng, [&](int, int, int) {
+                ++emitted;
+                deliveries.push_back(now + delivery_lag);
+            });
+            if (emitted == 3 && deliveries.empty())
+                done = now;
+        }
+        return done;
+    };
+    EXPECT_GT(makespan(50), makespan(5));
+}
+
+TEST(TraceWorkload, ClosedLoopReplayCompletesInTheSimulator)
+{
+    GeneratorConfig cfg;
+    cfg.iterations = 2;
+    cfg.iteration_period = 300;
+    const MessageTrace trace = generateNekbone(27, cfg);
+    const auto topo = topology::buildFoldedClos(
+        {64, power::scaledSsc(16, 200.0), 1});
+    sim::NetworkSpec spec;
+    spec.vcs = 4;
+    spec.buffer_per_port = 16;
+    spec.pipeline_delay = 2;
+    spec.terminal_link_latency = 2;
+    sim::Network net(topo, spec, 3);
+    TraceWorkload workload(trace, 4.0, cfg.iteration_period);
+    sim::SimConfig sim_cfg;
+    sim_cfg.run_to_exhaustion = true;
+    sim_cfg.measure = 100000;
+    sim_cfg.drain_limit = 0;
+    sim::Simulator sim(net, workload, sim_cfg);
+    const auto result = sim.run();
+    EXPECT_TRUE(result.stable);
+    EXPECT_EQ(result.packets_finished,
+              static_cast<std::int64_t>(trace.events.size()));
+    EXPECT_GT(result.end_cycle, 0);
+    EXPECT_EQ(result.flits_delivered, trace.totalFlits());
+}
+
+} // namespace
+} // namespace wss::trace

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit tests for the util layer: Rng, Table, StatsAccumulator,
+ * QuantileSampler, unit conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.hpp"
+#include "util/stats_accumulator.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace wss {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a() == b();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsNotDegenerate)
+{
+    Rng rng(0);
+    std::uint64_t all_or = 0;
+    for (int i = 0; i < 16; ++i)
+        all_or |= rng();
+    EXPECT_NE(all_or, 0u);
+}
+
+TEST(Rng, NextBelowStaysInBounds)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversAllResidues)
+{
+    Rng rng(9);
+    bool seen[7] = {};
+    for (int i = 0; i < 500; ++i)
+        seen[rng.nextBelow(7)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, NextInRangeInclusiveBounds)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextInRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRateIsCalibrated)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(5);
+    Rng b = a.split();
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a() == b();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, WorksWithStdShuffle)
+{
+    Rng rng(23);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    std::shuffle(v.begin(), v.end(), rng);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(Table, RendersAlignedGrid)
+{
+    Table t("demo", {"a", "longer"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("| a"), std::string::npos);
+    EXPECT_NE(out.find("| longer"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 1u);
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    Table t("demo", {"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeaders)
+{
+    EXPECT_THROW(Table("x", {}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(12345LL), "12345");
+}
+
+TEST(Table, CsvQuotesSpecialCharacters)
+{
+    Table t("demo", {"name", "value"});
+    t.addRow({"a,b", "say \"hi\""});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(StatsAccumulator, MeanMinMax)
+{
+    StatsAccumulator acc;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        acc.add(v);
+    EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+    EXPECT_EQ(acc.count(), 4u);
+    EXPECT_NEAR(acc.variance(), 1.25, 1e-12);
+}
+
+TEST(StatsAccumulator, EmptyIsSafe)
+{
+    StatsAccumulator acc;
+    EXPECT_TRUE(acc.empty());
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(StatsAccumulator, MergeMatchesSingleStream)
+{
+    StatsAccumulator all, left, right;
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.nextDouble() * 10.0;
+        all.add(v);
+        (i % 2 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(left.count(), all.count());
+}
+
+TEST(StatsAccumulator, MergeWithEmptySides)
+{
+    StatsAccumulator a, b;
+    a.add(5.0);
+    a.merge(b); // empty rhs
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a); // empty lhs
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(QuantileSampler, ExactQuantiles)
+{
+    QuantileSampler q;
+    for (int i = 1; i <= 100; ++i)
+        q.add(i);
+    EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(q.quantile(1.0), 100.0);
+    EXPECT_NEAR(q.quantile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(q.quantile(0.99), 99.0, 1.0);
+}
+
+TEST(QuantileSampler, EmptyReturnsZero)
+{
+    QuantileSampler q;
+    EXPECT_DOUBLE_EQ(q.quantile(0.5), 0.0);
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(units::tbps(1.6), 1600.0);
+    EXPECT_DOUBLE_EQ(units::kilowatts(2.5), 2500.0);
+    EXPECT_DOUBLE_EQ(units::toKilowatts(500.0), 0.5);
+    EXPECT_DOUBLE_EQ(units::toTbps(51200.0), 51.2);
+}
+
+TEST(Units, LinkPowerMatchesHandCalc)
+{
+    // 51.2 Tbps at 2 pJ/b is the TH-5 I/O budget: ~102.4 W.
+    EXPECT_NEAR(units::linkPower(51200.0, 2.0), 102.4, 1e-9);
+}
+
+} // namespace
+} // namespace wss

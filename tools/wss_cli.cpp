@@ -1,0 +1,407 @@
+/**
+ * @file
+ * `wss` — command-line front end to the waferscale-switch models.
+ *
+ * Subcommands:
+ *   solve   size the maximum-radix switch for a design point
+ *   sim     latency-vs-load sweep on a waferscale Clos fabric
+ *   trace   generate (and save) a synthetic mini-app message trace
+ *   yield   manufacturing-yield analysis for a chiplet assembly
+ *   plan    full system plan (power delivery / cooling / enclosure)
+ *
+ * Run `wss <subcommand> --help` for the flags of each.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/radix_solver.hpp"
+#include "power/link_power.hpp"
+#include "sim/load_sweep.hpp"
+#include "sysarch/cooling_loop.hpp"
+#include "sysarch/enclosure.hpp"
+#include "sysarch/power_delivery.hpp"
+#include "tech/yield.hpp"
+#include "topology/clos.hpp"
+#include "trace/generators.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wss;
+
+/// Minimal --key value / --flag parser.
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0)
+                fatal("unexpected argument '", key,
+                      "' (flags look like --key value)");
+            key = key.substr(2);
+            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+                values_[key] = argv[++i];
+            else
+                values_[key] = "";
+        }
+    }
+
+    bool has(const std::string &key) const
+    {
+        return values_.count(key) > 0;
+    }
+
+    std::string
+    str(const std::string &key, const std::string &fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    double
+    num(const std::string &key, double fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : std::stod(it->second);
+    }
+
+    long long
+    integer(const std::string &key, long long fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : std::stoll(it->second);
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+tech::WsiTechnology
+parseWsi(const std::string &name)
+{
+    if (name == "siif")
+        return tech::siIf();
+    if (name == "siif2x")
+        return tech::siIf2x();
+    if (name == "infosow")
+        return tech::infoSow();
+    fatal("unknown WSI technology '", name,
+          "' (siif | siif2x | infosow)");
+}
+
+tech::ExternalIoTech
+parseExternalIo(const std::string &name)
+{
+    if (name == "serdes")
+        return tech::serdes();
+    if (name == "optical")
+        return tech::opticalIo();
+    if (name == "area")
+        return tech::areaIo();
+    fatal("unknown external I/O '", name, "' (serdes | optical | area)");
+}
+
+tech::CoolingSolution
+parseCooling(const std::string &name)
+{
+    if (name == "air")
+        return tech::airCooling();
+    if (name == "water")
+        return tech::waterCooling();
+    if (name == "multiphase")
+        return tech::multiphaseCooling();
+    if (name == "none")
+        return tech::unlimitedCooling();
+    fatal("unknown cooling '", name,
+          "' (air | water | multiphase | none)");
+}
+
+core::TopologyKind
+parseTopology(const std::string &name)
+{
+    if (name == "clos")
+        return core::TopologyKind::Clos;
+    if (name == "mesh")
+        return core::TopologyKind::Mesh;
+    if (name == "butterfly")
+        return core::TopologyKind::Butterfly;
+    if (name == "fb")
+        return core::TopologyKind::FlattenedButterfly;
+    if (name == "dragonfly")
+        return core::TopologyKind::Dragonfly;
+    fatal("unknown topology '", name,
+          "' (clos | mesh | butterfly | fb | dragonfly)");
+}
+
+core::DesignSpec
+specFromArgs(const Args &args)
+{
+    core::DesignSpec spec;
+    spec.substrate_side = args.num("substrate", 300.0);
+    spec.wsi = parseWsi(args.str("wsi", "siif2x"));
+    spec.external_io = parseExternalIo(args.str("ext", "optical"));
+    const int config = static_cast<int>(args.integer("ssc-config", 1));
+    spec.ssc = power::tomahawk5(config);
+    const int deradix = static_cast<int>(args.integer("deradix", 1));
+    if (deradix > 1)
+        spec.ssc = topology::deradixedSsc(spec.ssc, deradix);
+    spec.cooling = parseCooling(args.str("cooling", "none"));
+    spec.leaf_split = static_cast<int>(args.integer("hetero", 1));
+    spec.topology = parseTopology(args.str("topology", "clos"));
+    spec.area_only = args.has("ideal");
+    spec.mapping_restarts =
+        static_cast<int>(args.integer("restarts", 4));
+    spec.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
+    return spec;
+}
+
+int
+cmdSolve(const Args &args)
+{
+    const core::DesignSpec spec = specFromArgs(args);
+    const auto result = core::RadixSolver(spec).solveMaxPorts();
+    const auto &best = result.best;
+
+    Table table("wss solve — " + std::string(core::toString(
+                    spec.topology)) + " on " +
+                    Table::num(spec.substrate_side, 0) + " mm",
+                {"metric", "value"});
+    table.addRow({"max ports", Table::num(best.ports)});
+    table.addRow({"SSC chiplets", Table::num(best.ssc_chiplets)});
+    table.addRow({"I/O chiplets", Table::num(best.io_chiplets)});
+    table.addRow({"silicon area (mm^2)",
+                  Table::num(best.silicon_area, 0)});
+    table.addRow({"hottest edge / capacity (Gbps)",
+                  Table::num(best.max_edge_load, 0) + " / " +
+                      Table::num(best.edge_capacity, 0)});
+    table.addRow({"external demand / capacity (Tbps)",
+                  Table::num(best.external_demand / 1000.0, 1) + " / " +
+                      Table::num(best.external_capacity / 1000.0, 1)});
+    table.addRow({"power (kW)",
+                  Table::num(best.power.total() / 1000.0, 2)});
+    table.addRow({"power density (W/mm^2)",
+                  Table::num(best.power_density, 3)});
+    if (result.blocking) {
+        table.addRow({"next candidate blocked by",
+                      std::string(core::toString(
+                          result.blocking->violated))});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdSim(const Args &args)
+{
+    const auto ports = args.integer("ports", 512);
+    const std::string pattern = args.str("pattern", "uniform");
+    const int packet =
+        static_cast<int>(args.integer("packet-flits", 1));
+    const auto topo =
+        topology::buildFoldedClos({ports, power::tomahawk5(1), 1});
+
+    sim::NetworkSpec spec;
+    spec.vcs = static_cast<int>(args.integer("vcs", 16));
+    spec.buffer_per_port =
+        static_cast<int>(args.integer("buffer", 64));
+    spec.rc_delay_ingress =
+        static_cast<int>(args.integer("rc-ingress", 2));
+    spec.rc_delay_transit =
+        static_cast<int>(args.integer("rc-transit", 2));
+    spec.pipeline_delay =
+        static_cast<int>(args.integer("pipeline", 9));
+    spec.terminal_link_latency =
+        static_cast<int>(args.integer("io-delay", 8));
+    spec.internal_link_latency =
+        static_cast<int>(args.integer("hop-delay", 1));
+    spec.adaptive_routing = args.has("adaptive");
+
+    sim::SimConfig cfg;
+    cfg.warmup = args.integer("warmup", 1000);
+    cfg.measure = args.integer("measure", 4000);
+    cfg.drain_limit = args.integer("drain", 20000);
+    cfg.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
+
+    const auto sweep = sim::sweepLoad(
+        [&] {
+            return std::make_unique<sim::Network>(topo, spec, cfg.seed);
+        },
+        [&](double rate) {
+            return std::make_unique<sim::SyntheticWorkload>(
+                sim::makeTraffic(pattern, static_cast<int>(ports)),
+                rate, packet);
+        },
+        sim::linearRates(args.num("max-rate", 0.9),
+                         static_cast<int>(args.integer("points", 9))),
+        cfg);
+
+    Table table("wss sim — " + pattern + " on " + Table::num(ports) +
+                    " ports",
+                {"offered", "accepted", "avg latency", "p99", "stable"});
+    for (const auto &point : sweep.points) {
+        table.addRow({Table::num(point.offered, 2),
+                      Table::num(point.accepted, 3),
+                      Table::num(point.avg_latency, 1),
+                      Table::num(point.p99_latency, 1),
+                      point.stable ? "yes" : "no"});
+    }
+    table.print(std::cout);
+    std::cout << "zero-load " << Table::num(sweep.zero_load_latency, 1)
+              << " cycles, saturation "
+              << Table::num(sweep.saturation_throughput, 3)
+              << " flits/terminal/cycle\n";
+    return 0;
+}
+
+int
+cmdTrace(const Args &args)
+{
+    const std::string app = args.str("app", "lulesh");
+    const int ranks = static_cast<int>(args.integer("ranks", 512));
+    trace::GeneratorConfig gen;
+    gen.iterations = static_cast<int>(args.integer("iterations", 8));
+    gen.iteration_period = args.integer("period", 600);
+    gen.base_message_flits =
+        static_cast<int>(args.integer("message-flits", 8));
+    gen.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
+
+    trace::MessageTrace trace = trace::generateMiniApp(app, ranks, gen);
+    const int duplicate =
+        static_cast<int>(args.integer("duplicate", 1));
+    if (duplicate > 1)
+        trace = trace::duplicateTrace(trace, duplicate);
+
+    std::cout << "trace '" << trace.name << "': " << trace.ranks
+              << " ranks, " << trace.events.size() << " messages, "
+              << trace.totalFlits() << " flits over " << trace.span()
+              << " cycles (avg load "
+              << Table::num(trace.averageLoad(), 4)
+              << " flits/rank/cycle)\n";
+    if (args.has("out")) {
+        const std::string path = args.str("out", "");
+        std::ofstream os(path);
+        if (!os)
+            fatal("cannot open '", path, "' for writing");
+        trace::saveTrace(trace, os);
+        std::cout << "written to " << path << "\n";
+    }
+    return 0;
+}
+
+int
+cmdYield(const Args &args)
+{
+    tech::YieldModel model;
+    model.defect_density_cm2 = args.num("defects", 0.1);
+    model.bond_yield = args.num("bond-yield", 0.999);
+
+    const int sockets = static_cast<int>(args.integer("chiplets", 96));
+    const double area = args.num("die-area", 800.0);
+
+    Table table("wss yield", {"metric", "value"});
+    table.addRow({"die yield (" + Table::num(area, 0) + " mm^2)",
+                  Table::num(tech::dieYield(area, model), 4)});
+    table.addRow({"KGD cost factor",
+                  Table::num(tech::kgdCostFactor(area, model), 3)});
+    for (int spares : {0, 1, 2, 4}) {
+        table.addRow(
+            {"system yield, " + Table::num(spares) + " spares",
+             Table::num(tech::chipletSystemYield(sockets, spares, model),
+                        5)});
+    }
+    table.addRow({"monolithic wafer (99% redundancy)",
+                  Table::num(tech::monolithicWaferYield(
+                                 args.num("substrate", 300.0), 0.99,
+                                 model),
+                             5)});
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdPlan(const Args &args)
+{
+    const core::DesignSpec spec = specFromArgs(args);
+    const auto result = core::RadixSolver(spec).solveMaxPorts();
+    const auto &best = result.best;
+    if (best.ports == 0)
+        fatal("no feasible design for this spec");
+
+    const auto delivery = sysarch::sizePowerDelivery(
+        best.power.total(), spec.substrate_side);
+    const int grid = static_cast<int>(std::ceil(
+                         std::sqrt(best.ssc_chiplets))) + 2;
+    const auto cooling =
+        sysarch::sizeCoolingLoop(best.power.total(), grid);
+    const auto enclosure =
+        sysarch::planEnclosure(best.ports, spec.ssc.line_rate);
+
+    Table table("wss plan — full system", {"component", "value"});
+    table.addRow({"switch radix", Table::num(best.ports)});
+    table.addRow({"power (kW)",
+                  Table::num(best.power.total() / 1000.0, 1)});
+    table.addRow({"PSUs (N+N)", Table::num(delivery.psus)});
+    table.addRow({"DC-DC bricks", Table::num(delivery.dcdc_converters)});
+    table.addRow({"VRMs", Table::num(delivery.vrms)});
+    table.addRow({"fits under wafer",
+                  delivery.fits_under_wafer ? "yes" : "no"});
+    table.addRow({"PCLs / channels",
+                  Table::num(cooling.pcls) + " / " +
+                      Table::num(cooling.supply_channels)});
+    table.addRow({"junction (C)",
+                  Table::num(cooling.junction_temperature, 0)});
+    table.addRow({"front-panel adapters",
+                  Table::num(enclosure.adapters)});
+    table.addRow({"chassis (RU)", Table::num(enclosure.rack_units)});
+    table.print(std::cout);
+    return 0;
+}
+
+void
+usage()
+{
+    std::cout <<
+        "usage: wss <subcommand> [--flags]\n"
+        "\n"
+        "  solve   --substrate 300 --wsi siif2x --ext optical\n"
+        "          --topology clos --cooling water --hetero 4\n"
+        "          --deradix 1 --ssc-config 1 [--ideal]\n"
+        "  sim     --ports 512 --pattern uniform --packet-flits 1\n"
+        "          --vcs 16 --buffer 64 [--adaptive]\n"
+        "  trace   --app lulesh --ranks 512 --duplicate 4 --out t.trc\n"
+        "  yield   --chiplets 96 --die-area 800 --defects 0.1\n"
+        "  plan    (solve flags) -> power delivery/cooling/enclosure\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    const Args args(argc, argv, 2);
+    if (cmd == "solve")
+        return cmdSolve(args);
+    if (cmd == "sim")
+        return cmdSim(args);
+    if (cmd == "trace")
+        return cmdTrace(args);
+    if (cmd == "yield")
+        return cmdYield(args);
+    if (cmd == "plan")
+        return cmdPlan(args);
+    usage();
+    return cmd == "help" || cmd == "--help" ? 0 : 1;
+}
