@@ -10,20 +10,27 @@
  *   WSS_BENCH_SEED      base RNG seed (default 1)
  *   WSS_BENCH_FAST      if set, shrink simulation phases for smoke
  *                       runs
+ *   WSS_JOBS            worker threads for campaign-driven benches
+ *                       (default: hardware concurrency)
+ *   WSS_BENCH_CSV       write the campaign's per-cell CSV here
+ *   WSS_BENCH_JSON      write the campaign's JSON summary here
  */
 
 #ifndef WSS_BENCH_COMMON_HPP
 #define WSS_BENCH_COMMON_HPP
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/design.hpp"
+#include "exec/campaign.hpp"
 #include "power/ssc.hpp"
 #include "tech/cooling.hpp"
 #include "tech/external_io.hpp"
 #include "tech/wsi.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 
 namespace wss::bench {
@@ -67,6 +74,53 @@ paperSpec(double side, const tech::WsiTechnology &wsi,
     spec.mapping_restarts = envInt("WSS_BENCH_RESTARTS", 4);
     spec.seed = static_cast<std::uint64_t>(envInt("WSS_BENCH_SEED", 1));
     return spec;
+}
+
+/// Worker threads for campaign-driven benches (WSS_JOBS override).
+inline int
+benchJobs()
+{
+    return exec::ThreadPool::defaultThreads();
+}
+
+/**
+ * Write the campaign's timing artifacts where the environment asks
+ * (WSS_BENCH_CSV / WSS_BENCH_JSON) and print the one-line timing
+ * summary every converted figure bench reports.
+ */
+inline void
+reportCampaign(const exec::CampaignResult &result)
+{
+    if (const char *path = std::getenv("WSS_BENCH_CSV")) {
+        std::ofstream os(path);
+        if (!os)
+            fatal("cannot open '", path, "' for writing");
+        result.writeCsv(os);
+        inform("campaign CSV written to ", path);
+    }
+    if (const char *path = std::getenv("WSS_BENCH_JSON")) {
+        std::ofstream os(path);
+        if (!os)
+            fatal("cannot open '", path, "' for writing");
+        result.writeJson(os);
+        inform("campaign JSON written to ", path);
+    }
+    double busy = 0.0;
+    for (const auto &job : result.jobs)
+        busy += job.seconds;
+    // busy sums each cell's wall time, so busy/wall measures lane
+    // occupancy (how many cells ran concurrently), not speedup —
+    // compare wall at --jobs N vs --jobs 1 for that.
+    std::cout << "\n[campaign] " << result.jobs.size() << " jobs on "
+              << result.threads << " threads: wall "
+              << Table::num(result.wall_seconds, 2)
+              << " s, cell-seconds " << Table::num(busy, 2)
+              << ", concurrency "
+              << Table::num(result.wall_seconds > 0.0
+                                ? busy / result.wall_seconds
+                                : 0.0,
+                            2)
+              << "x\n";
 }
 
 /// All three external I/O schemes in the paper's plotting order.

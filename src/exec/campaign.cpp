@@ -1,0 +1,265 @@
+#include "exec/campaign.hpp"
+
+#include <chrono>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <utility>
+
+#include "util/logging.hpp"
+#include "util/stats_accumulator.hpp"
+
+namespace wss::exec {
+
+namespace {
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control).
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += ' ';
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+Campaign::addSweep(std::string name, SweepJob job)
+{
+    if (job.rates.empty())
+        fatal("Campaign: sweep '", name, "' needs at least one rate");
+    if (job.repetitions < 1)
+        fatal("Campaign: sweep '", name,
+              "' needs at least one repetition");
+    if (!job.make_network || !job.make_workload)
+        fatal("Campaign: sweep '", name, "' needs factories");
+    Entry entry;
+    entry.name = std::move(name);
+    entry.is_sweep = true;
+    entry.sweep = std::move(job);
+    entries_.push_back(std::move(entry));
+    return static_cast<int>(entries_.size()) - 1;
+}
+
+int
+Campaign::addTask(std::string name, std::function<void()> fn)
+{
+    if (!fn)
+        fatal("Campaign: task '", name, "' needs a callable");
+    Entry entry;
+    entry.name = std::move(name);
+    entry.is_sweep = false;
+    entry.fn = std::move(fn);
+    entries_.push_back(std::move(entry));
+    return static_cast<int>(entries_.size()) - 1;
+}
+
+CampaignResult
+Campaign::run(ThreadPool *pool) const
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    // Flatten every job into cells: one per (repetition, rate) for
+    // sweeps, one per generic task.
+    struct Cell
+    {
+        int job = 0;
+        int repetition = 0;
+        int rate_index = 0;
+    };
+    std::vector<Cell> cells;
+    for (int j = 0; j < jobCount(); ++j) {
+        const Entry &entry = entries_[static_cast<std::size_t>(j)];
+        if (!entry.is_sweep) {
+            cells.push_back({j, 0, 0});
+            continue;
+        }
+        for (int rep = 0; rep < entry.sweep.repetitions; ++rep)
+            for (int ri = 0;
+                 ri < static_cast<int>(entry.sweep.rates.size()); ++ri)
+                cells.push_back({j, rep, ri});
+    }
+
+    // Slots keyed by cell index (each written exactly once) and
+    // per-worker timing buffers: slot pool->size() is the calling
+    // thread, so nothing on the execution path takes a lock.
+    std::vector<PointOutcome> outcomes(cells.size());
+    const int buffers = pool ? pool->size() + 1 : 1;
+    struct WorkerBuffer
+    {
+        std::vector<StatsAccumulator> cell_seconds;
+        std::vector<QuantileSampler> cell_seconds_q;
+    };
+    std::vector<WorkerBuffer> per_worker(
+        static_cast<std::size_t>(buffers));
+    for (auto &buffer : per_worker) {
+        buffer.cell_seconds.resize(entries_.size());
+        buffer.cell_seconds_q.resize(entries_.size());
+    }
+
+    const auto runCell = [&](std::int64_t index) {
+        const Cell &cell = cells[static_cast<std::size_t>(index)];
+        const Entry &entry =
+            entries_[static_cast<std::size_t>(cell.job)];
+        PointOutcome outcome;
+        if (entry.is_sweep) {
+            outcome = SweepRunner(entry.sweep)
+                          .runPoint(cell.repetition, cell.rate_index);
+        } else {
+            const auto cell_start = std::chrono::steady_clock::now();
+            entry.fn();
+            outcome.seconds = elapsedSeconds(cell_start);
+        }
+        outcomes[static_cast<std::size_t>(index)] = outcome;
+
+        auto &buffer =
+            per_worker[static_cast<std::size_t>(
+                pool ? pool->workerSlot() : 0)];
+        buffer.cell_seconds[static_cast<std::size_t>(cell.job)].add(
+            outcome.seconds);
+        buffer.cell_seconds_q[static_cast<std::size_t>(cell.job)].add(
+            outcome.seconds);
+    };
+    if (pool)
+        pool->parallelFor(static_cast<std::int64_t>(cells.size()),
+                          runCell);
+    else
+        for (std::int64_t i = 0;
+             i < static_cast<std::int64_t>(cells.size()); ++i)
+            runCell(i);
+
+    // Barrier passed: merge the per-worker buffers and finalize.
+    CampaignResult result;
+    result.wall_seconds = elapsedSeconds(start);
+    result.threads = pool ? pool->size() : 1;
+    result.jobs.resize(entries_.size());
+
+    std::vector<std::size_t> cursor(entries_.size());
+    std::vector<std::vector<PointOutcome>> per_job(entries_.size());
+    for (int j = 0; j < jobCount(); ++j) {
+        const Entry &entry = entries_[static_cast<std::size_t>(j)];
+        if (entry.is_sweep)
+            per_job[static_cast<std::size_t>(j)].resize(
+                static_cast<std::size_t>(entry.sweep.repetitions) *
+                entry.sweep.rates.size());
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto j = static_cast<std::size_t>(cells[i].job);
+        if (entries_[j].is_sweep)
+            per_job[j][cursor[j]++] = outcomes[i];
+    }
+
+    for (int j = 0; j < jobCount(); ++j) {
+        const auto ji = static_cast<std::size_t>(j);
+        const Entry &entry = entries_[ji];
+        CampaignJobResult &job_result = result.jobs[ji];
+        job_result.name = entry.name;
+        job_result.kind = entry.is_sweep ? "sweep" : "task";
+
+        StatsAccumulator seconds;
+        QuantileSampler seconds_q;
+        for (const auto &buffer : per_worker) {
+            seconds.merge(buffer.cell_seconds[ji]);
+            seconds_q.merge(buffer.cell_seconds_q[ji]);
+        }
+        job_result.cells = static_cast<int>(seconds.count());
+        job_result.seconds =
+            seconds.mean() * static_cast<double>(seconds.count());
+        job_result.mean_cell_seconds = seconds.mean();
+        job_result.max_cell_seconds = seconds.max();
+        job_result.p95_cell_seconds = seconds_q.quantile(0.95);
+
+        if (entry.is_sweep)
+            job_result.sweep = finalizeSweepRun(
+                entry.sweep, std::move(per_job[ji]), job_result.seconds);
+    }
+    return result;
+}
+
+void
+CampaignResult::writeCsv(std::ostream &os) const
+{
+    os << "# wall_seconds=" << wall_seconds << "\n";
+    os << "# threads=" << threads << "\n";
+    os << "job,kind,repetition,offered,accepted,avg_latency,"
+          "p99_latency,stable,seconds\n";
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    for (const auto &job : jobs) {
+        if (job.kind == "task") {
+            os << job.name << ",task,,,,,,," << job.seconds << "\n";
+            continue;
+        }
+        for (const auto &outcome : job.sweep.outcomes) {
+            os << job.name << ",sweep," << outcome.repetition << ","
+               << outcome.point.offered << ","
+               << outcome.point.accepted << ","
+               << outcome.point.avg_latency << ","
+               << outcome.point.p99_latency << ","
+               << (outcome.point.stable ? 1 : 0) << ","
+               << outcome.seconds << "\n";
+        }
+    }
+}
+
+void
+CampaignResult::writeJson(std::ostream &os) const
+{
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    os << "{\n  \"wall_seconds\": " << wall_seconds
+       << ",\n  \"threads\": " << threads << ",\n  \"jobs\": [";
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        const auto &job = jobs[j];
+        os << (j ? ",\n" : "\n") << "    {\"name\": \""
+           << jsonEscape(job.name) << "\", \"kind\": \"" << job.kind
+           << "\", \"seconds\": " << job.seconds
+           << ", \"cells\": " << job.cells
+           << ", \"mean_cell_seconds\": " << job.mean_cell_seconds
+           << ", \"max_cell_seconds\": " << job.max_cell_seconds
+           << ", \"p95_cell_seconds\": " << job.p95_cell_seconds;
+        if (job.kind == "sweep") {
+            os << ", \"repetitions\": " << job.sweep.reps.size()
+               << ", \"zero_load_latency\": "
+               << job.sweep.combined.zero_load_latency
+               << ", \"saturation_throughput\": "
+               << job.sweep.combined.saturation_throughput
+               << ", \"points\": [";
+            const auto &points = job.sweep.combined.points;
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                const auto &p = points[i];
+                os << (i ? ", " : "") << "{\"offered\": " << p.offered
+                   << ", \"accepted\": " << p.accepted
+                   << ", \"avg_latency\": " << p.avg_latency
+                   << ", \"p99_latency\": " << p.p99_latency
+                   << ", \"stable\": " << (p.stable ? "true" : "false")
+                   << "}";
+            }
+            os << "]";
+        }
+        os << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+} // namespace wss::exec

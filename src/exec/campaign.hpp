@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Experiment campaigns: many heterogeneous jobs, one pool, one
+ * artifact.
+ *
+ * A Campaign batches sweep jobs (full latency-vs-load curves) and
+ * generic timed tasks (e.g. radix-solver design points) in a single
+ * invocation. All cells of all jobs are flattened into one
+ * parallelFor, so a short job cannot leave the pool idle while a
+ * long one finishes. Results land in slots keyed by cell index and
+ * per-cell timing is recorded in *per-worker* buffers — no mutex on
+ * the hot path — which are merged (StatsAccumulator::merge /
+ * QuantileSampler::merge) once the barrier has passed.
+ *
+ * CampaignResult carries wall-clock and per-job timing and can emit
+ * itself as CSV (one row per cell) or JSON (nested per-job summary)
+ * for the figure benches' artifact trail.
+ */
+
+#ifndef WSS_EXEC_CAMPAIGN_HPP
+#define WSS_EXEC_CAMPAIGN_HPP
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exec/sweep_runner.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace wss::exec {
+
+/// Timing/result summary of one campaign job.
+struct CampaignJobResult
+{
+    std::string name;
+    /// "sweep" or "task".
+    std::string kind;
+    /// Sweep output (curves, outcomes); empty for generic tasks.
+    SweepRunOutput sweep;
+    /// Sum of the job's per-cell wall times. Cells run
+    /// concurrently, so this exceeds the campaign wall-clock; it is
+    /// the job's serial-equivalent cost.
+    double seconds = 0.0;
+    /// Distribution of per-cell seconds (merged from the per-worker
+    /// accumulators at the barrier).
+    double mean_cell_seconds = 0.0;
+    double max_cell_seconds = 0.0;
+    double p95_cell_seconds = 0.0;
+    int cells = 0;
+};
+
+/// What a whole campaign produced.
+struct CampaignResult
+{
+    std::vector<CampaignJobResult> jobs;
+    /// Wall-clock of the whole campaign (all jobs, one barrier).
+    double wall_seconds = 0.0;
+    /// Worker threads the campaign ran on (1 when run serially).
+    int threads = 1;
+
+    /// One row per executed cell plus `# key=value` header lines.
+    void writeCsv(std::ostream &os) const;
+    /// Nested per-job summary, full precision.
+    void writeJson(std::ostream &os) const;
+};
+
+/**
+ * A batch of jobs executed together on one pool.
+ */
+class Campaign
+{
+  public:
+    /// Add a load-sweep job; returns its job index.
+    int addSweep(std::string name, SweepJob job);
+
+    /// Add a generic timed task (runs once); returns its job index.
+    int addTask(std::string name, std::function<void()> fn);
+
+    int jobCount() const { return static_cast<int>(entries_.size()); }
+
+    /**
+     * Execute every cell of every job. @p pool nullptr runs
+     * serially; otherwise all cells share the pool's workers plus
+     * the calling thread.
+     */
+    CampaignResult run(ThreadPool *pool = nullptr) const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        bool is_sweep = false;
+        SweepJob sweep;
+        std::function<void()> fn;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace wss::exec
+
+#endif // WSS_EXEC_CAMPAIGN_HPP

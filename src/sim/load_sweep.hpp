@@ -1,6 +1,11 @@
 /**
  * @file
  * Latency-versus-load sweeps — the x-axes of Figs. 21-24.
+ *
+ * The single-point runner (runLoadPoint) and the curve summariser
+ * (finalizeSweep) are exposed so `exec::SweepRunner` can fan the
+ * same computation out across a thread pool while staying
+ * bit-identical to the serial sweepLoad() path.
  */
 
 #ifndef WSS_SIM_LOAD_SWEEP_HPP
@@ -28,10 +33,13 @@ struct LoadPoint
 struct SweepResult
 {
     std::vector<LoadPoint> points;
-    /// Latency of the lowest-load point (the "zero-load latency").
+    /// Latency of the minimum-offered-rate point (the "zero-load
+    /// latency").
     double zero_load_latency = 0.0;
-    /// Highest accepted throughput seen (flits/terminal/cycle) -- the
-    /// saturation throughput once the curve has flattened.
+    /// Highest accepted throughput over the *stable* points
+    /// (flits/terminal/cycle) — the saturation throughput once the
+    /// curve has flattened. Falls back to the overall maximum (with
+    /// a warning) when every point is saturated.
     double saturation_throughput = 0.0;
 };
 
@@ -42,7 +50,28 @@ using WorkloadFactory =
     std::function<std::unique_ptr<Workload>(double rate)>;
 
 /**
- * Run the simulator once per rate and collect the curve.
+ * Run one sweep point: build a fresh network and workload at
+ * @p rate, simulate, and condense to a LoadPoint. This is *the*
+ * shared code path for serial and parallel sweeps — any change here
+ * changes both identically.
+ *
+ * @param full  optional out-parameter receiving the complete
+ *              SimResult of the run.
+ */
+LoadPoint runLoadPoint(const NetworkFactory &make_network,
+                       const WorkloadFactory &make_workload, double rate,
+                       const SimConfig &cfg, SimResult *full = nullptr);
+
+/**
+ * Derive the curve summary (zero-load latency, saturation
+ * throughput) from a complete set of points.
+ */
+SweepResult finalizeSweep(std::vector<LoadPoint> points);
+
+/**
+ * Run the simulator once per rate (serially, in the calling thread)
+ * and collect the curve. For parallel execution use
+ * exec::SweepRunner, which produces bit-identical results.
  */
 SweepResult sweepLoad(const NetworkFactory &make_network,
                       const WorkloadFactory &make_workload,
@@ -51,6 +80,15 @@ SweepResult sweepLoad(const NetworkFactory &make_network,
 
 /// Convenience: evenly spaced rates in (0, max_rate].
 std::vector<double> linearRates(double max_rate, int points);
+
+/**
+ * Geometrically spaced rates in [min_rate, max_rate], denser toward
+ * the low end — the natural sampling for latency-vs-load curves
+ * that need resolution near zero load but must still reach
+ * saturation. Endpoints are exact.
+ */
+std::vector<double> geometricRates(double min_rate, double max_rate,
+                                   int points);
 
 } // namespace wss::sim
 

@@ -87,6 +87,17 @@ class QuantileSampler
     std::size_t count() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
 
+    /// Merge another sampler's samples into this one. Quantiles of
+    /// the merged sampler are exact (identical to a single stream
+    /// that saw all samples), so per-worker samplers can be combined
+    /// at a barrier.
+    void
+    merge(const QuantileSampler &other)
+    {
+        samples_.insert(samples_.end(), other.samples_.begin(),
+                        other.samples_.end());
+    }
+
     /**
      * Exact quantile by nearest-rank, q in [0, 1]. Sorts lazily.
      * @return 0 for an empty sampler.

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "power/ssc.hpp"
 #include "sim/channel.hpp"
 #include "sim/load_sweep.hpp"
@@ -363,6 +366,74 @@ TEST(Traffic, AsymmetricConcentratesOnHotSet)
 TEST(Traffic, FactoryRejectsUnknownNames)
 {
     EXPECT_DEATH(makeTraffic("nope", 64), "unknown traffic");
+}
+
+TEST(LoadSweep, ZeroLoadLatencyComesFromTheMinimumRatePoint)
+{
+    // Points deliberately out of rate order: front() is NOT the
+    // lowest-load point.
+    std::vector<LoadPoint> points(3);
+    points[0] = {0.5, 0.5, 40.0, 80.0, true};
+    points[1] = {0.05, 0.05, 21.0, 30.0, true};
+    points[2] = {0.9, 0.7, 200.0, 900.0, false};
+    const auto sweep = finalizeSweep(points);
+    EXPECT_DOUBLE_EQ(sweep.zero_load_latency, 21.0);
+}
+
+TEST(LoadSweep, SaturationThroughputIgnoresUnstablePoints)
+{
+    // The saturated run reports the highest accepted value (an
+    // artifact of the drain window), but only stable points count.
+    std::vector<LoadPoint> points(3);
+    points[0] = {0.2, 0.2, 25.0, 40.0, true};
+    points[1] = {0.6, 0.58, 60.0, 150.0, true};
+    points[2] = {1.0, 0.72, 500.0, 2000.0, false};
+    const auto sweep = finalizeSweep(points);
+    EXPECT_DOUBLE_EQ(sweep.saturation_throughput, 0.58);
+}
+
+TEST(LoadSweep, AllUnstableFallsBackWithMaxAccepted)
+{
+    std::vector<LoadPoint> points(2);
+    points[0] = {0.8, 0.55, 300.0, 1000.0, false};
+    points[1] = {1.0, 0.6, 500.0, 2000.0, false};
+    const auto sweep = finalizeSweep(points);
+    EXPECT_DOUBLE_EQ(sweep.saturation_throughput, 0.6);
+}
+
+TEST(LoadSweep, LinearRatesRejectNonFiniteAndNonPositive)
+{
+    EXPECT_DEATH(linearRates(std::nan(""), 4), "finite");
+    EXPECT_DEATH(linearRates(
+                     std::numeric_limits<double>::infinity(), 4),
+                 "finite");
+    EXPECT_DEATH(linearRates(-1.0, 4), "finite");
+    EXPECT_DEATH(linearRates(0.9, 0), "finite");
+}
+
+TEST(LoadSweep, GeometricRatesSpanExactlyAndMonotonically)
+{
+    const auto rates = geometricRates(0.01, 0.9, 7);
+    ASSERT_EQ(rates.size(), 7u);
+    EXPECT_DOUBLE_EQ(rates.front(), 0.01);
+    EXPECT_DOUBLE_EQ(rates.back(), 0.9);
+    for (std::size_t i = 1; i < rates.size(); ++i)
+        EXPECT_GT(rates[i], rates[i - 1]);
+    // Constant ratio between neighbours (geometric spacing).
+    const double ratio = rates[1] / rates[0];
+    for (std::size_t i = 2; i < rates.size(); ++i)
+        EXPECT_NEAR(rates[i] / rates[i - 1], ratio, 1e-9);
+}
+
+TEST(LoadSweep, GeometricRatesEdgeCases)
+{
+    const auto single = geometricRates(0.1, 0.8, 1);
+    ASSERT_EQ(single.size(), 1u);
+    EXPECT_DOUBLE_EQ(single.front(), 0.8);
+
+    EXPECT_DEATH(geometricRates(0.0, 0.9, 4), "min_rate");
+    EXPECT_DEATH(geometricRates(0.9, 0.1, 4), "min_rate");
+    EXPECT_DEATH(geometricRates(std::nan(""), 0.9, 4), "min_rate");
 }
 
 TEST(Workload, RejectsOverUnityPacketRate)

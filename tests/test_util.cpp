@@ -221,6 +221,44 @@ TEST(QuantileSampler, EmptyReturnsZero)
     EXPECT_DOUBLE_EQ(q.quantile(0.5), 0.0);
 }
 
+TEST(QuantileSampler, MergeMatchesSingleStream)
+{
+    QuantileSampler all, left, right;
+    for (int i = 1; i <= 200; ++i) {
+        all.add(i);
+        (i % 3 == 0 ? left : right).add(i);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(left.quantile(q), all.quantile(q)) << q;
+}
+
+TEST(QuantileSampler, MergeWithEmptySides)
+{
+    QuantileSampler a, b;
+    a.add(3.0);
+    a.merge(b); // empty rhs
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a); // empty lhs
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.quantile(0.5), 3.0);
+}
+
+TEST(QuantileSampler, MergeAfterSortStaysCorrect)
+{
+    QuantileSampler a, b;
+    a.add(10.0);
+    a.add(2.0);
+    // quantile() sorts lazily; a merge after a sort must still give
+    // exact quantiles over the union.
+    EXPECT_DOUBLE_EQ(a.quantile(1.0), 10.0);
+    b.add(30.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.quantile(1.0), 30.0);
+    EXPECT_DOUBLE_EQ(a.quantile(0.0), 2.0);
+}
+
 TEST(Units, Conversions)
 {
     EXPECT_DOUBLE_EQ(units::tbps(1.6), 1600.0);

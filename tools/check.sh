@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+#
+# Full pre-merge verification:
+#   1. tier-1 build + ctest (the ROADMAP gate), and
+#   2. a ThreadSanitizer build of the parallel execution engine
+#      (test_exec + test_sim via the `tsan` CMake preset), so every
+#      change to the thread pool / sweep runner is race-checked.
+#
+# Usage: tools/check.sh            (from anywhere in the repo)
+#        JOBS=8 tools/check.sh     (override the parallelism)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier-1: configure + build =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== tsan: configure + build (test_exec, test_sim) =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$JOBS"
+
+echo "== tsan: race-checked test run =="
+# Death tests (fork under TSAN) are excluded by the preset filter.
+ctest --preset tsan
+
+echo "check.sh: all green"

@@ -5,6 +5,7 @@
  * Subcommands:
  *   solve   size the maximum-radix switch for a design point
  *   sim     latency-vs-load sweep on a waferscale Clos fabric
+ *   sweep   parallel multi-pattern sweep campaign (--jobs N)
  *   trace   generate (and save) a synthetic mini-app message trace
  *   yield   manufacturing-yield analysis for a chiplet assembly
  *   plan    full system plan (power delivery / cooling / enclosure)
@@ -17,9 +18,12 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/radix_solver.hpp"
+#include "exec/campaign.hpp"
 #include "power/link_power.hpp"
 #include "sim/load_sweep.hpp"
 #include "sysarch/cooling_loop.hpp"
@@ -198,16 +202,10 @@ cmdSolve(const Args &args)
     return 0;
 }
 
-int
-cmdSim(const Args &args)
+/// Fabric parameters shared by `wss sim` and `wss sweep`.
+sim::NetworkSpec
+fabricSpecFromArgs(const Args &args)
 {
-    const auto ports = args.integer("ports", 512);
-    const std::string pattern = args.str("pattern", "uniform");
-    const int packet =
-        static_cast<int>(args.integer("packet-flits", 1));
-    const auto topo =
-        topology::buildFoldedClos({ports, power::tomahawk5(1), 1});
-
     sim::NetworkSpec spec;
     spec.vcs = static_cast<int>(args.integer("vcs", 16));
     spec.buffer_per_port =
@@ -223,12 +221,46 @@ cmdSim(const Args &args)
     spec.internal_link_latency =
         static_cast<int>(args.integer("hop-delay", 1));
     spec.adaptive_routing = args.has("adaptive");
+    return spec;
+}
 
+/// Phase configuration shared by `wss sim` and `wss sweep`.
+sim::SimConfig
+simConfigFromArgs(const Args &args)
+{
     sim::SimConfig cfg;
     cfg.warmup = args.integer("warmup", 1000);
     cfg.measure = args.integer("measure", 4000);
     cfg.drain_limit = args.integer("drain", 20000);
     cfg.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
+    return cfg;
+}
+
+/// Sweep rates: --geometric gives min-rate..max-rate geometric
+/// spacing, otherwise linear in (0, max-rate].
+std::vector<double>
+ratesFromArgs(const Args &args)
+{
+    const int points = static_cast<int>(args.integer("points", 9));
+    const double max_rate = args.num("max-rate", 0.9);
+    if (args.has("geometric"))
+        return sim::geometricRates(args.num("min-rate", 0.05),
+                                   max_rate, points);
+    return sim::linearRates(max_rate, points);
+}
+
+int
+cmdSim(const Args &args)
+{
+    const auto ports = args.integer("ports", 512);
+    const std::string pattern = args.str("pattern", "uniform");
+    const int packet =
+        static_cast<int>(args.integer("packet-flits", 1));
+    const auto topo =
+        topology::buildFoldedClos({ports, power::tomahawk5(1), 1});
+
+    const sim::NetworkSpec spec = fabricSpecFromArgs(args);
+    const sim::SimConfig cfg = simConfigFromArgs(args);
 
     const auto sweep = sim::sweepLoad(
         [&] {
@@ -239,9 +271,7 @@ cmdSim(const Args &args)
                 sim::makeTraffic(pattern, static_cast<int>(ports)),
                 rate, packet);
         },
-        sim::linearRates(args.num("max-rate", 0.9),
-                         static_cast<int>(args.integer("points", 9))),
-        cfg);
+        ratesFromArgs(args), cfg);
 
     Table table("wss sim — " + pattern + " on " + Table::num(ports) +
                     " ports",
@@ -258,6 +288,105 @@ cmdSim(const Args &args)
               << " cycles, saturation "
               << Table::num(sweep.saturation_throughput, 3)
               << " flits/terminal/cycle\n";
+    return 0;
+}
+
+int
+cmdSweep(const Args &args)
+{
+    const auto ports = args.integer("ports", 512);
+    const int packet =
+        static_cast<int>(args.integer("packet-flits", 1));
+    const int repetitions =
+        static_cast<int>(args.integer("reps", 1));
+    const int jobs = static_cast<int>(
+        args.integer("jobs", exec::ThreadPool::defaultThreads()));
+    const auto topo =
+        topology::buildFoldedClos({ports, power::tomahawk5(1), 1});
+
+    const sim::NetworkSpec spec = fabricSpecFromArgs(args);
+    const sim::SimConfig cfg = simConfigFromArgs(args);
+    const auto rates = ratesFromArgs(args);
+
+    // One campaign job per traffic pattern (comma-separated list).
+    std::vector<std::string> patterns;
+    {
+        std::istringstream list(args.str("patterns", "uniform"));
+        std::string name;
+        while (std::getline(list, name, ','))
+            if (!name.empty())
+                patterns.push_back(name);
+    }
+    if (patterns.empty())
+        fatal("sweep: --patterns needs at least one pattern name");
+
+    exec::Campaign campaign;
+    for (const auto &pattern : patterns) {
+        exec::SweepJob job;
+        job.make_network = [&topo, spec](std::uint64_t seed) {
+            return std::make_unique<sim::Network>(topo, spec, seed);
+        };
+        job.make_workload = [pattern, ports,
+                             packet](double rate, std::uint64_t) {
+            return std::make_unique<sim::SyntheticWorkload>(
+                sim::makeTraffic(pattern, static_cast<int>(ports)),
+                rate, packet);
+        };
+        job.rates = rates;
+        job.cfg = cfg;
+        job.repetitions = repetitions;
+        campaign.addSweep(pattern, std::move(job));
+    }
+
+    exec::ThreadPool pool(jobs);
+    const auto result = campaign.run(&pool);
+
+    for (const auto &job : result.jobs) {
+        const auto &sweep = job.sweep.combined;
+        Table table("wss sweep — " + job.name + " on " +
+                        Table::num(ports) + " ports (" +
+                        Table::num(static_cast<double>(
+                                       job.sweep.reps.size()),
+                                   0) +
+                        " reps)",
+                    {"offered", "accepted", "avg latency", "p99",
+                     "stable"});
+        for (const auto &point : sweep.points) {
+            table.addRow({Table::num(point.offered, 3),
+                          Table::num(point.accepted, 3),
+                          Table::num(point.avg_latency, 1),
+                          Table::num(point.p99_latency, 1),
+                          point.stable ? "yes" : "no"});
+        }
+        table.print(std::cout);
+        std::cout << "zero-load "
+                  << Table::num(sweep.zero_load_latency, 1)
+                  << " cycles, saturation "
+                  << Table::num(sweep.saturation_throughput, 3)
+                  << " flits/terminal/cycle, "
+                  << Table::num(job.seconds, 2) << " cpu-s over "
+                  << job.cells << " runs\n\n";
+    }
+    std::cout << "campaign: " << result.jobs.size() << " jobs on "
+              << result.threads << " threads, wall "
+              << Table::num(result.wall_seconds, 2) << " s\n";
+
+    if (args.has("csv")) {
+        const std::string path = args.str("csv", "");
+        std::ofstream os(path);
+        if (!os)
+            fatal("cannot open '", path, "' for writing");
+        result.writeCsv(os);
+        std::cout << "CSV written to " << path << "\n";
+    }
+    if (args.has("json")) {
+        const std::string path = args.str("json", "");
+        std::ofstream os(path);
+        if (!os)
+            fatal("cannot open '", path, "' for writing");
+        result.writeJson(os);
+        std::cout << "JSON written to " << path << "\n";
+    }
     return 0;
 }
 
@@ -376,6 +505,10 @@ usage()
         "          --deradix 1 --ssc-config 1 [--ideal]\n"
         "  sim     --ports 512 --pattern uniform --packet-flits 1\n"
         "          --vcs 16 --buffer 64 [--adaptive]\n"
+        "  sweep   --jobs 8 --patterns uniform,tornado,shuffle\n"
+        "          --points 9 --max-rate 0.9 [--geometric\n"
+        "          --min-rate 0.05] --reps 1 (sim flags)\n"
+        "          [--csv out.csv --json out.json]\n"
         "  trace   --app lulesh --ranks 512 --duplicate 4 --out t.trc\n"
         "  yield   --chiplets 96 --die-area 800 --defects 0.1\n"
         "  plan    (solve flags) -> power delivery/cooling/enclosure\n";
@@ -396,6 +529,8 @@ main(int argc, char **argv)
         return cmdSolve(args);
     if (cmd == "sim")
         return cmdSim(args);
+    if (cmd == "sweep")
+        return cmdSweep(args);
     if (cmd == "trace")
         return cmdTrace(args);
     if (cmd == "yield")
