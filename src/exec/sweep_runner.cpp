@@ -20,20 +20,6 @@ elapsedSeconds(std::chrono::steady_clock::time_point start)
 
 } // namespace
 
-std::uint64_t
-deriveSeed(std::uint64_t base, std::uint64_t index)
-{
-    if (index == 0)
-        return base;
-    // splitmix64 finalizer over base + index * golden-gamma: the
-    // same mixer Rng's constructor uses to expand seeds, applied
-    // statelessly per index.
-    std::uint64_t z = base + index * 0x9e3779b97f4a7c15ULL;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-}
-
 SweepRunner::SweepRunner(SweepJob job) : job_(std::move(job))
 {
     if (job_.rates.empty())

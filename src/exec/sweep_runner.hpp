@@ -26,6 +26,7 @@
 
 #include "exec/thread_pool.hpp"
 #include "sim/load_sweep.hpp"
+#include "util/seed.hpp"
 
 namespace wss::exec {
 
@@ -36,13 +37,10 @@ using SeededNetworkFactory =
 using SeededWorkloadFactory = std::function<std::unique_ptr<sim::Workload>(
     double rate, std::uint64_t seed)>;
 
-/**
- * Stateless per-index substream derivation: index 0 returns @p base
- * unchanged; index i > 0 maps (base, i) through the splitmix64
- * finalizer. Unlike Rng::split() it does not depend on call order,
- * so any thread can derive any repetition's seed independently.
- */
-std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t index);
+/// The shared splitmix64 per-index seed derivation (util/seed.hpp);
+/// re-exported here because the sweeps' determinism contract is
+/// stated in terms of it.
+using wss::deriveSeed;
 
 /// Everything needed to run one load-sweep curve.
 struct SweepJob

@@ -1,0 +1,109 @@
+#include "fault/defect.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/seed.hpp"
+
+namespace wss::fault {
+
+double
+FaultModel::nodeFailureProbability() const
+{
+    if (yield.bond_yield <= 0.0 || yield.bond_yield > 1.0)
+        fatal("FaultModel: bond yield must be in (0, 1]");
+    if (test_escape < 0.0 || test_escape > 1.0 ||
+        node_field_failure < 0.0 || node_field_failure > 1.0)
+        fatal("FaultModel: probabilities must be in [0, 1]");
+    // A KGD test escape ships a defective die with probability
+    // test_escape * P(die defective); dieYield validates the defect
+    // model itself.
+    const double defective = 1.0 - tech::dieYield(die_area, yield);
+    const double survives = yield.bond_yield *
+                            (1.0 - test_escape * defective) *
+                            (1.0 - node_field_failure);
+    return 1.0 - survives;
+}
+
+double
+FaultModel::linkFailureProbability() const
+{
+    if (yield.bond_yield <= 0.0 || yield.bond_yield > 1.0)
+        fatal("FaultModel: bond yield must be in (0, 1]");
+    if (link_field_failure < 0.0 || link_field_failure > 1.0)
+        fatal("FaultModel: probabilities must be in [0, 1]");
+    return 1.0 - yield.bond_yield * (1.0 - link_field_failure);
+}
+
+int
+DefectMap::failedNodeCount() const
+{
+    return static_cast<int>(
+        std::count(node_failed.begin(), node_failed.end(), 1));
+}
+
+int
+DefectMap::failedLinkUnits() const
+{
+    return std::accumulate(link_failed_units.begin(),
+                           link_failed_units.end(), 0);
+}
+
+DefectSampler::DefectSampler(const topology::LogicalTopology &topo,
+                             FaultModel model, std::uint64_t base_seed)
+    : topo_(topo), model_(model), base_seed_(base_seed),
+      p_node_(model.nodeFailureProbability()),
+      p_link_(model.linkFailureProbability())
+{}
+
+DefectMap
+DefectSampler::sample(std::uint64_t index) const
+{
+    Rng rng(deriveSeed(base_seed_, index));
+    DefectMap map;
+    map.node_failed.assign(topo_.nodes().size(), 0);
+    map.link_failed_units.assign(topo_.links().size(), 0);
+    // Fixed draw order — nodes first, then every unit of every
+    // bundle — pins the map to (seed, index) alone.
+    for (auto &dead : map.node_failed)
+        dead = rng.nextBool(p_node_) ? 1 : 0;
+    for (std::size_t li = 0; li < topo_.links().size(); ++li) {
+        const int mult = topo_.links()[li].multiplicity;
+        for (int m = 0; m < mult; ++m)
+            if (rng.nextBool(p_link_))
+                ++map.link_failed_units[li];
+    }
+    return map;
+}
+
+int
+applySpares(DefectMap &map, const topology::LogicalTopology &topo,
+            int spares)
+{
+    if (spares < 0)
+        fatal("applySpares: spare count must be non-negative");
+    if (map.node_failed.size() != topo.nodes().size() ||
+        map.link_failed_units.size() != topo.links().size())
+        fatal("applySpares: map does not match the topology");
+    int repaired = 0;
+    for (std::size_t node = 0;
+         node < map.node_failed.size() && repaired < spares; ++node) {
+        if (!map.node_failed[node])
+            continue;
+        map.node_failed[node] = 0;
+        ++repaired;
+        // The replacement chiplet is bonded fresh, so its link
+        // interfaces come back too.
+        for (std::size_t li = 0; li < topo.links().size(); ++li) {
+            const auto &link = topo.links()[li];
+            if (link.a == static_cast<int>(node) ||
+                link.b == static_cast<int>(node))
+                map.link_failed_units[li] = 0;
+        }
+    }
+    return repaired;
+}
+
+} // namespace wss::fault

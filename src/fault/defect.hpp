@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Defect-map sampling — the dynamic counterpart of `tech/yield`.
+ *
+ * The paper's chiplet-based WSI argument rests on yield: known-good
+ * dies plus >99.9% bond yield plus spare sockets make the assembly
+ * buildable (Section III.A/B, modelled statically by
+ * tech::chipletSystemYield). This module turns that closed-form
+ * probability into concrete *failure maps*: which SSC sockets and
+ * which bonded link units of a given LogicalTopology actually failed
+ * — at assembly time (bond failures, KGD test escapes) or in the
+ * field — so the degradation and resilience layers can ask what the
+ * switch still does afterwards.
+ *
+ * Sampling is deterministic under the PR-1 contract: every map is
+ * derived from (base seed, sample index) through the shared
+ * splitmix64 finalizer (util/seed.hpp), so any thread can sample any
+ * index independently and a campaign's output is bit-identical at
+ * any worker count.
+ */
+
+#ifndef WSS_FAULT_DEFECT_HPP
+#define WSS_FAULT_DEFECT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tech/yield.hpp"
+#include "topology/logical_topology.hpp"
+
+namespace wss::fault {
+
+/**
+ * Failure-probability model for one assembled waferscale switch.
+ *
+ * An SSC socket fails when its bond fails, when a defective die
+ * escaped the KGD test, or when it dies in service; a link bundle
+ * unit fails when its interface bond fails or it dies in service.
+ * All probabilities compose independently.
+ */
+struct FaultModel
+{
+    /// Die-defect + bond model (tech::YieldModel semantics).
+    tech::YieldModel yield;
+    /// SSC die area used for the KGD-escape computation (mm^2);
+    /// the paper's TH-5-class die is ~800 mm^2.
+    SquareMillimeters die_area = 800.0;
+    /// Fraction of defective dies the KGD test *misses* (test
+    /// escapes). 0 = perfect screening, the paper's idealization.
+    double test_escape = 0.0;
+    /// Probability an SSC fails in service over the studied mission
+    /// window (field failures; 0 = assembly-time study only).
+    double node_field_failure = 0.0;
+    /// Probability one bonded link unit fails in service.
+    double link_field_failure = 0.0;
+
+    /// Probability one SSC socket is dead: bond failure, KGD test
+    /// escape, or field failure.
+    double nodeFailureProbability() const;
+
+    /// Probability one link bundle unit is dead: interface bond
+    /// failure or field failure.
+    double linkFailureProbability() const;
+};
+
+/**
+ * One sampled failure map over a LogicalTopology: which chiplets and
+ * how many units of each link bundle are dead.
+ */
+struct DefectMap
+{
+    /// Per-node dead flag (indexed like LogicalTopology::nodes()).
+    std::vector<char> node_failed;
+    /// Dead units per link bundle (indexed like links(); in
+    /// [0, multiplicity]).
+    std::vector<int> link_failed_units;
+
+    int failedNodeCount() const;
+    int failedLinkUnits() const;
+    bool
+    anyFailure() const
+    {
+        return failedNodeCount() > 0 || failedLinkUnits() > 0;
+    }
+};
+
+/**
+ * Deterministic Monte-Carlo sampler of DefectMaps for one topology.
+ */
+class DefectSampler
+{
+  public:
+    DefectSampler(const topology::LogicalTopology &topo, FaultModel model,
+                  std::uint64_t base_seed);
+
+    /**
+     * Sample map @p index. Stateless per index: uses
+     * Rng(deriveSeed(base_seed, index)), drawing nodes first then
+     * link units, so the same (seed, index) always yields the same
+     * map regardless of call order or thread.
+     */
+    DefectMap sample(std::uint64_t index) const;
+
+    const FaultModel &model() const { return model_; }
+
+  private:
+    const topology::LogicalTopology &topo_;
+    FaultModel model_;
+    std::uint64_t base_seed_;
+    double p_node_;
+    double p_link_;
+};
+
+/**
+ * Spare-SSC reallocation (the paper's spare-socket scheme): repair up
+ * to @p spares failed nodes of @p map, lowest node id first — the
+ * deterministic stand-in for "rebond the spare where it is needed".
+ * A repaired socket gets a fresh chiplet and fresh bonds, so the
+ * failed units of its incident link bundles are also restored.
+ * Returns the number of nodes repaired.
+ */
+int applySpares(DefectMap &map, const topology::LogicalTopology &topo,
+                int spares);
+
+} // namespace wss::fault
+
+#endif // WSS_FAULT_DEFECT_HPP

@@ -1,0 +1,63 @@
+#include "fault/fault_schedule.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/logging.hpp"
+
+namespace wss::fault {
+
+void
+FaultSchedule::killLink(sim::Cycle at, int link)
+{
+    if (at < 0 || link < 0)
+        fatal("FaultSchedule: bad kill event (cycle ", at, ", link ",
+              link, ")");
+    events_.push_back({at, link, false});
+}
+
+void
+FaultSchedule::restoreLink(sim::Cycle at, int link)
+{
+    if (at < 0 || link < 0)
+        fatal("FaultSchedule: bad restore event (cycle ", at, ", link ",
+              link, ")");
+    events_.push_back({at, link, true});
+}
+
+void
+FaultSchedule::flapLink(int link, sim::Cycle down, sim::Cycle up)
+{
+    if (up <= down)
+        fatal("FaultSchedule: flap must restore after it kills");
+    killLink(down, link);
+    restoreLink(up, link);
+}
+
+std::function<void(sim::Network &, sim::Cycle)>
+FaultSchedule::hook() const
+{
+    auto events =
+        std::make_shared<std::vector<FaultEvent>>(events_);
+    std::stable_sort(events->begin(), events->end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.at < b.at;
+                     });
+    // The hook carries no mutable state — it binary-searches the
+    // events due exactly at `now` each cycle (the simulator visits
+    // every cycle from 0, so none are skipped). That makes the same
+    // hook object safe to share across concurrently running
+    // simulations, e.g. when a SweepJob copies one SimConfig into
+    // many parallel cells.
+    return [events](sim::Network &network, sim::Cycle now) {
+        const auto [begin, end] = std::equal_range(
+            events->begin(), events->end(), FaultEvent{now, 0, false},
+            [](const FaultEvent &a, const FaultEvent &b) {
+                return a.at < b.at;
+            });
+        for (auto it = begin; it != end; ++it)
+            network.setLinkUp(it->link, it->up);
+    };
+}
+
+} // namespace wss::fault

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Runtime fault injection: kill and restore links mid-simulation.
+ *
+ * A FaultSchedule is an ordered list of link up/down events applied
+ * to a live sim::Network through the SimConfig::on_cycle hook. Each
+ * event triggers Network::setLinkUp, which rebuilds every routing
+ * table over the surviving links — so packets routed after the event
+ * take the surviving ECMP paths, while flits already in flight on
+ * the dead link drain out (the maintenance model; see
+ * Network::setLinkUp). This is how degraded-mode latency and
+ * throughput are measured with the existing Simulator, without any
+ * changes to the router pipeline.
+ */
+
+#ifndef WSS_FAULT_FAULT_SCHEDULE_HPP
+#define WSS_FAULT_FAULT_SCHEDULE_HPP
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace wss::fault {
+
+/// One administrative link transition.
+struct FaultEvent
+{
+    sim::Cycle at = 0;
+    /// Logical link index (LogicalTopology::links() order).
+    int link = 0;
+    /// false = kill, true = restore.
+    bool up = false;
+};
+
+/**
+ * A deterministic, time-ordered schedule of link faults.
+ */
+class FaultSchedule
+{
+  public:
+    FaultSchedule() = default;
+
+    /// Kill @p link at cycle @p at.
+    void killLink(sim::Cycle at, int link);
+
+    /// Restore @p link at cycle @p at.
+    void restoreLink(sim::Cycle at, int link);
+
+    /// Kill @p link at @p down and restore it at @p up (a flap).
+    void flapLink(int link, sim::Cycle down, sim::Cycle up);
+
+    const std::vector<FaultEvent> &events() const { return events_; }
+
+    /**
+     * Build the per-cycle hook for SimConfig::on_cycle. The hook
+     * owns an immutable sorted copy of the events (insertion order
+     * breaking same-cycle ties) and carries no per-run state, so one
+     * hook can arm any number of independent simulations —
+     * including concurrently, as each invocation only touches the
+     * network it is handed.
+     */
+    std::function<void(sim::Network &, sim::Cycle)> hook() const;
+
+    /// Arm @p cfg with this schedule (convenience for hook()).
+    void
+    installInto(sim::SimConfig &cfg) const
+    {
+        cfg.on_cycle = hook();
+    }
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+} // namespace wss::fault
+
+#endif // WSS_FAULT_FAULT_SCHEDULE_HPP

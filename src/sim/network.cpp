@@ -71,14 +71,9 @@ Network::Network(const topology::LogicalTopology &topo,
     }
 
     // Inter-router channels: one bidirectional pair per unit of
-    // multiplicity. Track which ports lead to which neighbor for the
-    // routing tables.
-    struct PortLink
-    {
-        int port;
-        int neighbor;
-    };
-    std::vector<std::vector<PortLink>> adjacency(n);
+    // multiplicity. Track which ports lead to which neighbor (and
+    // over which logical link) for the routing tables.
+    adjacency_.resize(static_cast<std::size_t>(n));
     const auto &links = topo.links();
     for (std::size_t li = 0; li < links.size(); ++li) {
         const auto &link = links[li];
@@ -96,17 +91,39 @@ Network::Network(const topology::LogicalTopology &topo,
             routers_[link.b]->connectOutput(pb, ba.get(),
                                             spec.buffer_per_port);
             routers_[link.a]->connectInput(pa, ba.get());
-            adjacency[link.a].push_back({pa, link.b});
-            adjacency[link.b].push_back({pb, link.a});
+            adjacency_[link.a].push_back(
+                {pa, link.b, static_cast<int>(li)});
+            adjacency_[link.b].push_back(
+                {pb, link.a, static_cast<int>(li)});
             link_channels_.push_back(std::move(ab));
             link_channels_.push_back(std::move(ba));
         }
         link_channel_count_.push_back(2 * link.multiplicity);
     }
+    link_up_.assign(links.size(), 1);
 
-    // Routing tables: BFS distances from every router, then per
-    // (router, destination) collect the output ports that step onto
-    // a minimal path.
+    // Terminal -> local output port maps. Terminal ids were assigned
+    // in router order, so a running counter per router recovers the
+    // local port index.
+    term_port_.assign(static_cast<std::size_t>(n),
+                      std::vector<std::int16_t>(terminal_count_, -1));
+    {
+        std::vector<int> local(n, 0);
+        for (int t = 0; t < terminal_count_; ++t) {
+            const int r = terminal_router_[t];
+            term_port_[r][t] = static_cast<std::int16_t>(local[r]++);
+        }
+    }
+
+    buildRoutingTables();
+}
+
+void
+Network::buildRoutingTables()
+{
+    const int n = routerCount();
+
+    // BFS distances from every router over the live links.
     std::vector<std::vector<int>> dist(n, std::vector<int>(n, -1));
     for (int src = 0; src < n; ++src) {
         auto &d = dist[src];
@@ -116,7 +133,9 @@ Network::Network(const topology::LogicalTopology &topo,
         while (!queue.empty()) {
             const int u = queue.front();
             queue.pop();
-            for (const auto &pl : adjacency[u]) {
+            for (const auto &pl : adjacency_[u]) {
+                if (!link_up_[static_cast<std::size_t>(pl.link)])
+                    continue;
                 if (d[pl.neighbor] < 0) {
                     d[pl.neighbor] = d[u] + 1;
                     queue.push(pl.neighbor);
@@ -125,19 +144,10 @@ Network::Network(const topology::LogicalTopology &topo,
         }
     }
 
-    // Terminal -> local output port maps. Terminal ids were assigned
-    // in router order, so a running counter per router recovers the
-    // local port index.
-    std::vector<std::vector<std::int16_t>> term_port(
-        n, std::vector<std::int16_t>(terminal_count_, -1));
-    {
-        std::vector<int> local(n, 0);
-        for (int t = 0; t < terminal_count_; ++t) {
-            const int r = terminal_router_[t];
-            term_port[r][t] = static_cast<std::int16_t>(local[r]++);
-        }
-    }
-
+    // Per (router, destination): the output ports stepping onto a
+    // minimal path. Every destination must keep a non-empty ECMP set
+    // — an empty one would silently blackhole packets at route time,
+    // so both failure shapes are fatal here.
     for (int r = 0; r < n; ++r) {
         std::vector<std::int32_t> offsets(n + 1, 0);
         std::vector<std::int16_t> ports;
@@ -147,15 +157,38 @@ Network::Network(const topology::LogicalTopology &topo,
                 continue;
             if (dist[r][d] < 0)
                 fatal("Network: routers ", r, " and ", d,
-                      " are disconnected");
-            for (const auto &pl : adjacency[r])
-                if (dist[pl.neighbor][d] == dist[r][d] - 1)
+                      " are disconnected (link failures partitioned "
+                      "the fabric?)");
+            const auto before = ports.size();
+            for (const auto &pl : adjacency_[r])
+                if (link_up_[static_cast<std::size_t>(pl.link)] &&
+                    dist[pl.neighbor][d] == dist[r][d] - 1)
                     ports.push_back(static_cast<std::int16_t>(pl.port));
+            if (ports.size() == before)
+                fatal("Network: router ", r, " has no live minimal-",
+                      "path port toward router ", d,
+                      " (empty ECMP set)");
         }
         offsets[n] = static_cast<std::int32_t>(ports.size());
         routers_[r]->installRoutes(&terminal_router_, std::move(offsets),
-                                   std::move(ports), term_port[r]);
+                                   std::move(ports), term_port_[r]);
     }
+}
+
+void
+Network::setLinkUp(int link, bool up)
+{
+    if (link < 0 || link >= linkCount())
+        fatal("Network::setLinkUp: link ", link, " out of range");
+    auto &state = link_up_[static_cast<std::size_t>(link)];
+    if ((state != 0) == up)
+        return;
+    state = up ? 1 : 0;
+    for (std::size_t r = 0; r < adjacency_.size(); ++r)
+        for (const auto &pl : adjacency_[r])
+            if (pl.link == link)
+                routers_[r]->setPortEnabled(pl.port, up);
+    buildRoutingTables();
 }
 
 bool

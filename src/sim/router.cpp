@@ -24,6 +24,7 @@ Router::Router(int id, const RouterConfig &cfg, std::uint64_t seed)
     inputs_.resize(cfg.ports);
     for (auto &in : inputs_)
         in.vcs.resize(cfg.vcs);
+    port_enabled_.assign(static_cast<std::size_t>(cfg.ports), 1);
     outputs_.resize(cfg.ports);
     for (auto &out : outputs_)
         out.vc_owner.assign(cfg.vcs, -1);
@@ -43,6 +44,12 @@ Router::connectOutput(int port, ChannelPair *channel,
     auto &out = outputs_.at(port);
     out.channel = channel;
     out.credits = downstream_buffer;
+}
+
+void
+Router::setPortEnabled(int port, bool enabled)
+{
+    port_enabled_.at(static_cast<std::size_t>(port)) = enabled ? 1 : 0;
 }
 
 void

@@ -106,6 +106,21 @@ class Router
         std::vector<std::int16_t> candidate_ports,
         std::vector<std::int16_t> terminal_port_of);
 
+    /**
+     * Administratively enable/disable output port @p port (fault
+     * layer). Disabled ports are excluded from rebuilt routing
+     * tables; flits already staged for the port keep draining so
+     * wormhole state stays consistent.
+     */
+    void setPortEnabled(int port, bool enabled);
+
+    /// Administrative state of output port @p port.
+    bool
+    portEnabled(int port) const
+    {
+        return port_enabled_.at(static_cast<std::size_t>(port)) != 0;
+    }
+
     /// Advance one cycle: ingest flits/credits, run RC/VA/SA/ST.
     void step(Cycle now);
 
@@ -191,6 +206,8 @@ class Router
 
     std::vector<InputPort> inputs_;
     std::vector<OutputPort> outputs_;
+    /// Administrative per-port state (fault layer); 1 = up.
+    std::vector<char> port_enabled_;
 
     const std::vector<std::int32_t> *dst_router_of_terminal_ = nullptr;
     /// CSR routing table: candidates for router d live at

@@ -108,6 +108,8 @@ Simulator::run()
 
     Cycle now = 0;
     for (;; ++now) {
+        if (cfg_.on_cycle)
+            cfg_.on_cycle(network_, now);
         if (cfg_.run_to_exhaustion ? !workload_.exhausted(now)
                                    : now < window_end)
             generate(now);

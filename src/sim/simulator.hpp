@@ -9,6 +9,7 @@
 #define WSS_SIM_SIMULATOR_HPP
 
 #include <deque>
+#include <functional>
 
 #include "sim/network.hpp"
 #include "sim/workload.hpp"
@@ -33,6 +34,9 @@ struct SimConfig
     /// measure every packet. The `measure` field then only bounds
     /// the run length.
     bool run_to_exhaustion = false;
+    /// Optional per-cycle hook, invoked before generation each cycle
+    /// (fault::FaultSchedule kills/restores links through this).
+    std::function<void(Network &, Cycle)> on_cycle;
 };
 
 /// What one simulation run produced.

@@ -79,6 +79,47 @@ TEST(Yield, ZeroSpareMatchesClosedForm)
                 std::pow(0.999, 96), 1e-12);
 }
 
+TEST(Yield, SparesBeyondSocketsSaturate)
+{
+    tech::YieldModel model;
+    model.bond_yield = 0.99;
+    // spares >= chiplets is a legal (if extravagant) assembly: the
+    // binomial tail stays monotone and clamped to 1.
+    const double equal = tech::chipletSystemYield(8, 8, model);
+    const double more = tech::chipletSystemYield(8, 16, model);
+    EXPECT_GT(equal, 0.999999);
+    EXPECT_GE(more, equal);
+    EXPECT_LE(more, 1.0);
+}
+
+TEST(Yield, PerfectBondsAlwaysYieldOne)
+{
+    tech::YieldModel model;
+    model.bond_yield = 1.0;
+    for (int spares : {0, 3, 96})
+        EXPECT_DOUBLE_EQ(tech::chipletSystemYield(96, spares, model),
+                         1.0);
+}
+
+TEST(Yield, DieYieldDecreasesTowardPoissonLimit)
+{
+    // (1 + DA/alpha)^(-alpha) falls monotonically in alpha and
+    // converges to the Poisson yield e^(-DA) from above: clustering
+    // concentrates defects on fewer dies, which helps yield.
+    tech::YieldModel model;
+    const double poisson = std::exp(-0.1 * 800.0 / 100.0);
+    double prev = 1.0;
+    double y = 0.0;
+    for (double alpha : {1.0, 2.0, 8.0, 64.0, 1e4, 1e8}) {
+        model.clustering_alpha = alpha;
+        y = tech::dieYield(800.0, model);
+        EXPECT_LT(y, prev);
+        EXPECT_GT(y, poisson);
+        prev = y;
+    }
+    EXPECT_NEAR(y, poisson, 1e-6);
+}
+
 TEST(Yield, KgdCostFactorIsInverseYield)
 {
     const tech::YieldModel model;

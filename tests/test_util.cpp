@@ -158,6 +158,22 @@ TEST(Table, CsvQuotesSpecialCharacters)
     EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
 }
 
+TEST(Table, CsvRoundTripsTopologyLabels)
+{
+    // Resilience artifacts carry "clos(3,64)"-style labels: the
+    // embedded comma must force quoting while plain fields stay
+    // unquoted, so the row still splits into the right columns.
+    Table t("demo", {"topology", "survival"});
+    t.addRow({"clos(3,64)", "0.9981"});
+    t.addRow({"mesh-8x8", "1.0000"});
+    std::ostringstream os;
+    t.printCsv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"clos(3,64)\",0.9981"), std::string::npos);
+    EXPECT_NE(out.find("mesh-8x8,1.0000"), std::string::npos);
+    EXPECT_EQ(out.find("\"mesh-8x8\""), std::string::npos);
+}
+
 TEST(StatsAccumulator, MeanMinMax)
 {
     StatsAccumulator acc;

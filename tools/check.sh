@@ -2,9 +2,11 @@
 #
 # Full pre-merge verification:
 #   1. tier-1 build + ctest (the ROADMAP gate), and
-#   2. a ThreadSanitizer build of the parallel execution engine
-#      (test_exec + test_sim via the `tsan` CMake preset), so every
-#      change to the thread pool / sweep runner is race-checked.
+#   2. a ThreadSanitizer build of the parallel execution engine and
+#      the fault/resilience campaigns that ride on it (test_exec +
+#      test_sim + test_fault via the `tsan` CMake preset), so every
+#      change to the thread pool / sweep runner / resilience fan-out
+#      is race-checked.
 #
 # Usage: tools/check.sh            (from anywhere in the repo)
 #        JOBS=8 tools/check.sh     (override the parallelism)
@@ -21,7 +23,7 @@ cmake --build build -j "$JOBS"
 echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== tsan: configure + build (test_exec, test_sim) =="
+echo "== tsan: configure + build (test_exec, test_sim, test_fault) =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$JOBS"
 

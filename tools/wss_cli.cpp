@@ -3,12 +3,13 @@
  * `wss` — command-line front end to the waferscale-switch models.
  *
  * Subcommands:
- *   solve   size the maximum-radix switch for a design point
- *   sim     latency-vs-load sweep on a waferscale Clos fabric
- *   sweep   parallel multi-pattern sweep campaign (--jobs N)
- *   trace   generate (and save) a synthetic mini-app message trace
- *   yield   manufacturing-yield analysis for a chiplet assembly
- *   plan    full system plan (power delivery / cooling / enclosure)
+ *   solve       size the maximum-radix switch for a design point
+ *   sim         latency-vs-load sweep on a waferscale Clos fabric
+ *   sweep       parallel multi-pattern sweep campaign (--jobs N)
+ *   trace       generate (and save) a synthetic mini-app message trace
+ *   yield       manufacturing-yield analysis for a chiplet assembly
+ *   resilience  Monte-Carlo defect/spare/degraded-mode campaign
+ *   plan        full system plan (power delivery / cooling / enclosure)
  *
  * Run `wss <subcommand> --help` for the flags of each.
  */
@@ -24,6 +25,7 @@
 
 #include "core/radix_solver.hpp"
 #include "exec/campaign.hpp"
+#include "fault/resilience.hpp"
 #include "power/link_power.hpp"
 #include "sim/load_sweep.hpp"
 #include "sysarch/cooling_loop.hpp"
@@ -455,6 +457,129 @@ cmdYield(const Args &args)
     return 0;
 }
 
+/// Comma-separated "--key a,b,c" list; fatal when empty.
+std::vector<std::string>
+listFromArgs(const Args &args, const std::string &key,
+             const std::string &fallback)
+{
+    std::vector<std::string> items;
+    std::istringstream list(args.str(key, fallback));
+    std::string item;
+    while (std::getline(list, item, ','))
+        if (!item.empty())
+            items.push_back(item);
+    if (items.empty())
+        fatal("resilience: --", key, " needs at least one value");
+    return items;
+}
+
+int
+cmdResilience(const Args &args)
+{
+    if (args.has("help")) {
+        std::cout <<
+            "usage: wss resilience [--flags]\n"
+            "\n"
+            "Monte-Carlo resilience campaign: sample defect maps of a\n"
+            "folded-Clos waferscale switch, repair with spare SSCs,\n"
+            "classify connectivity, and (optionally) simulate the\n"
+            "degraded fabric's saturation throughput.\n"
+            "\n"
+            "  --ports 256,512      switch radices to sweep\n"
+            "  --densities 0.1,0.3  die defect densities (per cm^2)\n"
+            "  --spares 0,1,2       spare-SSC counts\n"
+            "  --ssc-radix 64       sub-switch chiplet radix\n"
+            "  --line-rate 200      SSC line rate (Gbps)\n"
+            "  --samples 500        defect maps per cell\n"
+            "  --sim-samples 0      maps also simulated packet-level\n"
+            "  --sim-rate 0.9       offered load for those runs\n"
+            "  --packet-flits 4     flits per packet\n"
+            "  --bond-yield 0.999   per-bond success probability\n"
+            "  --test-escape 0.05   defective dies missed by KGD test\n"
+            "  --node-fail 0.002    SSC field-failure probability\n"
+            "  --link-fail 0.0005   link-unit field-failure probability\n"
+            "  --jobs N             worker threads\n"
+            "  --seed 1             base seed (same seed + config =>\n"
+            "                       bit-identical CSV at any --jobs)\n"
+            "  --csv out.csv --json out.json\n"
+            "  plus the sim flags of `wss sim` (--vcs, --warmup, ...)\n";
+        return 0;
+    }
+
+    fault::ResilienceConfig cfg;
+    cfg.radices.clear();
+    for (const auto &item : listFromArgs(args, "ports", "256"))
+        cfg.radices.push_back(std::stoll(item));
+    cfg.defect_densities.clear();
+    for (const auto &item : listFromArgs(args, "densities", "0.1,0.3"))
+        cfg.defect_densities.push_back(std::stod(item));
+    cfg.spare_counts.clear();
+    for (const auto &item : listFromArgs(args, "spares", "0,1,2"))
+        cfg.spare_counts.push_back(static_cast<int>(std::stoi(item)));
+
+    cfg.ssc = power::scaledSsc(
+        static_cast<int>(args.integer("ssc-radix", 64)),
+        args.num("line-rate", 200.0));
+    cfg.model.yield.bond_yield = args.num("bond-yield", 0.999);
+    cfg.model.test_escape = args.num("test-escape", 0.05);
+    cfg.model.node_field_failure = args.num("node-fail", 0.002);
+    cfg.model.link_field_failure = args.num("link-fail", 0.0005);
+    cfg.samples = static_cast<int>(args.integer("samples", 500));
+    cfg.sim_samples =
+        static_cast<int>(args.integer("sim-samples", 0));
+    cfg.sim_rate = args.num("sim-rate", 0.9);
+    cfg.sim_packet_size =
+        static_cast<int>(args.integer("packet-flits", 4));
+    cfg.net_spec = fabricSpecFromArgs(args);
+    cfg.sim_cfg = simConfigFromArgs(args);
+    cfg.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
+
+    const int jobs = static_cast<int>(
+        args.integer("jobs", exec::ThreadPool::defaultThreads()));
+    exec::ThreadPool pool(jobs);
+    const fault::ResilienceResult result =
+        fault::ResilienceCampaign(cfg).run(&pool);
+
+    Table table("wss resilience — " + Table::num(cfg.samples) +
+                    " maps/cell, seed " + Table::num(cfg.seed),
+                {"topology", "density", "spares", "survival",
+                 "E[ports]", "bisection", "analytic", "sim thr"});
+    for (const auto &cell : result.cells) {
+        table.addRow(
+            {cell.topology, Table::num(cell.defect_density, 2),
+             Table::num(cell.spares), Table::num(cell.survival, 4),
+             Table::num(cell.expected_usable_ports, 1),
+             Table::num(cell.mean_bisection_fraction, 4),
+             Table::num(cell.analytic_bond_yield, 4),
+             cell.sim_samples > 0
+                 ? Table::num(cell.mean_degraded_throughput, 3) +
+                       "/" + Table::num(cell.healthy_throughput, 3)
+                 : "-"});
+    }
+    table.print(std::cout);
+    std::cout << "campaign: " << result.cells.size() << " cells on "
+              << result.threads << " threads, wall "
+              << Table::num(result.wall_seconds, 2) << " s\n";
+
+    if (args.has("csv")) {
+        const std::string path = args.str("csv", "");
+        std::ofstream os(path);
+        if (!os)
+            fatal("cannot open '", path, "' for writing");
+        result.writeCsv(os);
+        std::cout << "CSV written to " << path << "\n";
+    }
+    if (args.has("json")) {
+        const std::string path = args.str("json", "");
+        std::ofstream os(path);
+        if (!os)
+            fatal("cannot open '", path, "' for writing");
+        result.writeJson(os);
+        std::cout << "JSON written to " << path << "\n";
+    }
+    return 0;
+}
+
 int
 cmdPlan(const Args &args)
 {
@@ -511,6 +636,10 @@ usage()
         "          [--csv out.csv --json out.json]\n"
         "  trace   --app lulesh --ranks 512 --duplicate 4 --out t.trc\n"
         "  yield   --chiplets 96 --die-area 800 --defects 0.1\n"
+        "  resilience  --ports 256,512 --densities 0.1,0.3\n"
+        "          --spares 0,1,2 --samples 500 [--sim-samples 4]\n"
+        "          --jobs 8 [--csv out.csv --json out.json]\n"
+        "          (run `wss resilience --help` for all flags)\n"
         "  plan    (solve flags) -> power delivery/cooling/enclosure\n";
 }
 
@@ -535,6 +664,8 @@ main(int argc, char **argv)
         return cmdTrace(args);
     if (cmd == "yield")
         return cmdYield(args);
+    if (cmd == "resilience")
+        return cmdResilience(args);
     if (cmd == "plan")
         return cmdPlan(args);
     usage();
