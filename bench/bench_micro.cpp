@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "mapping/pairwise_exchange.hpp"
+#include "obs/metrics.hpp"
 #include "power/ssc.hpp"
 #include "sim/simulator.hpp"
 #include "topology/clos.hpp"
@@ -100,6 +101,83 @@ BM_RouterCycleThroughput(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RouterCycleThroughput)->Unit(benchmark::kMicrosecond);
+
+void
+BM_RouterCycleThroughputObserved(benchmark::State &state)
+{
+    // Same fabric and load as BM_RouterCycleThroughput, but through
+    // the Simulator with observability on — compare against the
+    // un-instrumented variant to see the cost of live counters and
+    // per-cycle occupancy histograms (the "obs on" price).
+    const auto topo =
+        topology::buildFoldedClos({2048, power::tomahawk5(3), 1});
+    sim::NetworkSpec spec;
+    spec.vcs = 16;
+    spec.buffer_per_port = 32;
+    spec.pipeline_delay = 9;
+    spec.terminal_link_latency = 8;
+    sim::Network net(topo, spec, 3);
+    sim::SyntheticWorkload workload(sim::uniformTraffic(2048), 0.5, 1);
+    obs::MetricsRegistry registry;
+    net.instrument(registry);
+    Rng rng(4);
+    sim::Cycle now = 0;
+    std::vector<std::deque<sim::Flit>> source(2048);
+    for (auto _ : state) {
+        workload.generate(now, rng, [&](int src, int dst, int flits) {
+            for (int i = 0; i < flits; ++i) {
+                sim::Flit flit;
+                flit.src = src;
+                flit.dst = dst;
+                flit.head = i == 0;
+                flit.tail = i == flits - 1;
+                flit.vc = 0;
+                flit.created = now;
+                source[src].push_back(flit);
+            }
+        });
+        for (int t = 0; t < 2048; ++t) {
+            if (!source[t].empty() &&
+                net.tryInject(t, now, source[t].front()))
+                source[t].pop_front();
+            benchmark::DoNotOptimize(net.eject(t, now));
+        }
+        net.step(now);
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouterCycleThroughputObserved)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_CounterHandleDisabled(benchmark::State &state)
+{
+    // The <=1%-overhead contract rests on this: bumping a detached
+    // (default-constructed) counter must cost one predicted branch.
+    obs::Counter counter;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        counter.inc(i++ & 1);
+        benchmark::DoNotOptimize(counter);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterHandleDisabled);
+
+void
+BM_CounterHandleEnabled(benchmark::State &state)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter counter = registry.counter("bench");
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        counter.inc(i++ & 1);
+        benchmark::DoNotOptimize(counter);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterHandleEnabled);
 
 } // namespace
 

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <utility>
 
+#include "util/artifact.hpp"
 #include "util/logging.hpp"
 #include "util/stats_accumulator.hpp"
 
@@ -77,7 +78,7 @@ Campaign::addTask(std::string name, std::function<void()> fn)
 }
 
 CampaignResult
-Campaign::run(ThreadPool *pool) const
+Campaign::run(ThreadPool *pool, obs::TraceEventSink *trace) const
 {
     const auto start = std::chrono::steady_clock::now();
 
@@ -123,6 +124,7 @@ Campaign::run(ThreadPool *pool) const
         const Cell &cell = cells[static_cast<std::size_t>(index)];
         const Entry &entry =
             entries_[static_cast<std::size_t>(cell.job)];
+        const std::int64_t ts = trace ? trace->nowMicros() : 0;
         PointOutcome outcome;
         if (entry.is_sweep) {
             outcome = SweepRunner(entry.sweep)
@@ -134,9 +136,31 @@ Campaign::run(ThreadPool *pool) const
         }
         outcomes[static_cast<std::size_t>(index)] = outcome;
 
+        const int slot = pool ? pool->workerSlot() : 0;
+        if (trace) {
+            std::vector<obs::TraceArg> args;
+            args.push_back(obs::TraceArg::str("job", entry.name));
+            args.push_back(obs::TraceArg::str(
+                "kind", entry.is_sweep ? "sweep" : "task"));
+            if (entry.is_sweep) {
+                args.push_back(obs::TraceArg::num(
+                    "repetition",
+                    static_cast<std::int64_t>(cell.repetition)));
+                args.push_back(obs::TraceArg::num(
+                    "rate_index",
+                    static_cast<std::int64_t>(cell.rate_index)));
+                args.push_back(obs::TraceArg::num(
+                    "rate", entry.sweep.rates[static_cast<std::size_t>(
+                                cell.rate_index)]));
+            }
+            trace->complete(entry.name,
+                            entry.is_sweep ? "sweep" : "task", slot,
+                            ts, trace->nowMicros() - ts,
+                            std::move(args));
+        }
+
         auto &buffer =
-            per_worker[static_cast<std::size_t>(
-                pool ? pool->workerSlot() : 0)];
+            per_worker[static_cast<std::size_t>(slot)];
         buffer.cell_seconds[static_cast<std::size_t>(cell.job)].add(
             outcome.seconds);
         buffer.cell_seconds_q[static_cast<std::size_t>(cell.job)].add(
@@ -151,6 +175,12 @@ Campaign::run(ThreadPool *pool) const
             runCell(i);
 
     // Barrier passed: merge the per-worker buffers and finalize.
+    if (trace) {
+        const int workers = pool ? pool->size() : 0;
+        for (int w = 0; w < workers; ++w)
+            trace->setThreadName(w, "worker " + std::to_string(w));
+        trace->setThreadName(workers, "caller");
+    }
     CampaignResult result;
     result.wall_seconds = elapsedSeconds(start);
     result.threads = pool ? pool->size() : 1;
@@ -260,6 +290,22 @@ CampaignResult::writeJson(std::ostream &os) const
         os << "}";
     }
     os << "\n  ]\n}\n";
+}
+
+void
+CampaignResult::writeCsvFile(const std::string &path) const
+{
+    util::writeArtifactFile(
+        path, "CampaignResult",
+        [this](std::ostream &os) { writeCsv(os); });
+}
+
+void
+CampaignResult::writeJsonFile(const std::string &path) const
+{
+    util::writeArtifactFile(
+        path, "CampaignResult",
+        [this](std::ostream &os) { writeJson(os); });
 }
 
 } // namespace wss::exec

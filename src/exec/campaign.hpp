@@ -27,6 +27,7 @@
 
 #include "exec/sweep_runner.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/trace_event.hpp"
 
 namespace wss::exec {
 
@@ -63,6 +64,13 @@ struct CampaignResult
     void writeCsv(std::ostream &os) const;
     /// Nested per-job summary, full precision.
     void writeJson(std::ostream &os) const;
+
+    /// writeCsv()/writeJson() to @p path through a flush-checked
+    /// stream: the data hits the file (or a fatal() reports the I/O
+    /// failure) before control returns, so later fatal() exits can
+    /// never truncate the artifact.
+    void writeCsvFile(const std::string &path) const;
+    void writeJsonFile(const std::string &path) const;
 };
 
 /**
@@ -82,9 +90,13 @@ class Campaign
     /**
      * Execute every cell of every job. @p pool nullptr runs
      * serially; otherwise all cells share the pool's workers plus
-     * the calling thread.
+     * the calling thread. @p trace, when given, records one span per
+     * cell on per-worker tracks (args: job, kind, and for sweep
+     * cells repetition/rate_index/rate) plus thread-name metadata —
+     * deterministic in content at any pool size.
      */
-    CampaignResult run(ThreadPool *pool = nullptr) const;
+    CampaignResult run(ThreadPool *pool = nullptr,
+                       obs::TraceEventSink *trace = nullptr) const;
 
   private:
     struct Entry

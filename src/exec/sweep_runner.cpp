@@ -54,7 +54,7 @@ SweepRunner::runPoint(int repetition, int rate_index) const
 }
 
 SweepRunOutput
-SweepRunner::run(ThreadPool *pool) const
+SweepRunner::run(ThreadPool *pool, obs::TraceEventSink *trace) const
 {
     const auto start = std::chrono::steady_clock::now();
     const auto reps = static_cast<std::int64_t>(job_.repetitions);
@@ -63,9 +63,22 @@ SweepRunner::run(ThreadPool *pool) const
     std::vector<PointOutcome> outcomes(
         static_cast<std::size_t>(reps * rates));
     const auto runCell = [&](std::int64_t index) {
-        outcomes[static_cast<std::size_t>(index)] =
-            runPoint(static_cast<int>(index / rates),
-                     static_cast<int>(index % rates));
+        const int rep = static_cast<int>(index / rates);
+        const int ri = static_cast<int>(index % rates);
+        const std::int64_t ts = trace ? trace->nowMicros() : 0;
+        outcomes[static_cast<std::size_t>(index)] = runPoint(rep, ri);
+        if (trace)
+            trace->complete(
+                "sweep point", "sweep",
+                pool ? pool->workerSlot() : 0, ts,
+                trace->nowMicros() - ts,
+                {obs::TraceArg::num("repetition",
+                                    static_cast<std::int64_t>(rep)),
+                 obs::TraceArg::num("rate_index",
+                                    static_cast<std::int64_t>(ri)),
+                 obs::TraceArg::num(
+                     "rate",
+                     job_.rates[static_cast<std::size_t>(ri)])});
     };
     if (pool)
         pool->parallelFor(reps * rates, runCell);

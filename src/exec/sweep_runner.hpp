@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "obs/trace_event.hpp"
 #include "sim/load_sweep.hpp"
 #include "util/seed.hpp"
 
@@ -90,8 +91,12 @@ class SweepRunner
     explicit SweepRunner(SweepJob job);
 
     /// Execute every (repetition, rate) cell. @p pool nullptr runs
-    /// serially in the calling thread.
-    SweepRunOutput run(ThreadPool *pool = nullptr) const;
+    /// serially in the calling thread. @p trace, when given, records
+    /// one span per cell on per-worker tracks (args: repetition,
+    /// rate_index, rate) — the span *content* is deterministic at any
+    /// pool size, only timestamps and track assignment vary.
+    SweepRunOutput run(ThreadPool *pool = nullptr,
+                       obs::TraceEventSink *trace = nullptr) const;
 
     /// Execute a single cell (the unit the pool schedules).
     PointOutcome runPoint(int repetition, int rate_index) const;

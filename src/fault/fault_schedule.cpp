@@ -35,7 +35,7 @@ FaultSchedule::flapLink(int link, sim::Cycle down, sim::Cycle up)
 }
 
 std::function<void(sim::Network &, sim::Cycle)>
-FaultSchedule::hook() const
+FaultSchedule::hook(obs::TraceEventSink *trace) const
 {
     auto events =
         std::make_shared<std::vector<FaultEvent>>(events_);
@@ -49,14 +49,28 @@ FaultSchedule::hook() const
     // hook object safe to share across concurrently running
     // simulations, e.g. when a SweepJob copies one SimConfig into
     // many parallel cells.
-    return [events](sim::Network &network, sim::Cycle now) {
+    return [events, trace](sim::Network &network, sim::Cycle now) {
         const auto [begin, end] = std::equal_range(
             events->begin(), events->end(), FaultEvent{now, 0, false},
             [](const FaultEvent &a, const FaultEvent &b) {
                 return a.at < b.at;
             });
-        for (auto it = begin; it != end; ++it)
+        for (auto it = begin; it != end; ++it) {
+            WSS_WARN_ONCE(
+                "FaultSchedule: applying link transitions; each one "
+                "rebuilds every routing table (O(routers^2) BFS) — "
+                "fine per event, costly if scheduled every cycle");
             network.setLinkUp(it->link, it->up);
+            if (trace)
+                trace->instant(
+                    std::string("link ") + std::to_string(it->link) +
+                        (it->up ? " up" : " down"),
+                    "fault", 0, now,
+                    {obs::TraceArg::num(
+                         "link", static_cast<std::int64_t>(it->link)),
+                     obs::TraceArg::str("state",
+                                        it->up ? "up" : "down")});
+        }
     };
 }
 

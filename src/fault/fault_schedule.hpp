@@ -19,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/trace_event.hpp"
 #include "sim/simulator.hpp"
 
 namespace wss::fault {
@@ -59,14 +60,21 @@ class FaultSchedule
      * hook can arm any number of independent simulations —
      * including concurrently, as each invocation only touches the
      * network it is handed.
+     *
+     * @p trace, when given, receives one instant event per applied
+     * transition ("link N down" / "link N up", ts = simulated
+     * cycle) — laying the fault timeline alongside the campaign
+     * spans in the same trace file.
      */
-    std::function<void(sim::Network &, sim::Cycle)> hook() const;
+    std::function<void(sim::Network &, sim::Cycle)>
+    hook(obs::TraceEventSink *trace = nullptr) const;
 
     /// Arm @p cfg with this schedule (convenience for hook()).
     void
-    installInto(sim::SimConfig &cfg) const
+    installInto(sim::SimConfig &cfg,
+                obs::TraceEventSink *trace = nullptr) const
     {
-        cfg.on_cycle = hook();
+        cfg.on_cycle = hook(trace);
     }
 
   private:

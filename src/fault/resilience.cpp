@@ -11,6 +11,7 @@
 #include "sim/traffic.hpp"
 #include "sim/workload.hpp"
 #include "topology/clos.hpp"
+#include "util/artifact.hpp"
 #include "util/logging.hpp"
 #include "util/seed.hpp"
 #include "util/table.hpp"
@@ -91,7 +92,8 @@ ResilienceCampaign::ResilienceCampaign(ResilienceConfig config)
 }
 
 ResilienceResult
-ResilienceCampaign::run(exec::ThreadPool *pool) const
+ResilienceCampaign::run(exec::ThreadPool *pool,
+                        obs::TraceEventSink *trace) const
 {
     const auto &cfg = config_;
     const std::size_t n_r = cfg.radices.size();
@@ -129,7 +131,8 @@ ResilienceCampaign::run(exec::ThreadPool *pool) const
         }
     }
 
-    const exec::CampaignResult campaign_result = campaign.run(pool);
+    const exec::CampaignResult campaign_result =
+        campaign.run(pool, trace);
     result.wall_seconds = campaign_result.wall_seconds;
     result.threads = campaign_result.threads;
     for (std::size_t i = 0; i < result.cells.size(); ++i)
@@ -306,6 +309,22 @@ ResilienceResult::writeJson(std::ostream &os) const
            << ", \"seconds\": " << c.seconds << "}";
     }
     os << "\n  ]\n}\n";
+}
+
+void
+ResilienceResult::writeCsvFile(const std::string &path) const
+{
+    util::writeArtifactFile(
+        path, "ResilienceResult",
+        [this](std::ostream &os) { writeCsv(os); });
+}
+
+void
+ResilienceResult::writeJsonFile(const std::string &path) const
+{
+    util::writeArtifactFile(
+        path, "ResilienceResult",
+        [this](std::ostream &os) { writeJson(os); });
 }
 
 } // namespace wss::fault

@@ -32,6 +32,7 @@
 #include "exec/thread_pool.hpp"
 #include "fault/defect.hpp"
 #include "fault/degrade.hpp"
+#include "obs/trace_event.hpp"
 #include "power/ssc.hpp"
 #include "sim/simulator.hpp"
 
@@ -131,6 +132,11 @@ struct ResilienceResult
     void writeCsv(std::ostream &os) const;
     /// Full-precision nested summary, including timing.
     void writeJson(std::ostream &os) const;
+
+    /// Flush-checked file counterparts (fatal on I/O error, after
+    /// everything writable has reached the file).
+    void writeCsvFile(const std::string &path) const;
+    void writeJsonFile(const std::string &path) const;
 };
 
 /**
@@ -142,7 +148,10 @@ class ResilienceCampaign
   public:
     explicit ResilienceCampaign(ResilienceConfig config);
 
-    ResilienceResult run(exec::ThreadPool *pool = nullptr) const;
+    /// @p trace, when given, records one span per grid cell on
+    /// per-worker tracks (design-point labels in the args).
+    ResilienceResult run(exec::ThreadPool *pool = nullptr,
+                         obs::TraceEventSink *trace = nullptr) const;
 
     const ResilienceConfig &config() const { return config_; }
 

@@ -229,23 +229,46 @@ Network::step(Cycle now)
         router->step(now);
 }
 
+std::vector<std::uint64_t>
+Network::linkFlitsForwarded() const
+{
+    std::vector<std::uint64_t> flits(link_channel_count_.size(), 0);
+    std::size_t channel = 0;
+    for (std::size_t link = 0; link < link_channel_count_.size();
+         ++link)
+        for (int c = 0; c < link_channel_count_[link]; ++c)
+            flits[link] += link_channels_[channel++]->flits.totalPushed();
+    return flits;
+}
+
 std::vector<double>
 Network::linkUtilization(Cycle elapsed) const
 {
     std::vector<double> util(link_channel_count_.size(), 0.0);
     if (elapsed <= 0)
         return util;
-    std::size_t channel = 0;
-    for (std::size_t link = 0; link < link_channel_count_.size();
-         ++link) {
-        std::uint64_t pushed = 0;
-        for (int c = 0; c < link_channel_count_[link]; ++c)
-            pushed += link_channels_[channel++]->flits.totalPushed();
-        util[link] = static_cast<double>(pushed) /
+    const std::vector<std::uint64_t> flits = linkFlitsForwarded();
+    for (std::size_t link = 0; link < util.size(); ++link)
+        util[link] = static_cast<double>(flits[link]) /
                      (static_cast<double>(elapsed) *
                       link_channel_count_[link]);
-    }
     return util;
+}
+
+void
+Network::instrument(obs::MetricsRegistry &registry)
+{
+    for (std::size_t r = 0; r < routers_.size(); ++r) {
+        const std::string prefix = "r" + std::to_string(r) + ".";
+        RouterInstruments instr;
+        instr.vc_alloc_failures =
+            registry.counter(prefix + "vc_alloc_failures");
+        instr.sa_conflicts = registry.counter(prefix + "sa_conflicts");
+        instr.credit_stalls =
+            registry.counter(prefix + "credit_stalls");
+        instr.flits_routed = registry.counter(prefix + "flits_routed");
+        routers_[r]->setInstruments(instr);
+    }
 }
 
 std::int64_t

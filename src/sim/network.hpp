@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/router.hpp"
 #include "topology/logical_topology.hpp"
 
@@ -130,6 +131,25 @@ class Network
     /// measured counterpart of the mapping layer's provisioned
     /// channel loads (Fig. 8).
     std::vector<double> linkUtilization(Cycle elapsed) const;
+
+    /// Cumulative flits forwarded over every logical link (both
+    /// directions and all parallel channels summed), indexed like
+    /// LogicalTopology::links().
+    std::vector<std::uint64_t> linkFlitsForwarded() const;
+
+    /// Physical channels per logical link (2 x multiplicity).
+    const std::vector<int> &
+    linkChannelCount() const
+    {
+        return link_channel_count_;
+    }
+
+    /**
+     * Attach per-router instruments (`r<i>.vc_alloc_failures`,
+     * `r<i>.sa_conflicts`, `r<i>.credit_stalls`, `r<i>.flits_routed`)
+     * backed by @p registry, which must outlive this network.
+     */
+    void instrument(obs::MetricsRegistry &registry);
 
   private:
     struct TerminalEndpoint

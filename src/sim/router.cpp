@@ -172,6 +172,8 @@ Router::runInputStages(Cycle now)
                         break;
                     }
                 }
+                if (vc.state == VcState::WaitVc)
+                    instr_.vc_alloc_failures.inc();
             }
         }
 
@@ -184,8 +186,10 @@ Router::runInputStages(Cycle now)
             auto &vc = in.vcs[vc_id];
             if (vc.state != VcState::Active || vc.queue.empty())
                 continue;
-            if (outputs_[vc.out_port].credits <= 0)
+            if (outputs_[vc.out_port].credits <= 0) {
+                instr_.credit_stalls.inc();
                 continue;
+            }
             auto &reqs = requests_[vc.out_port];
             if (reqs.empty())
                 touched_outputs_.push_back(vc.out_port);
@@ -215,6 +219,8 @@ Router::arbitrateOutputs(Cycle now)
                 winner = static_cast<int>(i);
             }
         }
+        if (reqs.size() > 1)
+            instr_.sa_conflicts.inc(reqs.size() - 1);
         const Request req = reqs[winner];
         reqs.clear();
         out.rr_input = (req.in_port + 1) % cfg_.ports;
@@ -247,6 +253,7 @@ Router::arbitrateOutputs(Cycle now)
             vc.out_vc = -1;
         }
 
+        instr_.flits_routed.inc();
         --out.credits;
         out.stage.push_back(flit);
         out.stage_ready.push_back(now + cfg_.pipeline_delay);

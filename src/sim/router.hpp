@@ -27,11 +27,30 @@
 #include <deque>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/channel.hpp"
 #include "sim/flit.hpp"
 #include "util/rng.hpp"
 
 namespace wss::sim {
+
+/**
+ * Optional observability instruments for one router. Default-
+ * constructed handles are no-ops (a single predicted branch each), so
+ * an un-instrumented router pays essentially nothing; the Simulator
+ * binds them to its obs::MetricsRegistry when observability is on.
+ */
+struct RouterInstruments
+{
+    /// Cycles a head flit waited because no output VC was free.
+    obs::Counter vc_alloc_failures;
+    /// Losing switch-allocation requests (requesters - 1 per grant).
+    obs::Counter sa_conflicts;
+    /// Cycles an Active VC was passed over for lack of credits.
+    obs::Counter credit_stalls;
+    /// Flits forwarded through the crossbar.
+    obs::Counter flits_routed;
+};
 
 /// Static configuration of one router.
 struct RouterConfig
@@ -121,6 +140,12 @@ class Router
         return port_enabled_.at(static_cast<std::size_t>(port)) != 0;
     }
 
+    /// Attach observability instruments (pass {} to detach).
+    void setInstruments(const RouterInstruments &instr)
+    {
+        instr_ = instr;
+    }
+
     /// Advance one cycle: ingest flits/credits, run RC/VA/SA/ST.
     void step(Cycle now);
 
@@ -203,6 +228,7 @@ class Router
     int id_;
     RouterConfig cfg_;
     Rng rng_;
+    RouterInstruments instr_;
 
     std::vector<InputPort> inputs_;
     std::vector<OutputPort> outputs_;

@@ -10,9 +10,122 @@ Simulator::Simulator(Network &network, Workload &workload,
 {
     if (cfg.warmup < 0 || cfg.measure < 1 || cfg.drain_limit < 0)
         fatal("Simulator: bad phase configuration");
+    if (cfg.observe_sample_every < 0)
+        fatal("Simulator: observe_sample_every must be >= 0");
     source_.resize(network.terminalCount());
     current_vc_.assign(network.terminalCount(), 0);
     vc_counter_.assign(network.terminalCount(), 0);
+    if (cfg.observe)
+        setupObs();
+}
+
+void
+Simulator::setupObs()
+{
+    obs_ = std::make_unique<ObsState>();
+    obs_->data = std::make_shared<obs::SimObservation>();
+    auto &data = *obs_->data;
+    data.routers = static_cast<std::size_t>(network_.routerCount());
+    data.links = static_cast<std::size_t>(network_.linkCount());
+    data.link_channel_count.assign(network_.linkChannelCount().begin(),
+                                   network_.linkChannelCount().end());
+
+    network_.instrument(data.registry);
+
+    // Power-of-two occupancy buckets up to each router's shared-
+    // buffer capacity, with a dedicated <=0 bucket for idle cycles.
+    for (int r = 0; r < network_.routerCount(); ++r) {
+        const RouterConfig &cfg = network_.router(r).config();
+        const std::int64_t capacity =
+            static_cast<std::int64_t>(cfg.ports) * cfg.buffer_per_port;
+        std::vector<double> edges{0.0};
+        for (std::int64_t e = 1; e < capacity; e *= 2)
+            edges.push_back(static_cast<double>(e));
+        edges.push_back(static_cast<double>(capacity));
+        std::string name = "r";
+        name += std::to_string(r);
+        name += ".buffer_occupancy";
+        obs_->occupancy.push_back(
+            data.registry.histogram(name, std::move(edges)));
+    }
+
+    // Delivery is a terminal-side event (ejectAll), so hand every
+    // terminal a handle on its router's flits_delivered cell — this
+    // keeps the per-router counters reconcilable with
+    // SimResult::flits_delivered by construction.
+    for (int t = 0; t < network_.terminalCount(); ++t) {
+        std::string name = "r";
+        name += std::to_string(network_.routerOfTerminal(t));
+        name += ".flits_delivered";
+        obs_->delivered.push_back(data.registry.counter(name));
+    }
+
+    // Every counter now exists, so phase deltas line up name-by-name.
+    obs_->last_snapshot = data.registry.snapshot();
+    obs_->last_link_flits = network_.linkFlitsForwarded();
+}
+
+void
+Simulator::closePhase(Cycle end)
+{
+    auto &data = *obs_->data;
+    const std::size_t p = obs_->next_phase;
+    data.phase_cycles[p] = end - obs_->phase_start;
+
+    obs::MetricsSnapshot snap = data.registry.snapshot();
+    data.phase_counters[p] =
+        obs::MetricsSnapshot::delta(snap, obs_->last_snapshot);
+    obs_->last_snapshot = std::move(snap);
+
+    std::vector<std::uint64_t> flits = network_.linkFlitsForwarded();
+    data.link_flits[p].resize(flits.size());
+    for (std::size_t l = 0; l < flits.size(); ++l)
+        data.link_flits[p][l] = flits[l] - obs_->last_link_flits[l];
+    obs_->last_link_flits = std::move(flits);
+
+    obs_->phase_start = end;
+    ++obs_->next_phase;
+}
+
+void
+Simulator::beginCycleObs(Cycle now)
+{
+    // Phase boundaries: warmup ends at cfg.warmup, measurement at
+    // cfg.warmup + cfg.measure; close them before any of this
+    // cycle's counter bumps so each event lands in its own phase.
+    if (obs_->next_phase == 0 && now >= cfg_.warmup)
+        closePhase(cfg_.warmup);
+    if (obs_->next_phase == 1 && now >= cfg_.warmup + cfg_.measure)
+        closePhase(cfg_.warmup + cfg_.measure);
+}
+
+void
+Simulator::endCycleObs(Cycle now)
+{
+    for (std::size_t r = 0; r < obs_->occupancy.size(); ++r)
+        obs_->occupancy[r].record(static_cast<double>(
+            network_.router(static_cast<int>(r)).bufferedFlits()));
+    if (cfg_.observe_sample_every > 0 &&
+        now % cfg_.observe_sample_every == 0) {
+        obs::TimelineSample sample;
+        sample.cycle = now;
+        sample.flits_offered =
+            static_cast<std::uint64_t>(flits_generated_);
+        sample.flits_accepted =
+            static_cast<std::uint64_t>(flits_delivered_);
+        sample.flits_in_flight =
+            static_cast<std::uint64_t>(network_.flitsInFlight());
+        obs_->data->timeline.push_back(sample);
+    }
+}
+
+void
+Simulator::finalizeObs(Cycle end)
+{
+    // Close whatever phases remain; a run that ended early leaves
+    // later phases at zero cycles.
+    while (obs_->next_phase < obs::kNumPhases)
+        closePhase(end);
 }
 
 void
@@ -38,6 +151,7 @@ Simulator::generate(Cycle now)
             flit.tail = i == flits - 1;
             flit.created = now;
             source_[src].push_back(flit);
+            ++flits_generated_;
         }
         if (in_window)
             ++measured_created_;
@@ -59,8 +173,10 @@ Simulator::inject(Cycle now)
         }
         flit.vc = current_vc_[t];
         flit.injected = now;
-        if (network_.tryInject(t, now, flit))
+        if (network_.tryInject(t, now, flit)) {
             queue.pop_front();
+            ++flits_injected_;
+        }
     }
 }
 
@@ -77,6 +193,8 @@ Simulator::ejectAll(Cycle now)
         if (flit->dst != t)
             panic("flit for terminal ", flit->dst, " ejected at ", t);
         ++flits_delivered_;
+        if (obs_)
+            obs_->delivered[t].inc();
         if (in_window)
             ++window_flits_ejected_;
         if (!flit->tail)
@@ -108,6 +226,8 @@ Simulator::run()
 
     Cycle now = 0;
     for (;; ++now) {
+        if (obs_)
+            beginCycleObs(now);
         if (cfg_.on_cycle)
             cfg_.on_cycle(network_, now);
         if (cfg_.run_to_exhaustion ? !workload_.exhausted(now)
@@ -117,6 +237,8 @@ Simulator::run()
         inject(now);
         ejectAll(now);
         network_.step(now);
+        if (obs_)
+            endCycleObs(now);
 
         if (cfg_.run_to_exhaustion) {
             const bool done = workload_.exhausted(now) &&
@@ -144,6 +266,21 @@ Simulator::run()
          static_cast<double>(cfg_.measure));
     result.end_cycle = now;
     result.flits_delivered = flits_delivered_;
+    result.flits_injected = flits_injected_;
+
+    // Flit conservation: everything injected is either delivered or
+    // still in the fabric. A mismatch means a router dropped or
+    // duplicated a flit — always a wss bug, never a workload effect.
+    const std::int64_t in_flight = network_.flitsInFlight();
+    if (flits_injected_ != flits_delivered_ + in_flight)
+        panic("Simulator: flit conservation violated: injected ",
+              flits_injected_, " != delivered ", flits_delivered_,
+              " + in-flight ", in_flight);
+
+    if (obs_) {
+        finalizeObs(now + 1);
+        result.observation = obs_->data;
+    }
     QuantileSampler q = packet_latency_q_;
     result.p99_packet_latency = q.quantile(0.99);
     return result;

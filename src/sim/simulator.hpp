@@ -10,7 +10,9 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 
+#include "obs/sim_observation.hpp"
 #include "sim/network.hpp"
 #include "sim/workload.hpp"
 #include "util/stats_accumulator.hpp"
@@ -37,6 +39,15 @@ struct SimConfig
     /// Optional per-cycle hook, invoked before generation each cycle
     /// (fault::FaultSchedule kills/restores links through this).
     std::function<void(Network &, Cycle)> on_cycle;
+    /// Collect per-router counters, per-link flit totals and buffer-
+    /// occupancy histograms (SimResult::observation). Off by default:
+    /// the instruments then stay detached and the hot loop pays only
+    /// dead branches. Never perturbs simulated behaviour — SimResult
+    /// statistics are identical with this on or off.
+    bool observe = false;
+    /// With observe: also record a TimelineSample every N cycles
+    /// (0 = no time series).
+    Cycle observe_sample_every = 0;
 };
 
 /// What one simulation run produced.
@@ -65,6 +76,12 @@ struct SimResult
     Cycle end_cycle = 0;
     /// Flits delivered over the whole run.
     std::int64_t flits_delivered = 0;
+    /// Flits injected into the fabric over the whole run (the flit-
+    /// conservation invariant checks injected == delivered +
+    /// in-flight at run end).
+    std::int64_t flits_injected = 0;
+    /// Per-router/per-link telemetry; null unless SimConfig::observe.
+    std::shared_ptr<const obs::SimObservation> observation;
 };
 
 /**
@@ -89,6 +106,32 @@ class Simulator
     void inject(Cycle now);
     void ejectAll(Cycle now);
 
+    /// Observability state, allocated only when cfg.observe.
+    struct ObsState
+    {
+        std::shared_ptr<obs::SimObservation> data;
+        /// Per-router buffer-occupancy histogram handles.
+        std::vector<obs::Histogram> occupancy;
+        /// Per-terminal handle on its router's flits_delivered.
+        std::vector<obs::Counter> delivered;
+        /// Baselines for the next phase delta.
+        obs::MetricsSnapshot last_snapshot;
+        std::vector<std::uint64_t> last_link_flits;
+        std::size_t next_phase = 0;
+        Cycle phase_start = 0;
+    };
+
+    void setupObs();
+    /// Close phases whose boundary is <= @p now (call before any of
+    /// cycle @p now's counter bumps).
+    void beginCycleObs(Cycle now);
+    /// Record per-cycle samples after cycle @p now completed.
+    void endCycleObs(Cycle now);
+    /// Close the remaining phases; the run executed cycles
+    /// [0, @p end).
+    void finalizeObs(Cycle end);
+    void closePhase(Cycle end);
+
     Network &network_;
     Workload &workload_;
     SimConfig cfg_;
@@ -111,6 +154,10 @@ class Simulator
     std::int64_t measured_finished_ = 0;
     std::int64_t window_flits_ejected_ = 0;
     std::int64_t flits_delivered_ = 0;
+    std::int64_t flits_generated_ = 0;
+    std::int64_t flits_injected_ = 0;
+
+    std::unique_ptr<ObsState> obs_;
 };
 
 } // namespace wss::sim

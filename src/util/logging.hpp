@@ -6,13 +6,21 @@
  *            error (bad parameters, infeasible request); exits with 1.
  * panic()  — an internal invariant was violated (a wss bug); aborts.
  * warn()   — something is suspicious but the run continues.
+ *
+ * All emitters format the whole line first and write it to stderr as
+ * a single operation under a shared mutex, so concurrent workers
+ * (exec::Campaign) never interleave fragments of two messages. The
+ * mutex is released before exit()/abort() so a fatal() on one thread
+ * cannot deadlock another thread's warn().
  */
 
 #ifndef WSS_UTIL_LOGGING_HPP
 #define WSS_UTIL_LOGGING_HPP
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string_view>
 
@@ -41,6 +49,25 @@ concat(const Args &...args)
     return os.str();
 }
 
+/// One process-wide mutex serializing every log line.
+inline std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/// Write one already-formatted line to stderr atomically.
+inline void
+emitLine(std::string_view prefix, const std::string &msg)
+{
+    std::ostringstream line;
+    line << prefix << msg << '\n';
+    const std::string text = line.str();
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::cerr << text << std::flush;
+}
+
 } // namespace detail
 
 /// Report a configuration/user error and exit(1).
@@ -48,7 +75,7 @@ template <typename... Args>
 [[noreturn]] void
 fatal(const Args &...args)
 {
-    std::cerr << "fatal: " << detail::concat(args...) << std::endl;
+    detail::emitLine("fatal: ", detail::concat(args...));
     std::exit(1);
 }
 
@@ -57,7 +84,7 @@ template <typename... Args>
 [[noreturn]] void
 panic(const Args &...args)
 {
-    std::cerr << "panic: " << detail::concat(args...) << std::endl;
+    detail::emitLine("panic: ", detail::concat(args...));
     std::abort();
 }
 
@@ -66,7 +93,7 @@ template <typename... Args>
 void
 warn(const Args &...args)
 {
-    std::cerr << "warn: " << detail::concat(args...) << std::endl;
+    detail::emitLine("warn: ", detail::concat(args...));
 }
 
 /// Report progress/status (to stderr so CSV on stdout stays clean).
@@ -74,8 +101,30 @@ template <typename... Args>
 void
 inform(const Args &...args)
 {
-    std::cerr << "info: " << detail::concat(args...) << std::endl;
+    detail::emitLine("info: ", detail::concat(args...));
 }
+
+/**
+ * warn() only if @p fired has never been set; returns true when this
+ * call emitted the message. Safe to race: exactly one caller wins the
+ * exchange. Usually used via WSS_WARN_ONCE.
+ */
+template <typename... Args>
+bool
+warnOnce(std::atomic<bool> &fired, const Args &...args)
+{
+    if (fired.exchange(true, std::memory_order_relaxed))
+        return false;
+    warn(args...);
+    return true;
+}
+
+/// warn() at most once per call site, process-wide.
+#define WSS_WARN_ONCE(...)                                             \
+    do {                                                               \
+        static std::atomic<bool> wss_warn_once_fired_{false};          \
+        ::wss::warnOnce(wss_warn_once_fired_, __VA_ARGS__);            \
+    } while (0)
 
 } // namespace wss
 

@@ -1,0 +1,858 @@
+/**
+ * @file
+ * Tests for the observability layer: metrics registry semantics
+ * (handle aliasing, histogram bucket edges, snapshot deltas,
+ * cross-thread merge), Chrome-trace JSON well-formedness (parsed back
+ * by a minimal in-test JSON reader), trace-content determinism across
+ * thread counts, flush-checked artifact writing, and the contract
+ * that observability never perturbs simulation results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/campaign.hpp"
+#include "exec/thread_pool.hpp"
+#include "fault/fault_schedule.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sim_observation.hpp"
+#include "obs/trace_event.hpp"
+#include "power/ssc.hpp"
+#include "sim/load_sweep.hpp"
+#include "sim/simulator.hpp"
+#include "topology/clos.hpp"
+#include "util/artifact.hpp"
+
+namespace wss::obs {
+namespace {
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+TEST(Metrics, CounterHandlesAliasTheSameCell)
+{
+    MetricsRegistry reg;
+    Counter a = reg.counter("events");
+    Counter b = reg.counter("events");
+    a.inc();
+    b.inc(4);
+    EXPECT_EQ(reg.counterValue("events"), 5u);
+    EXPECT_TRUE(a.enabled());
+}
+
+TEST(Metrics, DefaultHandlesAreDisabledNoOps)
+{
+    Counter c;
+    Gauge g;
+    Histogram h;
+    EXPECT_FALSE(c.enabled());
+    EXPECT_FALSE(g.enabled());
+    EXPECT_FALSE(h.enabled());
+    // Must be safe to call (the whole point of the null-handle
+    // design: instrumented code never branches on an "observing?"
+    // flag).
+    c.inc();
+    c.inc(100);
+    g.set(7);
+    g.add(-3);
+    h.record(1.5);
+}
+
+TEST(Metrics, GaugeSetAndAdd)
+{
+    MetricsRegistry reg;
+    Gauge g = reg.gauge("depth");
+    g.set(10);
+    g.add(-4);
+    EXPECT_EQ(reg.gaugeValue("depth"), 6);
+    EXPECT_EQ(reg.gaugeValue("absent"), 0);
+}
+
+TEST(Metrics, HandlesSurviveRegistryGrowthAndMove)
+{
+    MetricsRegistry reg;
+    Counter first = reg.counter("a");
+    // Force map growth: the node holding "a" must not move.
+    for (int i = 0; i < 200; ++i)
+        reg.counter("grow" + std::to_string(i));
+    first.inc(3);
+    MetricsRegistry moved = std::move(reg);
+    first.inc(2);
+    EXPECT_EQ(moved.counterValue("a"), 5u);
+}
+
+TEST(Histogram, BucketEdgesAreLessOrEqual)
+{
+    MetricsRegistry reg;
+    Histogram h = reg.histogram("occ", {0.0, 1.0, 4.0});
+    // Exactly on an edge counts in that bucket ("le" semantics).
+    h.record(0.0);  // bucket 0 (v <= 0)
+    h.record(1.0);  // bucket 1 (v <= 1)
+    h.record(0.5);  // bucket 1
+    h.record(4.0);  // bucket 2 (v <= 4)
+    h.record(4.5);  // overflow
+    h.record(-1.0); // bucket 0
+    const HistogramData *data = reg.findHistogram("occ");
+    ASSERT_NE(data, nullptr);
+    ASSERT_EQ(data->buckets.size(), 4u);
+    EXPECT_EQ(data->buckets[0], 2u);
+    EXPECT_EQ(data->buckets[1], 2u);
+    EXPECT_EQ(data->buckets[2], 1u);
+    EXPECT_EQ(data->buckets[3], 1u); // overflow
+    EXPECT_EQ(data->count, 6u);
+    EXPECT_DOUBLE_EQ(data->sum, 9.0);
+    EXPECT_DOUBLE_EQ(data->min, -1.0);
+    EXPECT_DOUBLE_EQ(data->max, 4.5);
+}
+
+TEST(Histogram, RejectsBadEdgesDiesLoudly)
+{
+    EXPECT_EXIT(
+        {
+            MetricsRegistry reg;
+            reg.histogram("bad", {3.0, 1.0});
+        },
+        ::testing::ExitedWithCode(1), "strictly ascending");
+    EXPECT_EXIT(
+        {
+            MetricsRegistry reg;
+            reg.histogram("empty", {});
+        },
+        ::testing::ExitedWithCode(1), "at least one bucket edge");
+    EXPECT_EXIT(
+        {
+            MetricsRegistry reg;
+            reg.histogram("h", {1.0, 2.0});
+            reg.histogram("h", {1.0, 3.0});
+        },
+        ::testing::ExitedWithCode(1), "different bucket edges");
+}
+
+TEST(Metrics, SnapshotDeltaIsPerPhaseArithmetic)
+{
+    MetricsRegistry reg;
+    Counter c = reg.counter("flits");
+    c.inc(10);
+    const MetricsSnapshot warmup_end = reg.snapshot();
+    c.inc(25);
+    reg.counter("late").inc(2); // appears only after the baseline
+    const MetricsSnapshot measure_end = reg.snapshot();
+    const MetricsSnapshot delta =
+        MetricsSnapshot::delta(measure_end, warmup_end);
+    EXPECT_EQ(delta.value("flits"), 25u);
+    EXPECT_EQ(delta.value("late"), 2u);
+    EXPECT_EQ(delta.value("absent"), 0u);
+}
+
+TEST(Metrics, MergeAggregatesAcrossThreads)
+{
+    // The concurrency pattern the registry is designed for: one
+    // registry per worker, merged after the barrier. No instrument is
+    // ever shared between threads.
+    constexpr int kThreads = 4;
+    constexpr int kIncrements = 10000;
+    std::vector<MetricsRegistry> per_thread(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&per_thread, t] {
+            Counter c = per_thread[t].counter("work");
+            Histogram h =
+                per_thread[t].histogram("dist", {10.0, 100.0});
+            for (int i = 0; i < kIncrements; ++i) {
+                c.inc();
+                h.record(static_cast<double>(i % 150));
+            }
+            per_thread[t].gauge("last").set(t);
+        });
+    for (auto &thread : threads)
+        thread.join();
+
+    MetricsRegistry total;
+    for (const auto &reg : per_thread)
+        total.merge(reg);
+
+    EXPECT_EQ(total.counterValue("work"),
+              static_cast<std::uint64_t>(kThreads) * kIncrements);
+    const HistogramData *dist = total.findHistogram("dist");
+    ASSERT_NE(dist, nullptr);
+    EXPECT_EQ(dist->count,
+              static_cast<std::uint64_t>(kThreads) * kIncrements);
+    EXPECT_EQ(dist->buckets[0] + dist->buckets[1] + dist->buckets[2],
+              dist->count);
+    EXPECT_DOUBLE_EQ(dist->min, 0.0);
+    EXPECT_DOUBLE_EQ(dist->max, 149.0);
+    // Gauges sum on merge (0+1+2+3).
+    EXPECT_EQ(total.gaugeValue("last"), 6);
+}
+
+// ---------------------------------------------------------------------
+// A minimal JSON reader, just enough to parse traces back in-test.
+// ---------------------------------------------------------------------
+
+struct Json
+{
+    enum Kind
+    {
+        Null,
+        Boolean,
+        Number,
+        String,
+        Array,
+        Object
+    };
+    Kind kind = Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Json> array;
+    std::vector<std::pair<std::string, Json>> object;
+
+    const Json *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : object)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    Json
+    parse()
+    {
+        Json value = parseValue();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing garbage");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("JSON error at byte " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + peek() +
+                 "'");
+        ++pos_;
+    }
+
+    Json
+    parseValue()
+    {
+        skipSpace();
+        switch (peek()) {
+        case '{': return parseObject();
+        case '[': return parseArray();
+        case '"': {
+            Json v;
+            v.kind = Json::String;
+            v.string = parseString();
+            return v;
+        }
+        case 't':
+        case 'f': return parseBool();
+        case 'n': parseLiteral("null"); return Json{};
+        default: return parseNumber();
+        }
+    }
+
+    void
+    parseLiteral(const char *lit)
+    {
+        for (const char *p = lit; *p; ++p)
+            expect(*p);
+    }
+
+    Json
+    parseBool()
+    {
+        Json v;
+        v.kind = Json::Boolean;
+        if (peek() == 't') {
+            parseLiteral("true");
+            v.boolean = true;
+        } else {
+            parseLiteral("false");
+        }
+        return v;
+    }
+
+    Json
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a number");
+        Json v;
+        v.kind = Json::Number;
+        v.number = std::stod(text_.substr(start, pos_ - start));
+        return v;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (peek() != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                switch (peek()) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                default: fail("unsupported escape");
+                }
+                ++pos_;
+            } else {
+                out += c;
+            }
+        }
+        ++pos_; // closing quote
+        return out;
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json v;
+        v.kind = Json::Array;
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(parseValue());
+            skipSpace();
+            if (peek() == ']') {
+                ++pos_;
+                return v;
+            }
+            expect(',');
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json v;
+        v.kind = Json::Object;
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipSpace();
+            std::string key = parseString();
+            skipSpace();
+            expect(':');
+            v.object.emplace_back(std::move(key), parseValue());
+            skipSpace();
+            if (peek() == '}') {
+                ++pos_;
+                return v;
+            }
+            expect(',');
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+Json
+parseTrace(const TraceEventSink &sink)
+{
+    std::ostringstream os;
+    sink.write(os);
+    return JsonParser(os.str()).parse();
+}
+
+// ---------------------------------------------------------------------
+// TraceEventSink
+// ---------------------------------------------------------------------
+
+TEST(TraceEvent, WritesWellFormedJsonParsedBack)
+{
+    TraceEventSink sink;
+    sink.setProcessName("wss test");
+    sink.setThreadName(0, "worker 0");
+    sink.complete("cell \"a\"\n", "sweep", 0, 100, 50,
+                  {TraceArg::num("rate", 0.25),
+                   TraceArg::str("job", "uniform\\shuffle"),
+                   TraceArg::num("rep", std::int64_t{3})});
+    sink.instant("link 5 down", "fault", 0, 1234,
+                 {TraceArg::num("link", std::int64_t{5})});
+    EXPECT_EQ(sink.size(), 4u);
+
+    const Json root = parseTrace(sink);
+    ASSERT_EQ(root.kind, Json::Object);
+    const Json *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->kind, Json::Array);
+    ASSERT_EQ(events->array.size(), 4u);
+
+    // Metadata sorts first.
+    EXPECT_EQ(events->array[0].find("ph")->string, "M");
+    EXPECT_EQ(events->array[1].find("ph")->string, "M");
+    EXPECT_EQ(events->array[0].find("name")->string, "process_name");
+
+    // The span round-trips its escapes and args exactly.
+    const Json &span = events->array[2];
+    EXPECT_EQ(span.find("ph")->string, "X");
+    EXPECT_EQ(span.find("name")->string, "cell \"a\"\n");
+    EXPECT_EQ(span.find("cat")->string, "sweep");
+    EXPECT_DOUBLE_EQ(span.find("ts")->number, 100.0);
+    EXPECT_DOUBLE_EQ(span.find("dur")->number, 50.0);
+    const Json *args = span.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->find("rate")->kind, Json::Number);
+    EXPECT_DOUBLE_EQ(args->find("rate")->number, 0.25);
+    EXPECT_EQ(args->find("job")->string, "uniform\\shuffle");
+    EXPECT_DOUBLE_EQ(args->find("rep")->number, 3.0);
+
+    // The instant carries the "s" scope field Perfetto requires.
+    const Json &instant = events->array[3];
+    EXPECT_EQ(instant.find("ph")->string, "i");
+    EXPECT_EQ(instant.find("s")->string, "t");
+    EXPECT_DOUBLE_EQ(instant.find("ts")->number, 1234.0);
+}
+
+TEST(TraceEvent, NonFiniteNumbersBecomeStrings)
+{
+    TraceEventSink sink;
+    sink.instant("x", "t", 0, 0,
+                 {TraceArg::num("inf",
+                                std::numeric_limits<double>::infinity()),
+                  TraceArg::num("nan",
+                                std::numeric_limits<double>::quiet_NaN())});
+    // Must still parse as JSON (no bare inf/nan literals).
+    const Json root = parseTrace(sink);
+    const Json *args = root.find("traceEvents")->array[0].find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->find("inf")->kind, Json::String);
+    EXPECT_EQ(args->find("nan")->kind, Json::String);
+}
+
+TEST(TraceEvent, EventsSortChronologicallyAfterMetadata)
+{
+    TraceEventSink sink;
+    sink.instant("late", "t", 0, 300);
+    sink.instant("early", "t", 0, 100);
+    sink.setProcessName("p"); // recorded last, sorts first
+    const Json root = parseTrace(sink);
+    const auto &events = root.find("traceEvents")->array;
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].find("ph")->string, "M");
+    EXPECT_EQ(events[1].find("name")->string, "early");
+    EXPECT_EQ(events[2].find("name")->string, "late");
+}
+
+/// Multiset of deterministic event content: (ph, name, cat, args as
+/// written), metadata excluded. Timestamps and tid legitimately vary
+/// with scheduling; everything here must not.
+std::multiset<std::string>
+eventContent(const TraceEventSink &sink)
+{
+    const Json root = parseTrace(sink);
+    std::multiset<std::string> content;
+    for (const Json &e : root.find("traceEvents")->array) {
+        if (e.find("ph")->string == "M")
+            continue;
+        std::string line = e.find("ph")->string + "|" +
+                           e.find("name")->string + "|";
+        if (const Json *cat = e.find("cat"))
+            line += cat->string;
+        line += "|";
+        if (const Json *args = e.find("args"))
+            for (const auto &[k, v] : args->object) {
+                line += k + "=";
+                line += v.kind == Json::String
+                            ? v.string
+                            : std::to_string(v.number);
+                line += ";";
+            }
+        content.insert(std::move(line));
+    }
+    return content;
+}
+
+exec::SweepJob
+tinySweepJob()
+{
+    // Shared topology/spec via shared_ptr: the factories outlive this
+    // function.
+    auto topo = std::make_shared<topology::LogicalTopology>(
+        topology::buildFoldedClos({8, power::scaledSsc(8, 200.0), 1}));
+    sim::NetworkSpec spec;
+    spec.vcs = 2;
+    spec.buffer_per_port = 8;
+    exec::SweepJob job;
+    job.make_network = [topo, spec](std::uint64_t seed) {
+        return std::make_unique<sim::Network>(*topo, spec, seed);
+    };
+    job.make_workload = [](double rate, std::uint64_t) {
+        return std::make_unique<sim::SyntheticWorkload>(
+            sim::uniformTraffic(8), rate, 1);
+    };
+    job.rates = {0.1, 0.4};
+    job.cfg.warmup = 200;
+    job.cfg.measure = 800;
+    job.cfg.drain_limit = 8000;
+    job.cfg.seed = 5;
+    job.repetitions = 2;
+    return job;
+}
+
+TEST(TraceEvent, CampaignContentIsIdenticalAtAnyThreadCount)
+{
+    exec::Campaign campaign;
+    campaign.addSweep("uniform", tinySweepJob());
+    campaign.addTask("solve", [] {});
+
+    TraceEventSink serial_sink;
+    exec::ThreadPool one(1);
+    campaign.run(&one, &serial_sink);
+
+    TraceEventSink parallel_sink;
+    exec::ThreadPool four(4);
+    campaign.run(&four, &parallel_sink);
+
+    const auto serial = eventContent(serial_sink);
+    const auto parallel = eventContent(parallel_sink);
+    EXPECT_EQ(serial, parallel);
+    // 2 rates x 2 reps + 1 task = 5 spans.
+    EXPECT_EQ(serial.size(), 5u);
+}
+
+TEST(TraceEvent, FaultScheduleEmitsInstantEvents)
+{
+    // 16 ports -> multiple spines, so killing one uplink bundle
+    // leaves the fabric connected (ECMP reroutes around it).
+    const auto topo =
+        topology::buildFoldedClos({16, power::scaledSsc(8, 200.0), 1});
+    sim::NetworkSpec spec;
+    spec.vcs = 2;
+    spec.buffer_per_port = 8;
+    sim::Network net(topo, spec, 3);
+    sim::SyntheticWorkload workload(sim::uniformTraffic(16), 0.2, 1);
+
+    // Flap the first link touching router 0 (the pattern the fault
+    // tests use; ECMP reroutes around it).
+    int link = -1;
+    for (std::size_t li = 0; li < topo.links().size(); ++li)
+        if (topo.links()[li].a == 0 || topo.links()[li].b == 0) {
+            link = static_cast<int>(li);
+            break;
+        }
+    ASSERT_GE(link, 0);
+    fault::FaultSchedule schedule;
+    schedule.flapLink(link, 100, 400);
+
+    TraceEventSink sink;
+    sim::SimConfig cfg;
+    cfg.warmup = 200;
+    cfg.measure = 600;
+    cfg.drain_limit = 8000;
+    schedule.installInto(cfg, &sink);
+
+    sim::Simulator sim(net, workload, cfg);
+    sim.run();
+
+    const auto content = eventContent(sink);
+    ASSERT_EQ(content.size(), 2u);
+    // Timestamps of fault instants are *simulated* cycles.
+    const Json root = parseTrace(sink);
+    for (const Json &e : root.find("traceEvents")->array) {
+        EXPECT_EQ(e.find("ph")->string, "i");
+        EXPECT_EQ(e.find("cat")->string, "fault");
+        const double ts = e.find("ts")->number;
+        EXPECT_TRUE(ts == 100.0 || ts == 400.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Artifact writing
+// ---------------------------------------------------------------------
+
+TEST(Artifact, WriteArtifactFileRoundTrips)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "wss_obs_artifact.txt")
+            .string();
+    util::writeArtifactFile(path, "test", [](std::ostream &os) {
+        os << "line one\nline two\n";
+    });
+    std::ifstream in(path);
+    std::stringstream content;
+    content << in.rdbuf();
+    EXPECT_EQ(content.str(), "line one\nline two\n");
+    std::remove(path.c_str());
+}
+
+TEST(Artifact, CampaignCsvFileIsCompleteOnDisk)
+{
+    // The regression the flush-checked writers exist for: a fatal()
+    // after writeCsvFile must never leave a truncated artifact. The
+    // file-writing path flushes, closes and verifies before
+    // returning, so by the time control is back the bytes are down.
+    exec::Campaign campaign;
+    campaign.addSweep("uniform", tinySweepJob());
+    const exec::CampaignResult result = campaign.run();
+
+    std::ostringstream expected;
+    result.writeCsv(expected);
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "wss_obs_campaign.csv")
+            .string();
+    result.writeCsvFile(path);
+    std::ifstream in(path);
+    std::stringstream on_disk;
+    on_disk << in.rdbuf();
+    EXPECT_EQ(on_disk.str(), expected.str());
+    EXPECT_FALSE(on_disk.str().empty());
+    EXPECT_EQ(on_disk.str().back(), '\n');
+    std::remove(path.c_str());
+}
+
+TEST(Artifact, UnwritablePathDiesLoudly)
+{
+    EXPECT_EXIT(util::writeArtifactFile(
+                    "/nonexistent-dir/deeper/out.csv", "test",
+                    [](std::ostream &) {}),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+// ---------------------------------------------------------------------
+// Simulator observation
+// ---------------------------------------------------------------------
+
+struct ObservedRun
+{
+    sim::SimResult result;
+    std::shared_ptr<const SimObservation> obs;
+};
+
+ObservedRun
+runObserved(double rate, bool observe, sim::Cycle sample_every = 0)
+{
+    const auto topo =
+        topology::buildFoldedClos({8, power::scaledSsc(8, 200.0), 1});
+    sim::NetworkSpec spec;
+    spec.vcs = 2;
+    spec.buffer_per_port = 8;
+    sim::Network net(topo, spec, 21);
+    sim::SyntheticWorkload workload(sim::uniformTraffic(8), rate, 2);
+    sim::SimConfig cfg;
+    cfg.warmup = 300;
+    cfg.measure = 1200;
+    cfg.drain_limit = 12000;
+    cfg.seed = 33;
+    cfg.observe = observe;
+    cfg.observe_sample_every = sample_every;
+    sim::Simulator sim(net, workload, cfg);
+    ObservedRun run;
+    run.result = sim.run();
+    run.obs = run.result.observation;
+    return run;
+}
+
+TEST(SimObservation, ResultsAreBitIdenticalWithObservabilityOnOrOff)
+{
+    const ObservedRun off = runObserved(0.5, false);
+    const ObservedRun on = runObserved(0.5, true, 100);
+    EXPECT_EQ(off.obs, nullptr);
+    ASSERT_NE(on.obs, nullptr);
+
+    // Observation must never perturb simulated behaviour: every
+    // statistic matches bit-for-bit.
+    EXPECT_EQ(off.result.avg_packet_latency,
+              on.result.avg_packet_latency);
+    EXPECT_EQ(off.result.p99_packet_latency,
+              on.result.p99_packet_latency);
+    EXPECT_EQ(off.result.avg_network_latency,
+              on.result.avg_network_latency);
+    EXPECT_EQ(off.result.avg_hops, on.result.avg_hops);
+    EXPECT_EQ(off.result.offered, on.result.offered);
+    EXPECT_EQ(off.result.accepted, on.result.accepted);
+    EXPECT_EQ(off.result.packets_measured, on.result.packets_measured);
+    EXPECT_EQ(off.result.packets_finished, on.result.packets_finished);
+    EXPECT_EQ(off.result.stable, on.result.stable);
+    EXPECT_EQ(off.result.end_cycle, on.result.end_cycle);
+    EXPECT_EQ(off.result.flits_delivered, on.result.flits_delivered);
+    EXPECT_EQ(off.result.flits_injected, on.result.flits_injected);
+}
+
+TEST(SimObservation, CountersReconcileWithSimResult)
+{
+    const ObservedRun run = runObserved(0.5, true);
+    ASSERT_NE(run.obs, nullptr);
+    // Delivered-flit counters bump at the exact ejection event the
+    // scalar uses, so the totals reconcile exactly — the CLI panics
+    // on any mismatch.
+    EXPECT_EQ(run.obs->totalCounter("flits_delivered"),
+              static_cast<std::uint64_t>(run.result.flits_delivered));
+    // Per-phase deltas partition the cumulative total.
+    EXPECT_EQ(
+        run.obs->totalCounter("flits_delivered", SimPhase::Warmup) +
+            run.obs->totalCounter("flits_delivered",
+                                  SimPhase::Measure) +
+            run.obs->totalCounter("flits_delivered", SimPhase::Drain),
+        run.obs->totalCounter("flits_delivered"));
+    // Every delivered flit traversed at least one router crossbar.
+    EXPECT_GE(run.obs->totalCounter("flits_routed"),
+              run.obs->totalCounter("flits_delivered"));
+}
+
+TEST(SimObservation, PhasesLinksAndHistogramsArePopulated)
+{
+    const ObservedRun run = runObserved(0.6, true);
+    const SimObservation &obs = *run.obs;
+    EXPECT_GT(obs.routers, 0u);
+    EXPECT_GT(obs.links, 0u);
+    EXPECT_EQ(obs.link_channel_count.size(), obs.links);
+
+    EXPECT_EQ(obs.phase_cycles[0], 300);
+    EXPECT_EQ(obs.phase_cycles[1], 1200);
+    EXPECT_GT(obs.phase_cycles[2], 0);
+
+    // Traffic flowed in the measurement phase over some link, and
+    // per-channel utilization is a fraction.
+    std::uint64_t measure_flits = 0;
+    for (std::size_t l = 0; l < obs.links; ++l) {
+        measure_flits += obs.link_flits[1][l];
+        const double u = obs.linkUtilization(SimPhase::Measure, l);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+    EXPECT_GT(measure_flits, 0u);
+
+    // Buffer-occupancy histograms exist for every router and saw one
+    // sample per simulated cycle.
+    const std::int64_t total_cycles =
+        obs.phase_cycles[0] + obs.phase_cycles[1] + obs.phase_cycles[2];
+    for (std::size_t r = 0; r < obs.routers; ++r) {
+        std::string name = "r";
+        name += std::to_string(r);
+        name += ".buffer_occupancy";
+        const HistogramData *h = obs.registry.findHistogram(name);
+        ASSERT_NE(h, nullptr) << "router " << r;
+        EXPECT_EQ(h->count, static_cast<std::uint64_t>(total_cycles));
+    }
+}
+
+TEST(SimObservation, TimelineSamplesAtTheRequestedPeriod)
+{
+    const ObservedRun run = runObserved(0.4, true, 250);
+    const SimObservation &obs = *run.obs;
+    ASSERT_FALSE(obs.timeline.empty());
+    for (std::size_t i = 0; i < obs.timeline.size(); ++i) {
+        EXPECT_EQ(obs.timeline[i].cycle,
+                  static_cast<std::int64_t>(i) * 250);
+        EXPECT_GE(obs.timeline[i].flits_offered,
+                  obs.timeline[i].flits_accepted);
+    }
+    // No sampling requested -> no series.
+    const ObservedRun plain = runObserved(0.4, true, 0);
+    EXPECT_TRUE(plain.obs->timeline.empty());
+}
+
+TEST(SimObservation, DumpCsvIsWellFormedLongFormat)
+{
+    const ObservedRun run = runObserved(0.5, true, 500);
+    std::ostringstream os;
+    run.obs->dumpCsv(os);
+    const std::string csv = os.str();
+    ASSERT_FALSE(csv.empty());
+    EXPECT_EQ(csv.back(), '\n');
+
+    std::istringstream in(csv);
+    std::string line;
+    bool saw_header = false;
+    std::map<std::string, int> kinds;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (line == "record,phase,scope,metric,value") {
+            saw_header = true;
+            continue;
+        }
+        // Exactly four commas per data row (no embedded commas in
+        // any scope/metric name).
+        EXPECT_EQ(std::count(line.begin(), line.end(), ','), 4)
+            << line;
+        kinds[line.substr(0, line.find(','))]++;
+    }
+    EXPECT_TRUE(saw_header);
+    EXPECT_GT(kinds["phase"], 0);
+    EXPECT_GT(kinds["counter"], 0);
+    EXPECT_GT(kinds["link"], 0);
+    EXPECT_GT(kinds["hist"], 0);
+    EXPECT_GT(kinds["sample"], 0);
+}
+
+TEST(SimObservation, PhaseNameDisambiguates)
+{
+    EXPECT_STREQ(phaseName(SimPhase::Warmup), "warmup");
+    EXPECT_STREQ(phaseName(SimPhase::Measure), "measure");
+    EXPECT_STREQ(phaseName(SimPhase::Drain), "drain");
+}
+
+} // namespace
+} // namespace wss::obs

@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <sstream>
+#include <thread>
+#include <vector>
 
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/stats_accumulator.hpp"
 #include "util/table.hpp"
@@ -287,6 +291,29 @@ TEST(Units, LinkPowerMatchesHandCalc)
 {
     // 51.2 Tbps at 2 pJ/b is the TH-5 I/O budget: ~102.4 W.
     EXPECT_NEAR(units::linkPower(51200.0, 2.0), 102.4, 1e-9);
+}
+
+TEST(Logging, WarnOnceFiresExactlyOnceAcrossThreads)
+{
+    std::atomic<bool> fired{false};
+    std::atomic<int> emitted{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < 100; ++i)
+                if (warnOnce(fired, "warn-once stress (expected once)"))
+                    ++emitted;
+        });
+    for (auto &thread : threads)
+        thread.join();
+    // Exactly one of the 800 racing calls wins the exchange.
+    EXPECT_EQ(emitted.load(), 1);
+    EXPECT_TRUE(fired.load());
+
+    // The macro flavour: one message per call site, however often the
+    // site executes.
+    for (int i = 0; i < 3; ++i)
+        WSS_WARN_ONCE("macro warn-once (expected once)");
 }
 
 } // namespace

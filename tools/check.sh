@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 #
 # Full pre-merge verification:
-#   1. tier-1 build + ctest (the ROADMAP gate), and
-#   2. a ThreadSanitizer build of the parallel execution engine and
-#      the fault/resilience campaigns that ride on it (test_exec +
-#      test_sim + test_fault via the `tsan` CMake preset), so every
-#      change to the thread pool / sweep runner / resilience fan-out
-#      is race-checked.
+#   1. tier-1 build + ctest (the ROADMAP gate),
+#   2. a ThreadSanitizer build of the parallel execution engine, the
+#      fault/resilience campaigns, and the observability layer that
+#      rides on both (test_exec + test_sim + test_fault + test_obs via
+#      the `tsan` CMake preset), so every change to the thread pool /
+#      sweep runner / resilience fan-out / metrics merge is
+#      race-checked, and
+#   3. an observability smoke: a parallel sweep with --trace-out whose
+#      JSON must parse, and a sim run with --stats-out whose counters
+#      must reconcile (the CLI panics if they do not).
 #
 # Usage: tools/check.sh            (from anywhere in the repo)
 #        JOBS=8 tools/check.sh     (override the parallelism)
@@ -23,12 +27,23 @@ cmake --build build -j "$JOBS"
 echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== tsan: configure + build (test_exec, test_sim, test_fault) =="
+echo "== tsan: configure + build (test_exec, test_sim, test_fault, test_obs) =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$JOBS"
 
 echo "== tsan: race-checked test run =="
 # Death tests (fork under TSAN) are excluded by the preset filter.
 ctest --preset tsan
+
+echo "== obs smoke: parallel trace + stats reconciliation =="
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+build/tools/wss sweep --ports 128 --patterns uniform --measure 1000 \
+    --points 3 --jobs 4 --trace-out "$OBS_TMP/sweep_trace.json"
+python3 -m json.tool "$OBS_TMP/sweep_trace.json" > /dev/null
+echo "trace JSON parses"
+build/tools/wss sim --ports 128 --measure 1000 --points 3 --rate 0.4 \
+    --stats-out "$OBS_TMP/sim_stats.csv" --obs-sample 200
+test -s "$OBS_TMP/sim_stats.csv"
 
 echo "check.sh: all green"

@@ -26,6 +26,7 @@
 #include "core/radix_solver.hpp"
 #include "exec/campaign.hpp"
 #include "fault/resilience.hpp"
+#include "obs/trace_event.hpp"
 #include "power/link_power.hpp"
 #include "sim/load_sweep.hpp"
 #include "sysarch/cooling_loop.hpp"
@@ -264,16 +265,17 @@ cmdSim(const Args &args)
     const sim::NetworkSpec spec = fabricSpecFromArgs(args);
     const sim::SimConfig cfg = simConfigFromArgs(args);
 
-    const auto sweep = sim::sweepLoad(
-        [&] {
-            return std::make_unique<sim::Network>(topo, spec, cfg.seed);
-        },
-        [&](double rate) {
-            return std::make_unique<sim::SyntheticWorkload>(
-                sim::makeTraffic(pattern, static_cast<int>(ports)),
-                rate, packet);
-        },
-        ratesFromArgs(args), cfg);
+    const auto make_network = [&] {
+        return std::make_unique<sim::Network>(topo, spec, cfg.seed);
+    };
+    const auto make_workload = [&](double rate) {
+        return std::make_unique<sim::SyntheticWorkload>(
+            sim::makeTraffic(pattern, static_cast<int>(ports)), rate,
+            packet);
+    };
+
+    const auto sweep = sim::sweepLoad(make_network, make_workload,
+                                      ratesFromArgs(args), cfg);
 
     Table table("wss sim — " + pattern + " on " + Table::num(ports) +
                     " ports",
@@ -290,6 +292,36 @@ cmdSim(const Args &args)
               << " cycles, saturation "
               << Table::num(sweep.saturation_throughput, 3)
               << " flits/terminal/cycle\n";
+
+    // Observed run: one extra simulation with per-router/per-link
+    // telemetry on, dumped as long-format CSV.
+    if (args.has("stats-out")) {
+        const std::string path = args.str("stats-out", "");
+        if (path.empty())
+            fatal("sim: --stats-out needs a file path");
+        sim::SimConfig obs_cfg = cfg;
+        obs_cfg.observe = true;
+        obs_cfg.observe_sample_every = args.integer("obs-sample", 0);
+        const double rate =
+            args.num("rate", args.num("max-rate", 0.9));
+
+        sim::SimResult full;
+        sim::runLoadPoint(make_network, make_workload, rate, obs_cfg,
+                          &full);
+        full.observation->dumpCsvFile(path);
+
+        const std::uint64_t counted =
+            full.observation->totalCounter("flits_delivered");
+        if (counted !=
+            static_cast<std::uint64_t>(full.flits_delivered))
+            panic("sim: per-router flits_delivered counters (",
+                  counted, ") disagree with SimResult (",
+                  full.flits_delivered, ")");
+        std::cout << "stats written to " << path << " (rate "
+                  << Table::num(rate, 3) << ", "
+                  << full.flits_delivered
+                  << " flits delivered, counters reconcile)\n";
+    }
     return 0;
 }
 
@@ -341,7 +373,11 @@ cmdSweep(const Args &args)
     }
 
     exec::ThreadPool pool(jobs);
-    const auto result = campaign.run(&pool);
+    obs::TraceEventSink trace;
+    const bool tracing = args.has("trace-out");
+    if (tracing)
+        trace.setProcessName("wss sweep");
+    const auto result = campaign.run(&pool, tracing ? &trace : nullptr);
 
     for (const auto &job : result.jobs) {
         const auto &sweep = job.sweep.combined;
@@ -375,19 +411,22 @@ cmdSweep(const Args &args)
 
     if (args.has("csv")) {
         const std::string path = args.str("csv", "");
-        std::ofstream os(path);
-        if (!os)
-            fatal("cannot open '", path, "' for writing");
-        result.writeCsv(os);
+        result.writeCsvFile(path);
         std::cout << "CSV written to " << path << "\n";
     }
     if (args.has("json")) {
         const std::string path = args.str("json", "");
-        std::ofstream os(path);
-        if (!os)
-            fatal("cannot open '", path, "' for writing");
-        result.writeJson(os);
+        result.writeJsonFile(path);
         std::cout << "JSON written to " << path << "\n";
+    }
+    if (tracing) {
+        const std::string path = args.str("trace-out", "");
+        if (path.empty())
+            fatal("sweep: --trace-out needs a file path");
+        trace.writeFile(path);
+        std::cout << "trace written to " << path << " ("
+                  << trace.size()
+                  << " events; open in Perfetto / chrome://tracing)\n";
     }
     return 0;
 }
@@ -502,6 +541,8 @@ cmdResilience(const Args &args)
             "  --seed 1             base seed (same seed + config =>\n"
             "                       bit-identical CSV at any --jobs)\n"
             "  --csv out.csv --json out.json\n"
+            "  --trace-out run.json Chrome-trace timeline of the\n"
+            "                       campaign (Perfetto-loadable)\n"
             "  plus the sim flags of `wss sim` (--vcs, --warmup, ...)\n";
         return 0;
     }
@@ -537,8 +578,13 @@ cmdResilience(const Args &args)
     const int jobs = static_cast<int>(
         args.integer("jobs", exec::ThreadPool::defaultThreads()));
     exec::ThreadPool pool(jobs);
+    obs::TraceEventSink trace;
+    const bool tracing = args.has("trace-out");
+    if (tracing)
+        trace.setProcessName("wss resilience");
     const fault::ResilienceResult result =
-        fault::ResilienceCampaign(cfg).run(&pool);
+        fault::ResilienceCampaign(cfg).run(&pool,
+                                           tracing ? &trace : nullptr);
 
     Table table("wss resilience — " + Table::num(cfg.samples) +
                     " maps/cell, seed " + Table::num(cfg.seed),
@@ -563,19 +609,22 @@ cmdResilience(const Args &args)
 
     if (args.has("csv")) {
         const std::string path = args.str("csv", "");
-        std::ofstream os(path);
-        if (!os)
-            fatal("cannot open '", path, "' for writing");
-        result.writeCsv(os);
+        result.writeCsvFile(path);
         std::cout << "CSV written to " << path << "\n";
     }
     if (args.has("json")) {
         const std::string path = args.str("json", "");
-        std::ofstream os(path);
-        if (!os)
-            fatal("cannot open '", path, "' for writing");
-        result.writeJson(os);
+        result.writeJsonFile(path);
         std::cout << "JSON written to " << path << "\n";
+    }
+    if (tracing) {
+        const std::string path = args.str("trace-out", "");
+        if (path.empty())
+            fatal("resilience: --trace-out needs a file path");
+        trace.writeFile(path);
+        std::cout << "trace written to " << path << " ("
+                  << trace.size()
+                  << " events; open in Perfetto / chrome://tracing)\n";
     }
     return 0;
 }
@@ -630,15 +679,17 @@ usage()
         "          --deradix 1 --ssc-config 1 [--ideal]\n"
         "  sim     --ports 512 --pattern uniform --packet-flits 1\n"
         "          --vcs 16 --buffer 64 [--adaptive]\n"
+        "          [--stats-out stats.csv --rate 0.7 --obs-sample 100]\n"
         "  sweep   --jobs 8 --patterns uniform,tornado,shuffle\n"
         "          --points 9 --max-rate 0.9 [--geometric\n"
         "          --min-rate 0.05] --reps 1 (sim flags)\n"
-        "          [--csv out.csv --json out.json]\n"
+        "          [--csv out.csv --json out.json --trace-out run.json]\n"
         "  trace   --app lulesh --ranks 512 --duplicate 4 --out t.trc\n"
         "  yield   --chiplets 96 --die-area 800 --defects 0.1\n"
         "  resilience  --ports 256,512 --densities 0.1,0.3\n"
         "          --spares 0,1,2 --samples 500 [--sim-samples 4]\n"
-        "          --jobs 8 [--csv out.csv --json out.json]\n"
+        "          --jobs 8 [--csv out.csv --json out.json\n"
+        "          --trace-out run.json]\n"
         "          (run `wss resilience --help` for all flags)\n"
         "  plan    (solve flags) -> power delivery/cooling/enclosure\n";
 }
