@@ -7,11 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <bit>
+
 #include "mapping/pairwise_exchange.hpp"
 #include "obs/metrics.hpp"
 #include "power/ssc.hpp"
 #include "sim/simulator.hpp"
 #include "topology/clos.hpp"
+#include "util/ring_queue.hpp"
 
 namespace {
 
@@ -75,7 +78,7 @@ BM_RouterCycleThroughput(benchmark::State &state)
     sim::SyntheticWorkload workload(sim::uniformTraffic(2048), 0.5, 1);
     Rng rng(4);
     sim::Cycle now = 0;
-    std::vector<std::deque<sim::Flit>> source(2048);
+    std::vector<util::RingQueue<sim::Flit>> source(2048);
     for (auto _ : state) {
         workload.generate(now, rng, [&](int src, int dst, int flits) {
             for (int i = 0; i < flits; ++i) {
@@ -122,7 +125,7 @@ BM_RouterCycleThroughputObserved(benchmark::State &state)
     net.instrument(registry);
     Rng rng(4);
     sim::Cycle now = 0;
-    std::vector<std::deque<sim::Flit>> source(2048);
+    std::vector<util::RingQueue<sim::Flit>> source(2048);
     for (auto _ : state) {
         workload.generate(now, rng, [&](int src, int dst, int flits) {
             for (int i = 0; i < flits; ++i) {
@@ -149,6 +152,87 @@ BM_RouterCycleThroughputObserved(benchmark::State &state)
 }
 BENCHMARK(BM_RouterCycleThroughputObserved)
     ->Unit(benchmark::kMicrosecond);
+
+void
+BM_ChannelPushPop(benchmark::State &state)
+{
+    // The ring-buffer DelayLine at full occupancy: one push + one
+    // pop per simulated cycle, the per-hop cost floor of every flit.
+    sim::DelayLine<sim::Flit> line(8);
+    sim::Flit flit;
+    sim::Cycle now = 0;
+    for (now = 0; now < 8; ++now)
+        line.push(now, flit);
+    for (auto _ : state) {
+        auto out = line.pop(now);
+        benchmark::DoNotOptimize(out);
+        line.push(now, flit);
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelPushPop);
+
+void
+BM_RouterStepIdle(benchmark::State &state)
+{
+    // Stepping a fabric with nothing in flight. With the active-set
+    // scheduler this is O(1) in fabric size — no router has pending
+    // work, so none is stepped — which is what keeps low-load and
+    // drain phases cheap.
+    const auto topo =
+        topology::buildFoldedClos({2048, power::tomahawk5(3), 1});
+    sim::NetworkSpec spec;
+    spec.vcs = 16;
+    spec.buffer_per_port = 32;
+    sim::Network net(topo, spec, 3);
+    sim::Cycle now = 0;
+    for (auto _ : state) {
+        net.step(now);
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(std::to_string(net.routerCount()) + " routers");
+}
+BENCHMARK(BM_RouterStepIdle);
+
+void
+BM_InjectSparse(benchmark::State &state)
+{
+    // One busy terminal out of 2048: the injection/ejection sweeps
+    // and the router active set should scale with traffic, not with
+    // terminal count.
+    const auto topo =
+        topology::buildFoldedClos({2048, power::tomahawk5(3), 1});
+    sim::NetworkSpec spec;
+    spec.vcs = 16;
+    spec.buffer_per_port = 32;
+    sim::Network net(topo, spec, 3);
+    sim::Flit flit;
+    flit.src = 0;
+    flit.dst = 1;
+    flit.head = true;
+    flit.tail = true;
+    sim::Cycle now = 0;
+    for (auto _ : state) {
+        flit.created = now;
+        benchmark::DoNotOptimize(net.tryInject(0, now, flit));
+        const auto &pending = net.ejectPending();
+        for (std::size_t w = 0; w < pending.size(); ++w) {
+            std::uint64_t word = pending[w];
+            while (word) {
+                const int t = static_cast<int>(w) * 64 +
+                              std::countr_zero(word);
+                word &= word - 1;
+                benchmark::DoNotOptimize(net.eject(t, now));
+            }
+        }
+        net.step(now);
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InjectSparse);
 
 void
 BM_CounterHandleDisabled(benchmark::State &state)

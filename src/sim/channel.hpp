@@ -8,31 +8,56 @@
  * latency in the opposite direction, giving a credit round-trip of
  * 2L + processing — exactly the RTT that drives the buffer-sizing
  * results of Fig. 21.
+ *
+ * Both directions are fixed-capacity rings. A strictly-popped delay
+ * line holds at most L+1 items; a line whose consumer is backed by
+ * credit flow control can additionally accumulate up to the credit
+ * bound, so the ring is sized for both and overflow is a loud
+ * protocol bug, never silent growth. Credits carry no payload — both
+ * consumers only count them — so the reverse direction is a counting
+ * line that tolerates lazy draining (an idle terminal collects its
+ * returned credits on the next injection attempt, not every cycle).
+ *
+ * ChannelPair additionally carries wake-at-delivery sink descriptors
+ * for the active-set scheduler: pushing into a channel schedules a
+ * wake for the consumer (a router port, or a terminal's ejection-
+ * pending bit) at the cycle the item actually arrives — not at push
+ * time — so consumers are never polled while an item is still in
+ * flight, and an idle router or terminal is touched exactly once per
+ * delivery.
  */
 
 #ifndef WSS_SIM_CHANNEL_HPP
 #define WSS_SIM_CHANNEL_HPP
 
-#include <deque>
+#include <cstdint>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "sim/flit.hpp"
 #include "util/logging.hpp"
 
 namespace wss::sim {
 
+class Router;
+
 /**
  * A fixed-latency, fully pipelined delivery line for items of type T.
+ * The ring holds latency + 2 + @p slack items; strict consumers need
+ * only the pipeline bound, the slack covers credit-bounded backlog.
  */
 template <typename T>
 class DelayLine
 {
   public:
-    explicit DelayLine(int latency) : latency_(latency)
+    explicit DelayLine(int latency, int slack = 0) : latency_(latency)
     {
         if (latency < 1)
             fatal("DelayLine: latency must be >= 1 cycle");
+        if (slack < 0)
+            fatal("DelayLine: slack must be >= 0");
+        slots_.resize(static_cast<std::size_t>(latency + 2 + slack));
     }
 
     int latency() const { return latency_; }
@@ -41,9 +66,22 @@ class DelayLine
     void
     push(Cycle now, T item)
     {
-        if (!queue_.empty() && queue_.back().ready == now + latency_)
-            panic("DelayLine: two pushes in one cycle");
-        queue_.push_back({now + latency_, std::move(item)});
+        if (count_ != 0) {
+            std::size_t back = head_ + count_ - 1;
+            if (back >= slots_.size())
+                back -= slots_.size();
+            if (slots_[back].ready == now + latency_)
+                panic("DelayLine: two pushes in one cycle");
+        }
+        if (count_ == slots_.size())
+            panic("DelayLine: ring overflow (consumer fell behind "
+                  "its credit bound)");
+        std::size_t slot = head_ + count_;
+        if (slot >= slots_.size())
+            slot -= slots_.size();
+        slots_[slot].ready = now + latency_;
+        slots_[slot].item = std::move(item);
+        ++count_;
         ++total_pushed_;
     }
 
@@ -51,17 +89,42 @@ class DelayLine
     std::optional<T>
     pop(Cycle now)
     {
-        if (queue_.empty() || queue_.front().ready > now)
+        if (count_ == 0 || slots_[head_].ready > now)
             return std::nullopt;
-        if (queue_.front().ready < now)
+        if (slots_[head_].ready < now)
             panic("DelayLine: item missed its delivery cycle");
-        T item = std::move(queue_.front().item);
-        queue_.pop_front();
+        T item = std::move(slots_[head_].item);
+        if (++head_ == slots_.size())
+            head_ = 0;
+        --count_;
         return item;
     }
 
-    bool empty() const { return queue_.empty(); }
-    std::size_t inFlight() const { return queue_.size(); }
+    /// In-place variant of pop() for consumers that read the item
+    /// where it sits (no optional, no copy): the item arriving in
+    /// cycle @p now, or nullptr. The pointer is valid until the next
+    /// popFront()/push().
+    T *
+    peek(Cycle now)
+    {
+        if (count_ == 0 || slots_[head_].ready > now)
+            return nullptr;
+        if (slots_[head_].ready < now)
+            panic("DelayLine: item missed its delivery cycle");
+        return &slots_[head_].item;
+    }
+
+    /// Discard the front item (after a successful peek()).
+    void
+    popFront()
+    {
+        if (++head_ == slots_.size())
+            head_ = 0;
+        --count_;
+    }
+
+    bool empty() const { return count_ == 0; }
+    std::size_t inFlight() const { return count_; }
 
     /// Items ever pushed (for utilization statistics).
     std::uint64_t totalPushed() const { return total_pushed_; }
@@ -74,25 +137,123 @@ class DelayLine
     };
 
     int latency_;
-    std::deque<Entry> queue_;
+    std::vector<Entry> slots_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
     std::uint64_t total_pushed_ = 0;
 };
 
-/// A credit message: frees one buffer slot of the given VC upstream.
-struct Credit
+/**
+ * The reverse (credit) direction of a channel: each push frees one
+ * downstream buffer slot after the line's latency. Credits carry no
+ * payload, so the line only stores arrival cycles, and drain() — pop
+ * everything that has arrived by @p now — tolerates consumers that
+ * check in lazily instead of every cycle.
+ */
+class CreditLine
 {
-    std::int16_t vc = 0;
-    /// Set when the credited flit was a tail (output VC is free again).
-    bool vc_free = false;
+  public:
+    /// @p bound: most credits ever outstanding (the buffer capacity
+    /// backing this line's flow control).
+    CreditLine(int latency, int bound) : latency_(latency)
+    {
+        if (latency < 1)
+            fatal("CreditLine: latency must be >= 1 cycle");
+        if (bound < 1)
+            fatal("CreditLine: credit bound must be >= 1");
+        ready_.resize(static_cast<std::size_t>(bound + 2));
+    }
+
+    int latency() const { return latency_; }
+
+    /// Send one credit in cycle @p now; at most one per cycle.
+    void
+    push(Cycle now)
+    {
+        if (count_ != 0) {
+            std::size_t back = head_ + count_ - 1;
+            if (back >= ready_.size())
+                back -= ready_.size();
+            if (ready_[back] == now + latency_)
+                panic("CreditLine: two pushes in one cycle");
+        }
+        if (count_ == ready_.size())
+            panic("CreditLine: ring overflow (more credits in flight "
+                  "than buffer slots)");
+        std::size_t slot = head_ + count_;
+        if (slot >= ready_.size())
+            slot -= ready_.size();
+        ready_[slot] = now + latency_;
+        ++count_;
+    }
+
+    /// Collect every credit that has arrived by cycle @p now.
+    int
+    drain(Cycle now)
+    {
+        int drained = 0;
+        while (count_ != 0 && ready_[head_] <= now) {
+            if (++head_ == ready_.size())
+                head_ = 0;
+            --count_;
+            ++drained;
+        }
+        return drained;
+    }
+
+    bool empty() const { return count_ == 0; }
+    std::size_t inFlight() const { return count_; }
+
+  private:
+    int latency_;
+    std::vector<Cycle> ready_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
 };
 
-/// Flit channel + its paired reverse credit channel.
+/**
+ * Flit channel + its paired reverse credit channel, plus the wake
+ * sinks the Network wires for active-set scheduling. Exactly one of
+ * flit_sink (a router input port) and eject_wheel (the network's
+ * terminal-ejection timing wheel) is set on fabric channels;
+ * credit_sink is set when the credit consumer is a router output port
+ * (terminal injection credits are drained lazily and need no wake).
+ */
 struct ChannelPair
 {
     DelayLine<Flit> flits;
-    DelayLine<Credit> credits;
+    CreditLine credits;
 
-    explicit ChannelPair(int latency) : flits(latency), credits(latency)
+    Router *flit_sink = nullptr;
+    std::int32_t flit_sink_port = -1;
+    Router *credit_sink = nullptr;
+    std::int32_t credit_sink_port = -1;
+    /// Terminal-bound channels: delivery-cycle slot in the network's
+    /// ejection wheel gets this terminal id on every push.
+    std::vector<std::vector<std::int32_t>> *eject_wheel = nullptr;
+    std::int32_t eject_terminal = -1;
+    std::uint32_t eject_wheel_mask = 0;
+    /// Terminal-injection channels: every credit push lands this
+    /// terminal id in the network's credit wheel at the arrival cycle
+    /// instead of entering the CreditLine — Network::step then bumps
+    /// the terminal's credit count exactly when the credit arrives,
+    /// so injection readiness is two array reads with no per-attempt
+    /// channel drain.
+    std::vector<std::vector<std::int32_t>> *credit_wheel = nullptr;
+    std::int32_t credit_terminal = -1;
+    std::uint32_t credit_wheel_mask = 0;
+
+    /// @p credit_bound: buffer capacity backing this channel's flow
+    /// control (bounds both backlogged flits and in-flight credits).
+    /// @p flit_lead: extra flit-direction delay folding the upstream
+    /// router's output pipeline (VA/SA/ST depth) into the channel —
+    /// an arbitrated flit is pushed once, at allocation time, and
+    /// simply delivered at t + lead + latency, with no staging ring
+    /// to drain in between. Credits are unaffected: they leave at
+    /// allocation time and take only the wire latency.
+    ChannelPair(int latency, int credit_bound, int flit_lead = 0)
+        : flits(latency + flit_lead, credit_bound),
+          credits(latency, credit_bound)
     {}
 };
 

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Arena for buffered flits.
+ *
+ * Credit flow control bounds the flits alive inside a fabric's input
+ * buffers to the total buffer capacity (ports x buffer_per_port,
+ * summed over routers), so the Network sizes one pool to exactly that
+ * and every router's VC queues become intrusive linked lists of pool
+ * slots: steady-state simulation performs zero heap allocation, and a
+ * pool-exhaustion panic doubles as a credit-protocol check.
+ */
+
+#ifndef WSS_SIM_FLIT_POOL_HPP
+#define WSS_SIM_FLIT_POOL_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/flit.hpp"
+#include "util/logging.hpp"
+
+namespace wss::sim {
+
+class FlitPool
+{
+  public:
+    using Index = std::int32_t;
+    static constexpr Index kNil = -1;
+
+    /// Size the arena; invalidates every outstanding index.
+    void
+    reserve(std::size_t slots)
+    {
+        slots_.resize(slots);
+        free_head_ = kNil;
+        for (std::size_t i = slots; i-- > 0;) {
+            slots_[i].next = free_head_;
+            free_head_ = static_cast<Index>(i);
+        }
+        in_use_ = 0;
+    }
+
+    Index
+    alloc(const Flit &flit)
+    {
+        if (free_head_ == kNil)
+            panic("FlitPool: exhausted (", slots_.size(),
+                  " slots); credit flow control should bound live "
+                  "flits to the total buffer capacity");
+        const Index slot = free_head_;
+        free_head_ = slots_[slot].next;
+        slots_[slot].flit = flit;
+        slots_[slot].next = kNil;
+        ++in_use_;
+        return slot;
+    }
+
+    void
+    release(Index slot)
+    {
+        slots_[slot].next = free_head_;
+        free_head_ = slot;
+        --in_use_;
+    }
+
+    Flit &at(Index slot) { return slots_[slot].flit; }
+    const Flit &at(Index slot) const { return slots_[slot].flit; }
+
+    Index next(Index slot) const { return slots_[slot].next; }
+    void setNext(Index slot, Index next) { slots_[slot].next = next; }
+
+    std::size_t capacity() const { return slots_.size(); }
+    std::size_t inUse() const { return in_use_; }
+
+  private:
+    struct Slot
+    {
+        Flit flit;
+        Index next = kNil;
+    };
+
+    std::vector<Slot> slots_;
+    Index free_head_ = kNil;
+    std::size_t in_use_ = 0;
+};
+
+} // namespace wss::sim
+
+#endif // WSS_SIM_FLIT_POOL_HPP

@@ -1,5 +1,7 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <queue>
 
 #include "util/logging.hpp"
@@ -28,6 +30,40 @@ Network::Network(const topology::LogicalTopology &topo,
         link_ports[link.b] += link.multiplicity;
     }
 
+    // Size the flit arena to the fabric's total input-buffer
+    // capacity before any router exists: credit flow control bounds
+    // live buffered flits to exactly this.
+    std::size_t pool_slots = 0;
+    for (int r = 0; r < n; ++r)
+        pool_slots += static_cast<std::size_t>(
+                          topo.nodes()[r].external_ports +
+                          link_ports[r]) *
+                      static_cast<std::size_t>(spec.buffer_per_port);
+    pool_.reserve(pool_slots);
+
+    // Wake wheels must span the longest channel in the fabric (wakes
+    // are scheduled for delivery cycles, at most one flit lead +
+    // latency ahead — router-fed channels carry the VA/SA/ST
+    // pipeline depth as extra flit delay).
+    int max_latency = spec.terminal_link_latency;
+    if (spec.link_latency.empty()) {
+        if (!topo.links().empty())
+            max_latency =
+                std::max(max_latency, spec.internal_link_latency);
+    } else {
+        for (const int l : spec.link_latency)
+            max_latency = std::max(max_latency, l);
+    }
+    max_latency += spec.pipeline_delay;
+    sched_.attach(n, max_latency);
+    eject_wheel_.resize(std::bit_ceil(
+        static_cast<std::size_t>(spec.terminal_link_latency) +
+        static_cast<std::size_t>(spec.pipeline_delay) + 2));
+    eject_wheel_mask_ =
+        static_cast<std::uint32_t>(eject_wheel_.size() - 1);
+    credit_wheel_.resize(eject_wheel_.size());
+    credit_wheel_mask_ = eject_wheel_mask_;
+
     Rng seeder(seed);
     std::vector<int> next_port(n);
     for (int r = 0; r < n; ++r) {
@@ -40,31 +76,47 @@ Network::Network(const topology::LogicalTopology &topo,
         cfg.rc_delay_transit = spec.rc_delay_transit;
         cfg.pipeline_delay = spec.pipeline_delay;
         cfg.adaptive_routing = spec.adaptive_routing;
-        routers_.push_back(std::make_unique<Router>(r, cfg, seeder()));
+        routers_.push_back(
+            std::make_unique<Router>(r, cfg, seeder(), &pool_));
+        routers_.back()->bindScheduler(&sched_);
         next_port[r] = cfg.terminal_ports;
     }
 
-    // Terminals: ids assigned node by node, port by port.
+    // Terminals: ids assigned node by node, port by port. The eject
+    // mask is sized first — channel sinks keep raw pointers into it.
     terminal_router_.resize(terminal_count_);
     terminals_.resize(terminal_count_);
+    eject_mask_.assign(
+        (static_cast<std::size_t>(terminal_count_) + 63) / 64, 0);
     {
         int t = 0;
         for (int r = 0; r < n; ++r) {
             for (int p = 0; p < topo.nodes()[r].external_ports; ++p) {
                 terminal_router_[t] = r;
                 auto &ep = terminals_[t];
-                ep.to_router = std::make_unique<ChannelPair>(
-                    spec.terminal_link_latency);
-                ep.from_router = std::make_unique<ChannelPair>(
-                    spec.terminal_link_latency);
-                ep.credits = spec.buffer_per_port;
-                routers_[r]->connectInput(p, ep.to_router.get());
                 // The terminal landing buffer is sized to cover the
                 // credit round trip so ejection is never the
                 // artificial bottleneck.
-                routers_[r]->connectOutput(
-                    p, ep.from_router.get(),
-                    2 * spec.terminal_link_latency + 8);
+                const int landing = 2 * spec.terminal_link_latency + 8;
+                ep.to_router = std::make_unique<ChannelPair>(
+                    spec.terminal_link_latency, spec.buffer_per_port);
+                ep.from_router = std::make_unique<ChannelPair>(
+                    spec.terminal_link_latency, landing,
+                    spec.pipeline_delay);
+                ep.credits = spec.buffer_per_port;
+                routers_[r]->connectInput(p, ep.to_router.get());
+                routers_[r]->connectOutput(p, ep.from_router.get(),
+                                           landing);
+                ep.to_router->flit_sink = routers_[r].get();
+                ep.to_router->flit_sink_port = p;
+                ep.to_router->credit_wheel = &credit_wheel_;
+                ep.to_router->credit_terminal = t;
+                ep.to_router->credit_wheel_mask = credit_wheel_mask_;
+                ep.from_router->credit_sink = routers_[r].get();
+                ep.from_router->credit_sink_port = p;
+                ep.from_router->eject_wheel = &eject_wheel_;
+                ep.from_router->eject_terminal = t;
+                ep.from_router->eject_wheel_mask = eject_wheel_mask_;
                 ++t;
             }
         }
@@ -81,8 +133,10 @@ Network::Network(const topology::LogicalTopology &topo,
                                 ? spec.internal_link_latency
                                 : spec.link_latency[li];
         for (int m = 0; m < link.multiplicity; ++m) {
-            auto ab = std::make_unique<ChannelPair>(latency);
-            auto ba = std::make_unique<ChannelPair>(latency);
+            auto ab = std::make_unique<ChannelPair>(
+                latency, spec.buffer_per_port, spec.pipeline_delay);
+            auto ba = std::make_unique<ChannelPair>(
+                latency, spec.buffer_per_port, spec.pipeline_delay);
             const int pa = next_port[link.a]++;
             const int pb = next_port[link.b]++;
             routers_[link.a]->connectOutput(pa, ab.get(),
@@ -91,6 +145,14 @@ Network::Network(const topology::LogicalTopology &topo,
             routers_[link.b]->connectOutput(pb, ba.get(),
                                             spec.buffer_per_port);
             routers_[link.a]->connectInput(pa, ba.get());
+            ab->flit_sink = routers_[link.b].get();
+            ab->flit_sink_port = pb;
+            ab->credit_sink = routers_[link.a].get();
+            ab->credit_sink_port = pa;
+            ba->flit_sink = routers_[link.a].get();
+            ba->flit_sink_port = pa;
+            ba->credit_sink = routers_[link.b].get();
+            ba->credit_sink_port = pb;
             adjacency_[link.a].push_back(
                 {pa, link.b, static_cast<int>(li)});
             adjacency_[link.b].push_back(
@@ -114,6 +176,16 @@ Network::Network(const topology::LogicalTopology &topo,
             term_port_[r][t] = static_cast<std::int16_t>(local[r]++);
         }
     }
+
+    // Every wheel slot gets its structural per-cycle bound up front
+    // (each terminal channel delivers at most one flit and one credit
+    // per cycle), so steady-state pushes never allocate.
+    for (auto &router : routers_)
+        router->finalizeWiring();
+    for (auto &slot : eject_wheel_)
+        slot.reserve(static_cast<std::size_t>(terminal_count_));
+    for (auto &slot : credit_wheel_)
+        slot.reserve(static_cast<std::size_t>(terminal_count_));
 
     buildRoutingTables();
 }
@@ -195,15 +267,14 @@ bool
 Network::tryInject(int t, Cycle now, const Flit &flit)
 {
     auto &ep = terminals_[t];
-    // Collect returned credits first so injection sees them.
-    while (ep.to_router->credits.pop(now))
-        ++ep.credits;
+    // Returned credits arrived through the credit wheel during
+    // step(), so the count is already current.
     // The terminal link carries one flit per cycle.
     if (ep.credits <= 0 || ep.last_inject == now)
         return false;
     --ep.credits;
     ep.last_inject = now;
-    ep.to_router->flits.push(now, flit);
+    channelPushFlit(*ep.to_router, now, flit);
     return true;
 }
 
@@ -211,13 +282,14 @@ std::optional<Flit>
 Network::eject(int t, Cycle now)
 {
     auto &ep = terminals_[t];
-    // Keep draining credits even on cycles without an injection try.
-    while (ep.to_router->credits.pop(now))
-        ++ep.credits;
     auto flit = ep.from_router->flits.pop(now);
     if (flit) {
-        // Hand the landing-buffer slot straight back.
-        ep.from_router->credits.push(now, {flit->vc, flit->tail});
+        // Hand the landing-buffer slot straight back, and clear the
+        // pending bit this delivery set (the next arrival re-sets it
+        // through the wheel).
+        channelPushCredit(*ep.from_router, now);
+        eject_mask_[static_cast<std::size_t>(t) >> 6] &=
+            ~(std::uint64_t{1} << (t & 63));
     }
     return flit;
 }
@@ -225,8 +297,32 @@ Network::eject(int t, Cycle now)
 void
 Network::step(Cycle now)
 {
-    for (auto &router : routers_)
-        router->step(now);
+    // Only routers with pending work step; a router re-arms itself
+    // by returning true (still busy) and is re-woken at the delivery
+    // cycle of any channel push that targets it.
+    for (const std::int32_t id : sched_.beginCycle(now))
+        if (routers_[static_cast<std::size_t>(id)]->step(now))
+            sched_.wake(id);
+
+    // Materialize the ejection-pending bits for cycle now + 1: every
+    // terminal-bound flit arriving then was pushed during some
+    // step() at or before now, so its wheel entry already exists.
+    auto &arrivals = eject_wheel_[static_cast<std::size_t>(now + 1) &
+                                  eject_wheel_mask_];
+    for (const std::int32_t t : arrivals)
+        eject_mask_[static_cast<std::size_t>(t) >> 6] |=
+            std::uint64_t{1} << (t & 63);
+    arrivals.clear();
+
+    // Same for terminal injection credits arriving in cycle now + 1:
+    // one wheel entry = one credit, counted straight into the
+    // terminal — visible to inject(now + 1) exactly when the lazy
+    // CreditLine drain would have surfaced it.
+    auto &credits = credit_wheel_[static_cast<std::size_t>(now + 1) &
+                                  credit_wheel_mask_];
+    for (const std::int32_t t : credits)
+        ++terminals_[static_cast<std::size_t>(t)].credits;
+    credits.clear();
 }
 
 std::vector<std::uint64_t>
@@ -276,7 +372,7 @@ Network::flitsInFlight() const
 {
     std::int64_t total = 0;
     for (const auto &router : routers_)
-        total += router->bufferedFlits() + router->stagedFlits();
+        total += router->bufferedFlits();
     for (const auto &ch : link_channels_)
         total += static_cast<std::int64_t>(ch->flits.inFlight());
     for (const auto &ep : terminals_) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "sim/flit_pool.hpp"
 #include "sim/router.hpp"
 #include "topology/logical_topology.hpp"
 
@@ -111,10 +112,42 @@ class Network
      */
     bool tryInject(int t, Cycle now, const Flit &flit);
 
+    /**
+     * Would tryInject accept a flit at terminal @p t this cycle?
+     * Two array reads (returned credits arrive through the credit
+     * wheel during step(), not via a per-attempt channel drain), so a
+     * false return lets the caller skip preparing the flit entirely
+     * (the hot case at saturation, where most terminals are blocked
+     * on credits every cycle).
+     */
+    bool
+    injectReady(int t, Cycle now) const
+    {
+        const TerminalEndpoint &ep =
+            terminals_[static_cast<std::size_t>(t)];
+        return ep.credits > 0 && ep.last_inject != now;
+    }
+
     /// Collect the flit arriving at terminal @p t this cycle, if any.
     std::optional<Flit> eject(int t, Cycle now);
 
-    /// Advance all routers one cycle. Call after terminal handling.
+    /**
+     * Terminals with a flit arriving this cycle, one bit per
+     * terminal id, valid between step(now - 1) and step(now).
+     * Ejection sweeps iterate set bits (ascending) instead of every
+     * terminal; a successful eject() clears its bit (each delivery
+     * sets the bit for exactly its arrival cycle, scheduled through
+     * the ejection timing wheel at push time).
+     */
+    const std::vector<std::uint64_t> &
+    ejectPending() const
+    {
+        return eject_mask_;
+    }
+
+    /// Advance the active routers one cycle (the scheduler tracks
+    /// which routers have pending work). Call after terminal
+    /// handling.
     void step(Cycle now);
 
     /// Flits anywhere in the fabric (buffers, stages, channels) --
@@ -180,6 +213,25 @@ class Network
 
     NetworkSpec spec_;
     int terminal_count_ = 0;
+    /// Arena backing every router's VC queues, sized to the fabric's
+    /// total input-buffer capacity.
+    FlitPool pool_;
+    /// Active-set scheduler: only routers with pending work step.
+    RouterScheduler sched_;
+    /// Terminals with a flit arriving this cycle (see ejectPending).
+    std::vector<std::uint64_t> eject_mask_;
+    /// Delivery-cycle wheel feeding eject_mask_: slot c & mask lists
+    /// the terminals whose flit arrives in cycle c. Terminal-bound
+    /// channel pushes append here; step(now) drains slot now + 1.
+    std::vector<std::vector<std::int32_t>> eject_wheel_;
+    std::uint32_t eject_wheel_mask_ = 0;
+    /// Delivery-cycle wheel for terminal injection credits: slot
+    /// c & mask lists one entry per credit arriving in cycle c.
+    /// step(now) drains slot now + 1 into the terminals' credit
+    /// counts, exactly when the old lazy CreditLine drain would have
+    /// surfaced them to an injection attempt.
+    std::vector<std::vector<std::int32_t>> credit_wheel_;
+    std::uint32_t credit_wheel_mask_ = 0;
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<ChannelPair>> link_channels_;
     /// Channels per logical link (2 x multiplicity), for utilization

@@ -18,18 +18,32 @@
  * ingress (terminal-facing) and transit inputs to model the paper's
  * proprietary routing optimization (Fig. 22): with a fixed topology,
  * non-ingress SSCs skip the L3 IP-table lookup.
+ *
+ * Storage and scheduling are built for throughput without changing
+ * results: VC queues are intrusive lists over a network-wide
+ * FlitPool, the VA/SA/ST pipeline depth is folded into each output
+ * channel's flit lead (an arbitrated flit is pushed exactly once, at
+ * allocation time, and arrives pipeline_delay + wire latency cycles
+ * later), and per-port pending-work bitmasks (arriving flits,
+ * returning credits, occupied inputs) drive both the intra-router
+ * loops and the network-level active set — an idle router is never
+ * stepped, a busy one only touches ports that have work. All channel latencies are
+ * >= 1 cycle, so nothing a router does in cycle t is visible to any
+ * other router until t+1 and the active-set step order cannot affect
+ * simulation results.
  */
 
 #ifndef WSS_SIM_ROUTER_HPP
 #define WSS_SIM_ROUTER_HPP
 
+#include <bit>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "sim/channel.hpp"
 #include "sim/flit.hpp"
+#include "sim/flit_pool.hpp"
 #include "util/rng.hpp"
 
 namespace wss::sim {
@@ -70,14 +84,96 @@ struct RouterConfig
     /// VA/SA/ST pipeline depth beyond RC (cycles, >= 1).
     int pipeline_delay = 1;
     /// ECMP next-hop selection: false = oblivious (uniform random,
-    /// the Booksim default), true = adaptive (most downstream
-    /// credits, ties broken randomly).
+    /// the Booksim default), true = adaptive (power-of-two-choices on
+    /// downstream credits).
     bool adaptive_routing = false;
 };
 
 /**
+ * The Network's active set: routers with pending work, deduplicated
+ * by a per-router flag. A channel push schedules a wake for the
+ * consuming router at the delivery cycle (a timing-wheel slot), so a
+ * router with traffic merely in flight toward it is never stepped;
+ * same-cycle re-arming (a busy router keeping itself active) goes
+ * through the immediate pending set. Network::step merges the
+ * current wheel slot into the pending set and steps only those.
+ */
+class RouterScheduler
+{
+  public:
+    /// Size for @p routers routers and wakes up to @p max_latency
+    /// cycles ahead; reserves so wake() never allocates afterwards
+    /// (the flag bounds the set to one entry per router).
+    void
+    attach(int routers, int max_latency = 1)
+    {
+        flags_.assign(static_cast<std::size_t>(routers), 0);
+        pending_.clear();
+        pending_.reserve(static_cast<std::size_t>(routers));
+        run_.clear();
+        run_.reserve(static_cast<std::size_t>(routers));
+        const std::size_t slots = std::bit_ceil(
+            static_cast<std::size_t>(max_latency) + 2);
+        wheel_.assign(slots, {});
+        wheel_mask_ = slots - 1;
+    }
+
+    void
+    wake(std::int32_t id)
+    {
+        auto &flag = flags_[static_cast<std::size_t>(id)];
+        if (!flag) {
+            flag = 1;
+            pending_.push_back(id);
+        }
+    }
+
+    /// Schedule a wake for cycle @p cycle (at most max_latency ahead
+    /// of the current cycle). Consecutive duplicate ids are dropped,
+    /// which already collapses the common burst — one router pushing
+    /// many items toward the same consumer in one cycle.
+    void
+    wakeAt(std::int32_t id, Cycle cycle)
+    {
+        auto &slot = wheel_[static_cast<std::size_t>(cycle) &
+                            wheel_mask_];
+        if (slot.empty() || slot.back() != id)
+            slot.push_back(id);
+    }
+
+    /// Merge cycle @p now's wheel slot into the pending set, swap it
+    /// into the run list (clearing flags so this cycle's pushes
+    /// re-arm routers for the next cycle) and return it. Wake order
+    /// is arrival order; with all channel latencies >= 1 the step
+    /// order is invisible to results. Cycles must be stepped
+    /// consecutively — the strict channels already require that.
+    std::vector<std::int32_t> &
+    beginCycle(Cycle now)
+    {
+        auto &slot =
+            wheel_[static_cast<std::size_t>(now) & wheel_mask_];
+        for (const std::int32_t id : slot)
+            wake(id);
+        slot.clear();
+        run_.swap(pending_);
+        pending_.clear();
+        for (const std::int32_t id : run_)
+            flags_[static_cast<std::size_t>(id)] = 0;
+        return run_;
+    }
+
+  private:
+    std::vector<std::int32_t> pending_;
+    std::vector<std::int32_t> run_;
+    std::vector<std::uint8_t> flags_;
+    /// wheel_[c & mask] holds the ids to wake in cycle c.
+    std::vector<std::vector<std::int32_t>> wheel_{1};
+    std::size_t wheel_mask_ = 0;
+};
+
+/**
  * One router instance. The Network wires its ports to channels and
- * calls step() once per cycle.
+ * steps it through the scheduler whenever it has work.
  */
 class Router
 {
@@ -86,11 +182,18 @@ class Router
      * @param id    router id (for routing-table lookups)
      * @param cfg   static configuration
      * @param seed  RNG seed for ECMP candidate selection
+     * @param pool  flit arena backing the VC queues (shared across
+     *              the network; must outlive the router)
      */
-    Router(int id, const RouterConfig &cfg, std::uint64_t seed);
+    Router(int id, const RouterConfig &cfg, std::uint64_t seed,
+           FlitPool *pool);
 
     int id() const { return id_; }
     const RouterConfig &config() const { return cfg_; }
+
+    /// Bind the network's active-set scheduler (nullptr detaches;
+    /// wakes then become no-ops for standalone stepping).
+    void bindScheduler(RouterScheduler *sched) { sched_ = sched; }
 
     /**
      * Wire input port @p port to @p channel (flits arrive on
@@ -140,27 +243,59 @@ class Router
         return port_enabled_.at(static_cast<std::size_t>(port)) != 0;
     }
 
+    /// Call once after the last connectInput/connectOutput: pre-sizes
+    /// every wake-wheel slot to its structural bound (one flit wake
+    /// per input port plus one credit wake per output port can land
+    /// on the same future cycle), so scheduling a wake never
+    /// allocates — part of the cycle loop's zero-steady-state-
+    /// allocation invariant.
+    void
+    finalizeWiring()
+    {
+        for (auto &slot : wake_wheel_)
+            slot.reserve(2 * static_cast<std::size_t>(cfg_.ports));
+    }
+
     /// Attach observability instruments (pass {} to detach).
     void setInstruments(const RouterInstruments &instr)
     {
         instr_ = instr;
     }
 
-    /// Advance one cycle: ingest flits/credits, run RC/VA/SA/ST.
-    void step(Cycle now);
+    /**
+     * Advance one cycle: ingest flits/credits, run RC/VA/SA/ST.
+     * @return true while the router still has pending work (buffered
+     * or staged flits, or in-flight arrivals) and must be stepped
+     * again next cycle.
+     */
+    bool step(Cycle now);
+
+    /// A flit will arrive at input port @p port in cycle @p ready:
+    /// schedule the port's pending bit and the router's wake for
+    /// exactly that cycle (called on channel push).
+    void
+    noteIncomingFlit(int port, Cycle ready)
+    {
+        wake_wheel_[static_cast<std::size_t>(ready) & wake_mask_]
+            .push_back(port);
+        if (sched_)
+            sched_->wakeAt(id_, ready);
+    }
+
+    /// A credit will arrive at output port @p port in cycle @p ready:
+    /// the wheel entry itself carries it (one entry = one credit,
+    /// applied to the port's count when the slot drains).
+    void
+    noteIncomingCredit(int port, Cycle ready)
+    {
+        wake_wheel_[static_cast<std::size_t>(ready) & wake_mask_]
+            .push_back(-(port + 1));
+        if (sched_)
+            sched_->wakeAt(id_, ready);
+    }
 
     /// Total flits currently buffered (for drain detection).
     std::int64_t bufferedFlits() const { return buffered_; }
-
-    /// Flits sitting in output pipeline stages (for drain detection).
-    std::int64_t
-    stagedFlits() const
-    {
-        std::int64_t total = 0;
-        for (const auto &out : outputs_)
-            total += static_cast<std::int64_t>(out.stage.size());
-        return total;
-    }
 
     /// Occupancy of one input port's shared buffer (for tests).
     int portOccupancy(int port) const { return inputs_[port].occupancy; }
@@ -178,14 +313,27 @@ class Router
         Active,
     };
 
+    /// Packed to 32 bytes (two per cache line): the RC/VA and SA
+    /// scans hit these at random VC offsets, so struct size directly
+    /// sets their miss rate once ports * vcs outgrows the caches.
     struct InputVc
     {
-        std::deque<Flit> queue;
-        VcState state = VcState::Idle;
+        /// Intrusive FIFO through the flit pool.
+        FlitPool::Index q_head = FlitPool::kNil;
+        FlitPool::Index q_tail = FlitPool::kNil;
         Cycle rc_ready = 0;
+        /// Destination of the packet in flight, cached when the head
+        /// flit is first seen (route() inputs are per-packet
+        /// invariants).
+        std::int32_t dst_terminal = -1;
+        std::int32_t dst_router = -1;
         std::int16_t out_port = -1;
         std::int16_t out_vc = -1;
+        /// Back-index into the port's occupied list while queued.
+        std::int16_t occ_pos = -1;
+        VcState state = VcState::Idle;
     };
+    static_assert(sizeof(InputVc) == 32);
 
     struct InputPort
     {
@@ -194,6 +342,19 @@ class Router
         /// VC ids with non-empty queues (active set; keeps the per-
         /// cycle work proportional to traffic, not to port * VC).
         std::vector<std::int16_t> occupied;
+        /// Occupied VCs not yet in the Active state: exactly the set
+        /// the RC/VA state machines must visit. Processing sorts by
+        /// occ_pos, reproducing the occupied-order scan without
+        /// walking the (mostly Active) occupied list. Invariant:
+        /// pending is a subset of occupied — a non-Active VC cannot
+        /// be dequeued, so membership only ends through VA success.
+        std::vector<std::int16_t> pending;
+        /// VCs currently in the Active state. Zero means the SA
+        /// nomination walk cannot find a candidate and is skipped
+        /// outright (the common case while a lone packet sits in its
+        /// RC delay at low load); the walk leaves no trace when it
+        /// nominates nothing, so skipping it is invisible.
+        int active_vcs = 0;
         int occupancy = 0;
         int rr = 0; // SA round-robin cursor into occupied
     };
@@ -201,9 +362,6 @@ class Router
     struct OutputPort
     {
         ChannelPair *channel = nullptr;
-        /// Extra pipeline stage modeling VA/SA/ST depth.
-        std::vector<Flit> stage;
-        std::vector<Cycle> stage_ready;
         /// Owning input VC (encoded port * vcs + vc) per output VC.
         std::vector<std::int32_t> vc_owner;
         int credits = 0;
@@ -220,20 +378,55 @@ class Router
     void ingest(Cycle now);
     void runInputStages(Cycle now);
     void arbitrateOutputs(Cycle now);
-    void drainOutputStages(Cycle now);
+
+    /// Ensure the wake wheel spans @p latency cycles of look-ahead
+    /// (called while wiring, before any traffic exists).
+    void
+    growWakeWheel(int latency)
+    {
+        const std::size_t slots =
+            std::bit_ceil(static_cast<std::size_t>(latency) + 2);
+        if (slots > wake_wheel_.size()) {
+            wake_wheel_.resize(slots);
+            wake_mask_ = slots - 1;
+        }
+    }
 
     /// Pick the output port for a routed head flit.
-    std::int16_t route(const Flit &flit);
+    std::int16_t route(std::int32_t dst_terminal,
+                       std::int32_t dst_router);
 
     int id_;
     RouterConfig cfg_;
     Rng rng_;
     RouterInstruments instr_;
+    FlitPool *pool_;
+    RouterScheduler *sched_ = nullptr;
 
     std::vector<InputPort> inputs_;
     std::vector<OutputPort> outputs_;
     /// Administrative per-port state (fault layer); 1 = up.
     std::vector<char> port_enabled_;
+
+    /// Pending-work bitmasks, one bit per port: flits arriving this
+    /// cycle on an input channel (materialized from the wake wheel at
+    /// the top of step() and fully consumed by ingest) and inputs
+    /// with occupied VCs. busy empty <=> the router may leave the
+    /// active set (arrivals re-wake it through the scheduler's wheel,
+    /// and arbitrated flits leave through their output channel at
+    /// push time — the VA/SA/ST pipeline depth rides on the channel's
+    /// flit lead, so there is no staging ring to drain). Credits need
+    /// no mask at all: each wake-wheel entry is one credit, applied
+    /// directly when its slot drains.
+    std::vector<std::uint64_t> in_flit_mask_;
+    std::vector<std::uint64_t> busy_mask_;
+
+    /// Delivery-cycle wake wheel: wake_wheel_[c & mask] lists the
+    /// ports with an arrival in cycle c — port for a flit,
+    /// -(port + 1) for a credit. Sized at wiring time to cover the
+    /// longest attached channel.
+    std::vector<std::vector<std::int32_t>> wake_wheel_{1};
+    std::size_t wake_mask_ = 0;
 
     const std::vector<std::int32_t> *dst_router_of_terminal_ = nullptr;
     /// CSR routing table: candidates for router d live at
@@ -248,6 +441,44 @@ class Router
 
     std::int64_t buffered_ = 0;
 };
+
+/// Push a flit into a channel and schedule its consumer's wake (a
+/// router input port, or a terminal's ejection-pending bit) for the
+/// delivery cycle.
+inline void
+channelPushFlit(ChannelPair &ch, Cycle now, const Flit &flit)
+{
+    ch.flits.push(now, flit);
+    const Cycle ready = now + ch.flits.latency();
+    if (ch.flit_sink)
+        ch.flit_sink->noteIncomingFlit(ch.flit_sink_port, ready);
+    else if (ch.eject_wheel)
+        (*ch.eject_wheel)[static_cast<std::size_t>(ready) &
+                          ch.eject_wheel_mask]
+            .push_back(ch.eject_terminal);
+}
+
+/// Push a credit toward a channel's consumer for delivery after the
+/// credit latency. Fabric credits never enter the CreditLine: a
+/// router-consumed credit is a wake-wheel entry that bumps the output
+/// port's count at its arrival cycle, and a terminal-injection credit
+/// is an entry in the network's credit wheel (one entry = one
+/// credit). Only standalone channels (no sink wired) use the line.
+inline void
+channelPushCredit(ChannelPair &ch, Cycle now)
+{
+    if (ch.credit_sink) {
+        ch.credit_sink->noteIncomingCredit(
+            ch.credit_sink_port, now + ch.credits.latency());
+    } else if (ch.credit_wheel) {
+        (*ch.credit_wheel)[static_cast<std::size_t>(
+                               now + ch.credits.latency()) &
+                           ch.credit_wheel_mask]
+            .push_back(ch.credit_terminal);
+    } else {
+        ch.credits.push(now); // standalone use: drained lazily
+    }
+}
 
 } // namespace wss::sim
 

@@ -1,5 +1,8 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "util/logging.hpp"
 
 namespace wss::sim {
@@ -13,8 +16,25 @@ Simulator::Simulator(Network &network, Workload &workload,
     if (cfg.observe_sample_every < 0)
         fatal("Simulator: observe_sample_every must be >= 0");
     source_.resize(network.terminalCount());
+    inject_mask_.assign(
+        (static_cast<std::size_t>(network.terminalCount()) + 63) / 64,
+        0);
     current_vc_.assign(network.terminalCount(), 0);
-    vc_counter_.assign(network.terminalCount(), 0);
+    next_vc_.assign(network.terminalCount(), 0);
+    front_head_.assign(
+        static_cast<std::size_t>(network.terminalCount()), 0);
+    // At most one packet per terminal per cycle can fall in the
+    // measurement window, so this bound makes the latency sampler
+    // allocation-free for the whole run (capped: a huge fabric's
+    // sampler grows amortized past 1M samples instead of reserving
+    // gigabytes it will likely never fill).
+    packet_latency_q_.reserve(std::min<std::size_t>(
+        static_cast<std::size_t>(network.terminalCount()) *
+            static_cast<std::size_t>(cfg.measure),
+        std::size_t{1} << 20));
+    emit_ = [this](int src, int dst, int flits) {
+        emitPacket(src, dst, flits);
+    };
     if (cfg.observe)
         setupObs();
 }
@@ -129,53 +149,95 @@ Simulator::finalizeObs(Cycle end)
 }
 
 void
+Simulator::emitPacket(int src, int dst, int flits)
+{
+    if (src < 0 || src >= network_.terminalCount() || dst < 0 ||
+        dst >= network_.terminalCount())
+        fatal("workload emitted an out-of-range terminal (", src,
+              " -> ", dst, ")");
+    if (dst == src)
+        return; // self-traffic never enters the fabric
+    const std::uint64_t id = next_packet_id_++;
+    const Cycle now = gen_now_;
+    for (int i = 0; i < flits; ++i) {
+        SourceFlit sf;
+        sf.packet_id = id;
+        sf.created = now;
+        sf.dst = dst;
+        sf.head = i == 0;
+        sf.tail = i == flits - 1;
+        if (source_[src].empty())
+            front_head_[src] = sf.head ? 1 : 0;
+        source_[src].push_back(sf);
+        ++flits_generated_;
+    }
+    inject_mask_[static_cast<std::size_t>(src) >> 6] |=
+        std::uint64_t{1} << (src & 63);
+    if (gen_in_window_)
+        ++measured_created_;
+}
+
+void
 Simulator::generate(Cycle now)
 {
-    const bool in_window =
+    gen_now_ = now;
+    gen_in_window_ =
         cfg_.run_to_exhaustion ||
         (now >= cfg_.warmup && now < cfg_.warmup + cfg_.measure);
-    workload_.generate(now, rng_, [&](int src, int dst, int flits) {
-        if (src < 0 || src >= network_.terminalCount() || dst < 0 ||
-            dst >= network_.terminalCount())
-            fatal("workload emitted an out-of-range terminal (", src,
-                  " -> ", dst, ")");
-        if (dst == src)
-            return; // self-traffic never enters the fabric
-        const std::uint64_t id = next_packet_id_++;
-        for (int i = 0; i < flits; ++i) {
-            Flit flit;
-            flit.packet_id = id;
-            flit.src = src;
-            flit.dst = dst;
-            flit.head = i == 0;
-            flit.tail = i == flits - 1;
-            flit.created = now;
-            source_[src].push_back(flit);
-            ++flits_generated_;
-        }
-        if (in_window)
-            ++measured_created_;
-    });
+    workload_.generate(now, rng_, emit_);
 }
 
 void
 Simulator::inject(Cycle now)
 {
-    for (int t = 0; t < network_.terminalCount(); ++t) {
-        auto &queue = source_[t];
-        if (queue.empty())
-            continue;
-        Flit &flit = queue.front();
-        if (flit.head) {
-            // New packet: pick its VC (round-robin per terminal).
-            current_vc_[t] = static_cast<std::int16_t>(
-                vc_counter_[t]++ % network_.vcs());
-        }
-        flit.vc = current_vc_[t];
-        flit.injected = now;
-        if (network_.tryInject(t, now, flit)) {
-            queue.pop_front();
-            ++flits_injected_;
+    // Sweep only terminals with queued flits, in ascending id order
+    // (the same order the dense loop used).
+    for (std::size_t w = 0; w < inject_mask_.size(); ++w) {
+        std::uint64_t word = inject_mask_[w];
+        while (word) {
+            const int t =
+                static_cast<int>(w) * 64 + std::countr_zero(word);
+            const std::uint64_t bit = word & (~word + 1);
+            word &= word - 1;
+            if (!network_.injectReady(t, now)) {
+                // Blocked: a queued head still advances the VC
+                // cursor, exactly as the full attempt always did —
+                // but the (possibly huge, cold) source ring is never
+                // touched.
+                if (front_head_[t]) {
+                    current_vc_[t] = next_vc_[t];
+                    next_vc_[t] = next_vc_[t] + 1 == network_.vcs()
+                                      ? 0
+                                      : next_vc_[t] + 1;
+                }
+                continue;
+            }
+            auto &queue = source_[t];
+            const SourceFlit &sf = queue.front();
+            if (sf.head) {
+                // New packet: pick its VC (round-robin per terminal).
+                current_vc_[t] = next_vc_[t];
+                next_vc_[t] = next_vc_[t] + 1 == network_.vcs()
+                                  ? 0
+                                  : next_vc_[t] + 1;
+            }
+            Flit flit;
+            flit.packet_id = sf.packet_id;
+            flit.src = t;
+            flit.dst = sf.dst;
+            flit.vc = current_vc_[t];
+            flit.head = sf.head;
+            flit.tail = sf.tail;
+            flit.created = sf.created;
+            flit.injected = now;
+            if (network_.tryInject(t, now, flit)) {
+                queue.pop_front();
+                ++flits_injected_;
+                if (queue.empty())
+                    inject_mask_[w] &= ~bit;
+                else
+                    front_head_[t] = queue.front().head ? 1 : 0;
+            }
         }
     }
 }
@@ -186,34 +248,45 @@ Simulator::ejectAll(Cycle now)
     const bool in_window =
         cfg_.run_to_exhaustion ||
         (now >= cfg_.warmup && now < cfg_.warmup + cfg_.measure);
-    for (int t = 0; t < network_.terminalCount(); ++t) {
-        const auto flit = network_.eject(t, now);
-        if (!flit)
-            continue;
-        if (flit->dst != t)
-            panic("flit for terminal ", flit->dst, " ejected at ", t);
-        ++flits_delivered_;
-        if (obs_)
-            obs_->delivered[t].inc();
-        if (in_window)
-            ++window_flits_ejected_;
-        if (!flit->tail)
-            continue;
-        // Tail: the whole packet has arrived.
-        workload_.packetDelivered(now);
-        const bool measured =
-            cfg_.run_to_exhaustion ||
-            (flit->created >= cfg_.warmup &&
-             flit->created < cfg_.warmup + cfg_.measure);
-        if (measured) {
-            const auto latency =
-                static_cast<double>(now - flit->created);
-            packet_latency_.add(latency);
-            packet_latency_q_.add(latency);
-            network_latency_.add(
-                static_cast<double>(now - flit->injected));
-            hops_.add(static_cast<double>(flit->hops));
-            ++measured_finished_;
+    // Sweep only terminals with flits in flight toward them.
+    // Ascending terminal order is load-bearing: the floating-point
+    // statistics accumulate in the same order the dense loop used.
+    const auto &pending = network_.ejectPending();
+    for (std::size_t w = 0; w < pending.size(); ++w) {
+        std::uint64_t word = pending[w];
+        while (word) {
+            const int t =
+                static_cast<int>(w) * 64 + std::countr_zero(word);
+            word &= word - 1;
+            const auto flit = network_.eject(t, now);
+            if (!flit)
+                continue; // still in flight on the channel
+            if (flit->dst != t)
+                panic("flit for terminal ", flit->dst, " ejected at ",
+                      t);
+            ++flits_delivered_;
+            if (obs_)
+                obs_->delivered[t].inc();
+            if (in_window)
+                ++window_flits_ejected_;
+            if (!flit->tail)
+                continue;
+            // Tail: the whole packet has arrived.
+            workload_.packetDelivered(now);
+            const bool measured =
+                cfg_.run_to_exhaustion ||
+                (flit->created >= cfg_.warmup &&
+                 flit->created < cfg_.warmup + cfg_.measure);
+            if (measured) {
+                const auto latency =
+                    static_cast<double>(now - flit->created);
+                packet_latency_.add(latency);
+                packet_latency_q_.add(latency);
+                network_latency_.add(
+                    static_cast<double>(now - flit->injected));
+                hops_.add(static_cast<double>(flit->hops));
+                ++measured_finished_;
+            }
         }
     }
 }
@@ -281,8 +354,7 @@ Simulator::run()
         finalizeObs(now + 1);
         result.observation = obs_->data;
     }
-    QuantileSampler q = packet_latency_q_;
-    result.p99_packet_latency = q.quantile(0.99);
+    result.p99_packet_latency = packet_latency_q_.quantile(0.99);
     return result;
 }
 

@@ -8,13 +8,13 @@
 #ifndef WSS_SIM_SIMULATOR_HPP
 #define WSS_SIM_SIMULATOR_HPP
 
-#include <deque>
 #include <functional>
 #include <memory>
 
 #include "obs/sim_observation.hpp"
 #include "sim/network.hpp"
 #include "sim/workload.hpp"
+#include "util/ring_queue.hpp"
 #include "util/stats_accumulator.hpp"
 
 namespace wss::sim {
@@ -103,6 +103,7 @@ class Simulator
 
   private:
     void generate(Cycle now);
+    void emitPacket(int src, int dst, int flits);
     void inject(Cycle now);
     void ejectAll(Cycle now);
 
@@ -137,11 +138,41 @@ class Simulator
     SimConfig cfg_;
     Rng rng_;
 
-    /// Per-terminal source queues (open-loop: unbounded).
-    std::vector<std::deque<Flit>> source_;
-    /// Per-terminal VC for the packet currently being injected.
+    /// Compact source-queue entry: just what inject() needs to build
+    /// the real Flit. Past saturation the backlog dwarfs every cache,
+    /// so entry size directly sets the DRAM-miss rate of the two
+    /// hottest loops (emitPacket's tail writes, inject's head reads).
+    struct SourceFlit
+    {
+        std::uint64_t packet_id;
+        Cycle created;
+        std::int32_t dst;
+        bool head;
+        bool tail;
+    };
+
+    /// Per-terminal source queues (open-loop: unbounded, but ring-
+    /// backed so they stop allocating at their high-water mark).
+    std::vector<util::RingQueue<SourceFlit>> source_;
+    /// Terminals with a non-empty source queue, one bit per id: the
+    /// injection sweep's active set.
+    std::vector<std::uint64_t> inject_mask_;
+    /// Per-terminal VC for the packet currently being injected, and
+    /// the wrapping round-robin cursor for the next one.
     std::vector<std::int16_t> current_vc_;
-    std::vector<std::uint32_t> vc_counter_;
+    std::vector<std::int16_t> next_vc_;
+    /// Whether source_[t].front() is a head flit — lets a blocked
+    /// injection attempt advance the VC cursor (as every attempt
+    /// always has) without touching the queue at all.
+    std::vector<std::uint8_t> front_head_;
+
+    /// Persistent emit closure handed to Workload::generate each
+    /// cycle (constructing it per cycle would heap-allocate).
+    std::function<void(int, int, int)> emit_;
+    /// Cycle being generated and whether it is in the measure window
+    /// (state for the persistent closure).
+    Cycle gen_now_ = 0;
+    bool gen_in_window_ = false;
 
     std::uint64_t next_packet_id_ = 0;
 

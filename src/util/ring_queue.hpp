@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Growable FIFO ring buffer.
+ *
+ * A drop-in replacement for the std::deque queues on the simulator
+ * hot path: contiguous storage, power-of-two capacity, and — the
+ * property the zero-allocation invariant of the cycle loop rests on —
+ * no allocation ever happens after the high-water mark is reached.
+ */
+
+#ifndef WSS_UTIL_RING_QUEUE_HPP
+#define WSS_UTIL_RING_QUEUE_HPP
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace wss::util {
+
+template <typename T>
+class RingQueue
+{
+  public:
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return slots_.size(); }
+
+    T &front() { return slots_[head_]; }
+    const T &front() const { return slots_[head_]; }
+
+    void
+    push_back(T value)
+    {
+        if (size_ == slots_.size())
+            grow();
+        slots_[(head_ + size_) & mask_] = std::move(value);
+        ++size_;
+    }
+
+    void
+    pop_front()
+    {
+        head_ = (head_ + 1) & mask_;
+        --size_;
+    }
+
+    /// Pre-size to at least @p n slots (rounded up to a power of two).
+    void
+    reserve(std::size_t n)
+    {
+        while (slots_.size() < n)
+            grow();
+    }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t cap =
+            slots_.empty() ? 8 : slots_.size() * 2;
+        std::vector<T> next(cap);
+        for (std::size_t i = 0; i < size_; ++i)
+            next[i] = std::move(slots_[(head_ + i) & mask_]);
+        slots_ = std::move(next);
+        head_ = 0;
+        mask_ = cap - 1;
+    }
+
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+    std::size_t mask_ = 0;
+};
+
+} // namespace wss::util
+
+#endif // WSS_UTIL_RING_QUEUE_HPP

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -87,6 +88,13 @@ class QuantileSampler
     std::size_t count() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
 
+    /// Pre-size the sample store. A caller that knows an upper bound
+    /// on its sample count (the simulator: terminals x window cycles)
+    /// reserves up front so add() never reallocates mid-measurement —
+    /// part of the cycle loop's zero-steady-state-allocation
+    /// invariant.
+    void reserve(std::size_t n) { samples_.reserve(n); }
+
     /// Merge another sampler's samples into this one. Quantiles of
     /// the merged sampler are exact (identical to a single stream
     /// that saw all samples), so per-worker samplers can be combined
@@ -99,22 +107,33 @@ class QuantileSampler
     }
 
     /**
-     * Exact quantile by nearest-rank, q in [0, 1]. Sorts lazily.
+     * Exact quantile by nearest-rank, q in [0, 1].
+     * Selects on a reused scratch buffer (O(n) nth_element, no full
+     * sort), leaving the sample stream itself untouched — callers
+     * can keep adding or merging afterwards, and no copy of the
+     * sampler is ever needed just to read a quantile.
      * @return 0 for an empty sampler.
      */
     double
-    quantile(double q)
+    quantile(double q) const
     {
         if (samples_.empty())
             return 0.0;
-        std::sort(samples_.begin(), samples_.end());
+        scratch_ = samples_;
         const double pos = q * static_cast<double>(samples_.size() - 1);
-        const auto idx = static_cast<std::size_t>(pos + 0.5);
-        return samples_[std::min(idx, samples_.size() - 1)];
+        const auto idx = std::min(static_cast<std::size_t>(pos + 0.5),
+                                  samples_.size() - 1);
+        std::nth_element(scratch_.begin(),
+                         scratch_.begin() +
+                             static_cast<std::ptrdiff_t>(idx),
+                         scratch_.end());
+        return scratch_[idx];
     }
 
   private:
     std::vector<double> samples_;
+    /// Selection workspace; mutable so quantile() stays const.
+    mutable std::vector<double> scratch_;
 };
 
 } // namespace wss

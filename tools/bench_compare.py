@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare two bench_simcore JSON reports.
+
+Usage: tools/bench_compare.py BASELINE.json CANDIDATE.json
+           [--max-regress PCT] [--require-identical]
+
+Points are matched by (name, rate). For each match the tool prints
+the throughput ratio, and fails (exit 1) when:
+
+  * the candidate is more than --max-regress percent slower than the
+    baseline on any point (default 10; timing noise on shared boxes
+    easily reaches a few percent, so the default is deliberately
+    loose — tighten it on quiet machines), or
+  * --require-identical is given and flits_delivered / end_cycle /
+    stable differ on any point. Those fields are wall-clock
+    independent: any difference means the simulator's *behaviour*
+    changed, not just its speed, and the perf comparison is void.
+
+Only the standard library is used, so the script runs anywhere the
+repo builds.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_points(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("bench") != "simcore":
+        sys.exit(f"{path}: not a bench_simcore report")
+    return doc.get("smoke", False), {
+        (p["name"], p["rate"]): p for p in doc["points"]
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two bench_simcore JSON reports.")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--max-regress", type=float, default=10.0, metavar="PCT",
+        help="fail if any point is more than PCT%% slower "
+             "(default: %(default)s)")
+    parser.add_argument(
+        "--require-identical", action="store_true",
+        help="fail unless flits_delivered/end_cycle/stable match "
+             "point-for-point (behavioural bit-identity)")
+    args = parser.parse_args()
+
+    base_smoke, base = load_points(args.baseline)
+    cand_smoke, cand = load_points(args.candidate)
+    if base_smoke != cand_smoke:
+        sys.exit("refusing to compare a --smoke run against a full "
+                 "run: the workloads differ")
+
+    common = sorted(base.keys() & cand.keys())
+    if not common:
+        sys.exit("no common points between the two reports")
+    for key in sorted(base.keys() ^ cand.keys()):
+        side = "baseline" if key in base else "candidate"
+        print(f"note: {key[0]} @ {key[1]} only in {side}, skipped")
+
+    failures = []
+    print(f"{'point':28s} {'base':>9s} {'cand':>9s} {'ratio':>7s}  "
+          f"identical")
+    for key in common:
+        b, c = base[key], cand[key]
+        ratio = (c["mflits_per_second"] / b["mflits_per_second"]
+                 if b["mflits_per_second"] > 0 else float("inf"))
+        identical = all(
+            b[f] == c[f]
+            for f in ("flits_delivered", "end_cycle", "stable"))
+        label = f"{key[0]}/{key[1]:.2f}"
+        print(f"{label:28s} {b['mflits_per_second']:9.3f} "
+              f"{c['mflits_per_second']:9.3f} {ratio:6.2f}x  "
+              f"{'yes' if identical else 'NO'}")
+        if ratio < 1.0 - args.max_regress / 100.0:
+            failures.append(
+                f"{label}: {((1.0 - ratio) * 100.0):.1f}% slower "
+                f"(limit {args.max_regress}%)")
+        if args.require_identical and not identical:
+            failures.append(
+                f"{label}: behavioural mismatch "
+                f"(flits {b['flits_delivered']} vs "
+                f"{c['flits_delivered']}, end_cycle "
+                f"{b['end_cycle']} vs {c['end_cycle']}, stable "
+                f"{b['stable']} vs {c['stable']})")
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print("\nbench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,14 @@
 #      the `tsan` CMake preset), so every change to the thread pool /
 #      sweep runner / resilience fan-out / metrics merge is
 #      race-checked, and
-#   3. an observability smoke: a parallel sweep with --trace-out whose
+#   3. an AddressSanitizer build of the simulator core running the
+#      bit-exact determinism suite (the `asan` preset), so flit-pool
+#      lifetime or ring-buffer indexing bugs introduced by hot-path
+#      work die loudly instead of corrupting results,
+#   4. a release-preset bench_simcore --smoke, proving the optimized
+#      build still runs every bench point to a stable result (the
+#      perf numbers themselves are tracked in bench_results/), and
+#   5. an observability smoke: a parallel sweep with --trace-out whose
 #      JSON must parse, and a sim run with --stats-out whose counters
 #      must reconcile (the CLI panics if they do not).
 #
@@ -34,6 +41,25 @@ cmake --build --preset tsan -j "$JOBS"
 echo "== tsan: race-checked test run =="
 # Death tests (fork under TSAN) are excluded by the preset filter.
 ctest --preset tsan
+
+echo "== asan: configure + build (test_sim_determinism) =="
+cmake --preset asan
+cmake --build --preset asan -j "$JOBS"
+
+echo "== asan: heap-checked determinism suite =="
+# The ZeroAllocation test is excluded by the preset filter: ASan
+# interposes the allocator, which defeats the counting hook.
+ctest --preset asan
+
+echo "== release: bench_simcore smoke =="
+cmake --preset release
+cmake --build --preset release -j "$JOBS"
+BENCH_TMP="$(mktemp -d)"
+build-release/bench/bench_simcore --smoke \
+    --json "$BENCH_TMP/BENCH_simcore_smoke.json"
+python3 -m json.tool "$BENCH_TMP/BENCH_simcore_smoke.json" > /dev/null
+rm -rf "$BENCH_TMP"
+echo "bench smoke JSON parses"
 
 echo "== obs smoke: parallel trace + stats reconciliation =="
 OBS_TMP="$(mktemp -d)"
