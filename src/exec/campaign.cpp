@@ -219,7 +219,8 @@ Campaign::run(ThreadPool *pool, obs::TraceEventSink *trace) const
             seconds.mean() * static_cast<double>(seconds.count());
         job_result.mean_cell_seconds = seconds.mean();
         job_result.max_cell_seconds = seconds.max();
-        job_result.p95_cell_seconds = seconds_q.quantile(0.95);
+        job_result.p95_cell_seconds =
+            seconds_q.empty() ? 0.0 : seconds_q.quantile(0.95);
 
         if (entry.is_sweep)
             job_result.sweep = finalizeSweepRun(

@@ -1,6 +1,7 @@
 #include "exec/thread_pool.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 
@@ -48,14 +49,28 @@ ThreadPool::workerSlot() const
 int
 ThreadPool::defaultThreads()
 {
-    if (const char *env = std::getenv("WSS_JOBS")) {
-        const int n = std::atoi(env);
-        if (n > 0)
-            return n;
-        warn("WSS_JOBS='", env, "' is not a positive integer; ignoring");
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? static_cast<int>(hw) : 1;
+    const int fallback = hw > 0 ? static_cast<int>(hw) : 1;
+    const char *env = std::getenv("WSS_JOBS");
+    if (!env)
+        return fallback;
+    // Strict parse: the whole string must be a positive decimal
+    // integer. "8x", "", "0" and "-2" all fall back loudly — a typo
+    // silently serializing (or oversubscribing) a campaign is much
+    // harder to notice than this warning.
+    char *end = nullptr;
+    errno = 0;
+    const long n = std::strtol(env, &end, 10);
+    // strtol alone would accept " 4", "+4" and "8x"; require the
+    // value to be exactly a string of decimal digits.
+    if (env[0] < '0' || env[0] > '9' || errno != 0 || end == env ||
+        *end != '\0' || n <= 0 || n > 4096) {
+        warn("WSS_JOBS='", env,
+             "' is not a positive integer (1..4096); using ",
+             fallback, " thread(s) instead");
+        return fallback;
+    }
+    return static_cast<int>(n);
 }
 
 void

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fault timelines for the flow-level DCN simulator.
+ *
+ * The cycle-level FaultSchedule (fault_schedule.hpp) kills links of
+ * one switch's internal fabric. At datacenter scale the unit of
+ * failure is a whole switch or a trunk bundle, and time is wall-clock
+ * seconds rather than fabric cycles — so the flow simulator gets its
+ * own schedule type. flow::FlowSimulator consumes the sorted event
+ * list, applies each transition to its DcnTopology, rebuilds the
+ * ECMP tables, and reroutes the flows that were crossing the dead
+ * element (paper Section III.C's resilience story, lifted from one
+ * wafer to the network).
+ *
+ * sampleSwitchFailures() bridges from the defect layer: the same
+ * FaultModel field-failure probability that drives DefectSampler
+ * decides which switches die during a mission window, with the
+ * standard (seed, index) determinism contract.
+ */
+
+#ifndef WSS_FAULT_FLOW_FAULTS_HPP
+#define WSS_FAULT_FLOW_FAULTS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/defect.hpp"
+
+namespace wss::fault {
+
+/// What a DCN fault event does.
+enum class DcnFaultKind
+{
+    SwitchDown,
+    SwitchUp,
+    LinkDown,
+    LinkUp,
+};
+
+/// One switch/trunk transition at a wall-clock instant.
+struct DcnFaultEvent
+{
+    double at_s = 0.0;
+    DcnFaultKind kind = DcnFaultKind::SwitchDown;
+    /// Switch id or trunk link id, per kind.
+    int id = 0;
+};
+
+/**
+ * A deterministic, time-ordered schedule of DCN-level faults.
+ */
+class DcnFaultSchedule
+{
+  public:
+    DcnFaultSchedule() = default;
+
+    void killSwitch(double at_s, int id);
+    void restoreSwitch(double at_s, int id);
+    void killLink(double at_s, int id);
+    void restoreLink(double at_s, int id);
+
+    /// Events in insertion order.
+    const std::vector<DcnFaultEvent> &events() const { return events_; }
+
+    /// Events sorted by time, insertion order breaking ties — the
+    /// order the flow simulator applies them in.
+    std::vector<DcnFaultEvent> sorted() const;
+
+    bool empty() const { return events_.empty(); }
+
+    /**
+     * Sample which of @p switches switches die during a mission
+     * window of @p duration_s seconds: each fails independently with
+     * @p model.node_field_failure probability, at a uniform instant.
+     * Per-switch draws use Rng(deriveSeed(seed, id + 1)), so the
+     * schedule is identical regardless of evaluation order.
+     */
+    static DcnFaultSchedule sampleSwitchFailures(const FaultModel &model,
+                                                 int switches,
+                                                 double duration_s,
+                                                 std::uint64_t seed);
+
+  private:
+    std::vector<DcnFaultEvent> events_;
+};
+
+} // namespace wss::fault
+
+#endif // WSS_FAULT_FLOW_FAULTS_HPP

@@ -1,0 +1,249 @@
+#include "flow/dcn_campaign.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "exec/campaign.hpp"
+#include "util/artifact.hpp"
+#include "util/logging.hpp"
+#include "util/seed.hpp"
+#include "util/table.hpp"
+
+namespace wss::flow {
+
+namespace {
+
+/// Seed-stream offset keeping fault sampling disjoint from workload
+/// generation within one cell.
+constexpr std::uint64_t kFaultStream = 0xfa17u << 16;
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += ' ';
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+DcnCampaign::DcnCampaign(DcnCampaignConfig config)
+    : config_(std::move(config))
+{
+    if (config_.designs.empty() || config_.workloads.empty() ||
+        config_.loads.empty())
+        fatal("DcnCampaign: every sweep axis needs at least one value");
+    if (config_.hosts < 2)
+        fatal("DcnCampaign: need at least 2 hosts, got ",
+              config_.hosts);
+    if (config_.flows_per_cell < 1)
+        fatal("DcnCampaign: flows_per_cell must be positive");
+    for (const auto &design : config_.designs)
+        if (design.radix <= 0 || design.line_rate_gbps <= 0.0)
+            fatal("DcnCampaign: design '", design.name,
+                  "' lacks a positive radix/line rate — was it "
+                  "calibrated?");
+    for (double load : config_.loads)
+        if (load <= 0.0)
+            fatal("DcnCampaign: loads must be positive");
+}
+
+DcnResult
+DcnCampaign::run(exec::ThreadPool *pool,
+                 obs::TraceEventSink *trace) const
+{
+    const auto &cfg = config_;
+    const std::size_t n_d = cfg.designs.size();
+    const std::size_t n_w = cfg.workloads.size();
+    const std::size_t n_l = cfg.loads.size();
+
+    DcnResult result;
+    result.cells.resize(n_d * n_w * n_l);
+
+    exec::Campaign campaign;
+    for (std::size_t di = 0; di < n_d; ++di)
+        for (std::size_t wi = 0; wi < n_w; ++wi)
+            for (std::size_t li = 0; li < n_l; ++li) {
+                const std::size_t slot = (di * n_w + wi) * n_l + li;
+                const std::uint64_t cell_seed =
+                    deriveSeed(cfg.seed, slot + 1);
+                DcnCellResult *out = &result.cells[slot];
+                std::ostringstream name;
+                name << cfg.designs[di].name << "/"
+                     << cfg.workloads[wi].name
+                     << "/l=" << cfg.loads[li];
+                campaign.addTask(name.str(),
+                                 [this, di, wi, li, cell_seed, out] {
+                                     *out = runCell(di, wi, li,
+                                                    cell_seed);
+                                 });
+            }
+
+    const exec::CampaignResult campaign_result =
+        campaign.run(pool, trace);
+    result.wall_seconds = campaign_result.wall_seconds;
+    result.threads = campaign_result.threads;
+    for (std::size_t i = 0; i < result.cells.size(); ++i)
+        result.cells[i].seconds = campaign_result.jobs[i].seconds;
+    return result;
+}
+
+DcnCellResult
+DcnCampaign::runCell(std::size_t di, std::size_t wi, std::size_t li,
+                     std::uint64_t cell_seed) const
+{
+    const auto &cfg = config_;
+    const SwitchProfile &profile = cfg.designs[di];
+
+    DcnTopology topo =
+        cfg.kind == DcnKind::FatTree
+            ? DcnTopology::buildFatTree(
+                  cfg.hosts, static_cast<int>(profile.radix),
+                  profile.line_rate_gbps)
+            : DcnTopology::buildDragonfly(
+                  cfg.hosts, static_cast<int>(profile.radix),
+                  profile.line_rate_gbps);
+
+    DcnWorkloadSpec workload = cfg.workloads[wi];
+    workload.load = cfg.loads[li];
+    workload.flow_count = cfg.flows_per_cell;
+    const std::vector<FlowArrival> flows = generateFlows(
+        workload, topo.hostCount(), profile.line_rate_gbps, cell_seed);
+
+    fault::DcnFaultSchedule faults;
+    if (cfg.fault_model.node_field_failure > 0.0 && !flows.empty()) {
+        // Mission window = the arrival window, so sampled kills land
+        // while traffic is in flight.
+        const double window = flows.back().arrival_s;
+        if (window > 0.0)
+            faults = fault::DcnFaultSchedule::sampleSwitchFailures(
+                cfg.fault_model, topo.switchCount(), window,
+                deriveSeed(cell_seed, kFaultStream));
+    }
+
+    DcnCellResult cell;
+    cell.design = profile.name;
+    cell.topology = topo.name();
+    cell.workload = workload.name;
+    cell.load = cfg.loads[li];
+    cell.hosts = topo.hostCount();
+    cell.switches = topo.switchCount();
+    cell.tiers = topo.tiers();
+    cell.cables = topo.cableCount();
+    cell.worst_hops = topo.worstCaseHops();
+    cell.power_kw = static_cast<double>(topo.switchCount()) *
+                    profile.power_watts / 1000.0;
+    cell.sim = simulateFlows(topo, profile, flows, faults);
+    return cell;
+}
+
+void
+DcnResult::writeCsv(std::ostream &os) const
+{
+    // Provenance only — deliberately no wall-clock and no thread
+    // count, so the same (config, seed) produces a byte-identical
+    // file at any --jobs value.
+    os << "# wss dcn campaign\n";
+    os << "# cells=" << cells.size() << "\n";
+
+    Table table("dcn",
+                {"design", "topology", "workload", "load", "hosts",
+                 "switches", "tiers", "cables", "worst_hops",
+                 "power_kw", "flows", "completed", "failed",
+                 "rerouted", "fault_events", "avg_hops",
+                 "throughput_gbps", "fct_avg_us", "fct_p50_us",
+                 "fct_p99_us", "fct_p999_us", "slowdown_avg",
+                 "slowdown_p50", "slowdown_p99", "slowdown_p999"});
+    for (const auto &cell : cells) {
+        const auto &sim = cell.sim;
+        table.addRow(
+            {cell.design, cell.topology, cell.workload,
+             Table::num(cell.load, 4), Table::num(cell.hosts),
+             Table::num(cell.switches), Table::num(cell.tiers),
+             Table::num(cell.cables), Table::num(cell.worst_hops),
+             Table::num(cell.power_kw, 3), Table::num(sim.started),
+             Table::num(sim.completed), Table::num(sim.failed),
+             Table::num(sim.rerouted), Table::num(sim.fault_events),
+             Table::num(sim.avg_hops, 3),
+             Table::num(sim.throughput_gbps, 3),
+             Table::num(sim.fct_avg_s * 1e6, 3),
+             Table::num(sim.fct_p50_s * 1e6, 3),
+             Table::num(sim.fct_p99_s * 1e6, 3),
+             Table::num(sim.fct_p999_s * 1e6, 3),
+             Table::num(sim.slowdown_avg, 3),
+             Table::num(sim.slowdown_p50, 3),
+             Table::num(sim.slowdown_p99, 3),
+             Table::num(sim.slowdown_p999, 3)});
+    }
+    table.printCsv(os);
+}
+
+void
+DcnResult::writeJson(std::ostream &os) const
+{
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    os << "{\n  \"wall_seconds\": " << wall_seconds
+       << ",\n  \"threads\": " << threads << ",\n  \"cells\": [";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &c = cells[i];
+        const auto &s = c.sim;
+        os << (i ? ",\n" : "\n") << "    {\"design\": \""
+           << jsonEscape(c.design) << "\", \"topology\": \""
+           << jsonEscape(c.topology) << "\", \"workload\": \""
+           << jsonEscape(c.workload) << "\", \"load\": " << c.load
+           << ", \"hosts\": " << c.hosts
+           << ", \"switches\": " << c.switches
+           << ", \"tiers\": " << c.tiers << ", \"cables\": " << c.cables
+           << ", \"worst_hops\": " << c.worst_hops
+           << ", \"power_kw\": " << c.power_kw
+           << ", \"flows\": " << s.started
+           << ", \"completed\": " << s.completed
+           << ", \"failed\": " << s.failed
+           << ", \"rerouted\": " << s.rerouted
+           << ", \"fault_events\": " << s.fault_events
+           << ", \"avg_hops\": " << s.avg_hops
+           << ", \"throughput_gbps\": " << s.throughput_gbps
+           << ", \"fct_avg_s\": " << s.fct_avg_s
+           << ", \"fct_p50_s\": " << s.fct_p50_s
+           << ", \"fct_p99_s\": " << s.fct_p99_s
+           << ", \"fct_p999_s\": " << s.fct_p999_s
+           << ", \"slowdown_avg\": " << s.slowdown_avg
+           << ", \"slowdown_p50\": " << s.slowdown_p50
+           << ", \"slowdown_p99\": " << s.slowdown_p99
+           << ", \"slowdown_p999\": " << s.slowdown_p999
+           << ", \"seconds\": " << c.seconds << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+void
+DcnResult::writeCsvFile(const std::string &path) const
+{
+    util::writeArtifactFile(path, "DcnResult",
+                            [this](std::ostream &os) { writeCsv(os); });
+}
+
+void
+DcnResult::writeJsonFile(const std::string &path) const
+{
+    util::writeArtifactFile(path, "DcnResult",
+                            [this](std::ostream &os) { writeJson(os); });
+}
+
+} // namespace wss::flow

@@ -1,0 +1,424 @@
+#include "flow/flow_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/logging.hpp"
+#include "util/stats_accumulator.hpp"
+
+namespace wss::flow {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Residual bytes below which a transfer counts as delivered —
+/// far under one byte yet far above the fp error of advancing a
+/// multi-megabyte flow to its own completion instant.
+constexpr double kEpsBytes = 1e-6;
+
+/// One in-flight transfer.
+struct ActiveFlow
+{
+    std::uint64_t id = 0;
+    double arrival_s = 0.0;
+    double bytes = 0.0;
+    double remaining = 0.0;
+    /// Current max-min rate (bytes/s), set by the waterfill.
+    double rate = 0.0;
+    /// Calibrated switch-traversal latency, fixed at flow start.
+    double latency_s = 0.0;
+    std::int64_t src = 0;
+    std::int64_t dst = 0;
+    /// Directional resources: src NIC tx, trunk directions, dst NIC
+    /// rx.
+    std::vector<int> res;
+    std::vector<int> switches;
+    /// Undirected trunk ids (for fault matching).
+    std::vector<int> links;
+};
+
+} // namespace
+
+void
+verifyFlowConservation(std::int64_t started, std::int64_t completed,
+                       std::int64_t failed, std::int64_t in_flight)
+{
+    if (started != completed + failed + in_flight)
+        panic("flow conservation violated: started=", started,
+              " != completed=", completed, " + failed=", failed,
+              " + in-flight=", in_flight);
+}
+
+FlowSimResult
+simulateFlows(DcnTopology &topo, const SwitchProfile &profile,
+              const std::vector<FlowArrival> &flows,
+              const fault::DcnFaultSchedule &faults,
+              const FlowSimConfig &cfg)
+{
+    const std::int64_t hosts = topo.hostCount();
+    if (hosts < 1)
+        fatal("simulateFlows: topology has no hosts");
+    if (profile.saturation <= 0.0 || profile.line_rate_gbps <= 0.0)
+        fatal("simulateFlows: profile must have positive saturation "
+              "and line rate");
+    for (const auto &flow : flows)
+        if (flow.src_host < 0 || flow.src_host >= hosts ||
+            flow.dst_host < 0 || flow.dst_host >= hosts)
+            fatal("simulateFlows: flow ", flow.id,
+                  " references a host outside [0, ", hosts, ")");
+    if (topo.routesDirty())
+        topo.rebuildRoutes();
+
+    // --- resources: 2 per host NIC, 2 per trunk direction, all
+    // derated by the calibrated fabric saturation -----------------
+    const double line_bytes = topo.lineRateGbps() * 1e9 / 8.0;
+    const double sat = std::min(profile.saturation, 1.0);
+    const int host_res = static_cast<int>(2 * hosts);
+    const std::size_t n_res =
+        static_cast<std::size_t>(host_res) + 2 * topo.links().size();
+    std::vector<double> cap(n_res, 0.0);
+    for (std::int64_t h = 0; h < hosts; ++h)
+        cap[static_cast<std::size_t>(2 * h)] =
+            cap[static_cast<std::size_t>(2 * h + 1)] = line_bytes * sat;
+    for (std::size_t l = 0; l < topo.links().size(); ++l)
+        cap[static_cast<std::size_t>(host_res) + 2 * l] =
+            cap[static_cast<std::size_t>(host_res) + 2 * l + 1] =
+                topo.links()[l].gbps * 1e9 / 8.0 * sat;
+
+    // --- instruments ---------------------------------------------
+    obs::Counter c_started, c_completed, c_failed, c_rerouted, c_fault;
+    obs::Histogram h_slowdown;
+    if (cfg.metrics) {
+        c_started = cfg.metrics->counter("flow.started");
+        c_completed = cfg.metrics->counter("flow.completed");
+        c_failed = cfg.metrics->counter("flow.failed");
+        c_rerouted = cfg.metrics->counter("flow.rerouted");
+        c_fault = cfg.metrics->counter("flow.fault_events");
+        h_slowdown = cfg.metrics->histogram(
+            "flow.slowdown",
+            {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
+    }
+
+    StatsAccumulator fct_acc, slow_acc, hops_acc;
+    QuantileSampler fct_q, slow_q;
+    fct_q.reserve(flows.size());
+    slow_q.reserve(flows.size());
+
+    // --- engine state --------------------------------------------
+    std::vector<ActiveFlow> active;
+    std::vector<std::vector<int>> users(n_res);
+    std::vector<int> touched;
+    std::vector<double> remcap(n_res, 0.0);
+    std::vector<int> cnt(n_res, 0);
+    std::vector<char> frozen;
+    std::vector<double> sw_rate(
+        static_cast<std::size_t>(topo.switchCount()), 0.0);
+
+    const auto sorted_faults = faults.sorted();
+    std::size_t i_arr = 0;
+    std::size_t i_fault = 0;
+    std::int64_t started = 0, completed = 0, failed = 0, rerouted = 0;
+    std::int64_t fault_events = 0;
+    double now = 0.0;
+    double last_completion = 0.0;
+    double completed_bytes = 0.0;
+    DcnPath path; // route() scratch
+
+    const auto buildResources = [&](const DcnPath &p, ActiveFlow &f) {
+        f.switches = p.switches;
+        f.links.clear();
+        f.res.clear();
+        f.res.push_back(static_cast<int>(2 * f.src));
+        for (int dl : p.directed_links) {
+            f.links.push_back(dl >> 1);
+            f.res.push_back(host_res + dl);
+        }
+        f.res.push_back(static_cast<int>(2 * f.dst + 1));
+    };
+
+    // Progressive waterfill: freeze the bottleneck resource's flows
+    // at its fair share, deduct, repeat — textbook max-min. Only
+    // resources touched by active flows are visited.
+    const auto recompute = [&]() {
+        const int n = static_cast<int>(active.size());
+        for (int f = 0; f < n; ++f)
+            for (int r : active[static_cast<std::size_t>(f)].res) {
+                auto &list = users[static_cast<std::size_t>(r)];
+                if (list.empty())
+                    touched.push_back(r);
+                list.push_back(f);
+            }
+        frozen.assign(static_cast<std::size_t>(n), 0);
+        for (int r : touched) {
+            remcap[static_cast<std::size_t>(r)] =
+                cap[static_cast<std::size_t>(r)];
+            cnt[static_cast<std::size_t>(r)] = static_cast<int>(
+                users[static_cast<std::size_t>(r)].size());
+        }
+        int unfrozen = n;
+        while (unfrozen > 0) {
+            double best = kInf;
+            int bottleneck = -1;
+            for (int r : touched)
+                if (cnt[static_cast<std::size_t>(r)] > 0) {
+                    const double fair =
+                        remcap[static_cast<std::size_t>(r)] /
+                        cnt[static_cast<std::size_t>(r)];
+                    if (fair < best) {
+                        best = fair;
+                        bottleneck = r;
+                    }
+                }
+            if (bottleneck < 0)
+                panic("flow waterfill: ", unfrozen,
+                      " unfrozen flows but no loaded resource");
+            best = std::max(best, 0.0);
+            for (int f : users[static_cast<std::size_t>(bottleneck)]) {
+                if (frozen[static_cast<std::size_t>(f)])
+                    continue;
+                frozen[static_cast<std::size_t>(f)] = 1;
+                active[static_cast<std::size_t>(f)].rate = best;
+                --unfrozen;
+                for (int r : active[static_cast<std::size_t>(f)].res)
+                    if (r != bottleneck) {
+                        remcap[static_cast<std::size_t>(r)] -= best;
+                        --cnt[static_cast<std::size_t>(r)];
+                    }
+            }
+            cnt[static_cast<std::size_t>(bottleneck)] = 0;
+        }
+        for (int r : touched)
+            users[static_cast<std::size_t>(r)].clear();
+        touched.clear();
+        // Per-switch throughput feeding the latency lookups of the
+        // *next* arrivals.
+        std::fill(sw_rate.begin(), sw_rate.end(), 0.0);
+        for (const auto &f : active)
+            for (int sw : f.switches)
+                sw_rate[static_cast<std::size_t>(sw)] += f.rate;
+    };
+
+    // Approximate per-port offered load of one switch: its total
+    // flow throughput spread over its radix. What the calibrated
+    // latency curve is indexed by.
+    const auto switchOffered = [&](int sw) {
+        const double denom =
+            static_cast<double>(topo.switchRadix()) * line_bytes;
+        return std::clamp(sw_rate[static_cast<std::size_t>(sw)] / denom,
+                          0.0, 1.0);
+    };
+
+    const auto pathLatency = [&](const std::vector<int> &switches) {
+        double total = 0.0;
+        for (int sw : switches)
+            total += profile.latencySeconds(switchOffered(sw));
+        return total;
+    };
+
+    const auto completeFlow = [&](const ActiveFlow &f) {
+        const double fct = (now - f.arrival_s) + f.latency_s;
+        const double ideal =
+            f.bytes / line_bytes +
+            profile.zero_load_latency * profile.cycle_seconds *
+                static_cast<double>(f.switches.size());
+        const double slowdown = ideal > 0.0 ? fct / ideal : 1.0;
+        fct_acc.add(fct);
+        fct_q.add(fct);
+        slow_acc.add(slowdown);
+        slow_q.add(slowdown);
+        h_slowdown.record(slowdown);
+        completed_bytes += f.bytes;
+        ++completed;
+        c_completed.inc();
+        last_completion = std::max(last_completion, now);
+    };
+
+    const auto applyFault = [&](const fault::DcnFaultEvent &ev) {
+        const char *label = "?";
+        switch (ev.kind) {
+        case fault::DcnFaultKind::SwitchDown:
+        case fault::DcnFaultKind::SwitchUp: {
+            if (ev.id >= topo.switchCount())
+                fatal("DcnFaultSchedule: event targets switch ", ev.id,
+                      " but the topology has ", topo.switchCount());
+            const bool up = ev.kind == fault::DcnFaultKind::SwitchUp;
+            topo.setSwitchAlive(ev.id, up);
+            label = up ? "switch up" : "switch down";
+            break;
+        }
+        case fault::DcnFaultKind::LinkDown:
+        case fault::DcnFaultKind::LinkUp: {
+            if (ev.id >= static_cast<int>(topo.links().size()))
+                fatal("DcnFaultSchedule: event targets trunk ", ev.id,
+                      " but the topology has ", topo.links().size());
+            const bool up = ev.kind == fault::DcnFaultKind::LinkUp;
+            topo.setLinkAlive(ev.id, up);
+            label = up ? "trunk up" : "trunk down";
+            break;
+        }
+        }
+        if (cfg.trace)
+            cfg.trace->instant(
+                label, "fault", cfg.trace_tid,
+                static_cast<std::int64_t>(ev.at_s * 1e6),
+                {obs::TraceArg::num(
+                    "id", static_cast<std::int64_t>(ev.id))});
+    };
+
+    // --- event loop ----------------------------------------------
+    while (i_arr < flows.size() || !active.empty()) {
+        const double t_arr =
+            i_arr < flows.size() ? flows[i_arr].arrival_s : kInf;
+        const double t_fault = i_fault < sorted_faults.size()
+                                   ? sorted_faults[i_fault].at_s
+                                   : kInf;
+        double t_comp = kInf;
+        for (const auto &f : active)
+            if (f.rate > 0.0)
+                t_comp = std::min(t_comp, now + f.remaining / f.rate);
+        double t_next = std::min({t_arr, t_fault, t_comp});
+        if (t_next == kInf)
+            panic("flow simulator stalled at t=", now, " with ",
+                  active.size(),
+                  " active flows, zero rates, and no pending events");
+        t_next = std::max(t_next, now);
+
+        const double dt = t_next - now;
+        if (dt > 0.0)
+            for (auto &f : active)
+                f.remaining -= f.rate * dt;
+        now = t_next;
+
+        bool membership_changed = false;
+
+        // 1. completions
+        for (std::size_t i = 0; i < active.size();) {
+            if (active[i].remaining <= kEpsBytes) {
+                completeFlow(active[i]);
+                active[i] = std::move(active.back());
+                active.pop_back();
+                membership_changed = true;
+            } else {
+                ++i;
+            }
+        }
+
+        // 2. faults (before arrivals: a flow arriving at the fault
+        // instant routes on the post-fault fabric)
+        bool topo_changed = false;
+        while (i_fault < sorted_faults.size() &&
+               sorted_faults[i_fault].at_s <= now) {
+            applyFault(sorted_faults[i_fault++]);
+            ++fault_events;
+            c_fault.inc();
+            topo_changed = true;
+        }
+        if (topo_changed) {
+            topo.rebuildRoutes();
+            for (std::size_t i = 0; i < active.size();) {
+                auto &f = active[i];
+                bool broken = false;
+                for (int sw : f.switches)
+                    if (!topo.switchAlive(sw)) {
+                        broken = true;
+                        break;
+                    }
+                if (!broken)
+                    for (int l : f.links)
+                        if (!topo.linkAlive(l)) {
+                            broken = true;
+                            break;
+                        }
+                if (!broken) {
+                    ++i;
+                    continue;
+                }
+                membership_changed = true;
+                if (topo.route(f.src, f.dst, f.id, &path)) {
+                    // Keep the start-time latency estimate; only the
+                    // bandwidth path changes.
+                    buildResources(path, f);
+                    ++rerouted;
+                    c_rerouted.inc();
+                    ++i;
+                } else {
+                    ++failed;
+                    c_failed.inc();
+                    active[i] = std::move(active.back());
+                    active.pop_back();
+                }
+            }
+        }
+
+        // 3. arrivals
+        while (i_arr < flows.size() &&
+               flows[i_arr].arrival_s <= now) {
+            const auto &a = flows[i_arr++];
+            ++started;
+            c_started.inc();
+            if (!topo.route(a.src_host, a.dst_host, a.id, &path)) {
+                ++failed;
+                c_failed.inc();
+                continue;
+            }
+            ActiveFlow f;
+            f.id = a.id;
+            f.arrival_s = a.arrival_s;
+            f.bytes = f.remaining = a.bytes;
+            f.src = a.src_host;
+            f.dst = a.dst_host;
+            buildResources(path, f);
+            f.latency_s = pathLatency(f.switches);
+            hops_acc.add(static_cast<double>(f.switches.size()));
+            active.push_back(std::move(f));
+            membership_changed = true;
+        }
+
+        if (membership_changed)
+            recompute();
+        verifyFlowConservation(started, completed, failed,
+                               static_cast<std::int64_t>(active.size()));
+    }
+    verifyFlowConservation(started, completed, failed, 0);
+
+    // --- results -------------------------------------------------
+    FlowSimResult result;
+    result.started = started;
+    result.completed = completed;
+    result.failed = failed;
+    result.rerouted = rerouted;
+    result.fault_events = fault_events;
+    result.duration_s = last_completion;
+    result.completed_bytes = completed_bytes;
+    if (last_completion > 0.0)
+        result.throughput_gbps =
+            completed_bytes * 8.0 / last_completion / 1e9;
+    result.fct_avg_s = fct_acc.mean();
+    result.slowdown_avg = slow_acc.mean();
+    result.avg_hops = hops_acc.mean();
+    if (!fct_q.empty()) {
+        result.fct_p50_s = fct_q.quantile(0.50);
+        result.fct_p99_s = fct_q.quantile(0.99);
+        result.fct_p999_s = fct_q.quantile(0.999);
+        result.slowdown_p50 = slow_q.quantile(0.50);
+        result.slowdown_p99 = slow_q.quantile(0.99);
+        result.slowdown_p999 = slow_q.quantile(0.999);
+    }
+
+    if (cfg.trace) {
+        cfg.trace->complete(
+            cfg.trace_label, "flow", cfg.trace_tid, 0,
+            static_cast<std::int64_t>(result.duration_s * 1e6),
+            {obs::TraceArg::num("flows",
+                                static_cast<std::int64_t>(started)),
+             obs::TraceArg::num("completed",
+                                static_cast<std::int64_t>(completed)),
+             obs::TraceArg::num("failed",
+                                static_cast<std::int64_t>(failed))});
+    }
+    return result;
+}
+
+} // namespace wss::flow

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Discrete-event max-min fair-share flow simulator over a
+ * DcnTopology of calibrated switches.
+ *
+ * The classic flow-level abstraction: flows (host-to-host byte
+ * transfers) share link bandwidth by max-min fairness, recomputed at
+ * every arrival, completion and fault event (progressive waterfill).
+ * What sets this engine apart from a generic flow simulator is that
+ * every bandwidth and latency figure is *calibrated*: link
+ * capacities are derated by the switch fabric's measured saturation
+ * throughput, and each flow pays a per-switch latency read off the
+ * cycle-accurate load–latency curve (SwitchProfile) at the switch's
+ * offered load when the flow starts. The DCN-scale FCT/slowdown
+ * tails therefore inherit the single-switch fidelity of Figs. 21-24.
+ *
+ * The engine is single-threaded and strictly deterministic: same
+ * topology, profile, flow list and fault schedule — same statistics,
+ * bit for bit. Parallel campaigns run independent cells, never
+ * concurrent events.
+ */
+
+#ifndef WSS_FLOW_FLOW_SIM_HPP
+#define WSS_FLOW_FLOW_SIM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/flow_faults.hpp"
+#include "flow/dcn_topology.hpp"
+#include "flow/switch_profile.hpp"
+#include "flow/workload.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
+
+namespace wss::flow {
+
+/// Optional instrumentation of one simulateFlows() run.
+struct FlowSimConfig
+{
+    /// Counters (flow.started/completed/failed/rerouted,
+    /// flow.fault_events) and the flow.slowdown histogram land here
+    /// when set. Not thread-safe: one registry per concurrent run.
+    obs::MetricsRegistry *metrics = nullptr;
+    /// One complete span for the run plus an instant event per
+    /// applied fault (simulated milliseconds as timestamps).
+    obs::TraceEventSink *trace = nullptr;
+    /// Span/track label in the trace.
+    std::string trace_label = "flow-sim";
+    /// Trace track id to record on.
+    int trace_tid = 0;
+};
+
+/// What one flow-level run produced.
+struct FlowSimResult
+{
+    std::int64_t started = 0;
+    std::int64_t completed = 0;
+    /// Flows dropped because no live path existed (at arrival or
+    /// after a fault).
+    std::int64_t failed = 0;
+    /// Flows whose path was rebuilt around a fault mid-transfer.
+    std::int64_t rerouted = 0;
+    /// Fault transitions applied during the run.
+    std::int64_t fault_events = 0;
+    /// Simulated seconds until the last flow finished.
+    double duration_s = 0.0;
+    /// Bytes delivered by completed flows.
+    double completed_bytes = 0.0;
+    /// Goodput of completed flows over the run (Gbps).
+    double throughput_gbps = 0.0;
+    /// Flow completion time (seconds): transfer time plus the
+    /// calibrated per-switch latency terms.
+    double fct_avg_s = 0.0;
+    double fct_p50_s = 0.0;
+    double fct_p99_s = 0.0;
+    double fct_p999_s = 0.0;
+    /// FCT normalised by the ideal lone-flow time on the same path.
+    double slowdown_avg = 0.0;
+    double slowdown_p50 = 0.0;
+    double slowdown_p99 = 0.0;
+    double slowdown_p999 = 0.0;
+    /// Mean switches traversed per started flow.
+    double avg_hops = 0.0;
+};
+
+/**
+ * The flow-conservation invariant: every started flow is accounted
+ * for as completed, failed, or still in flight. panic() (abort) on
+ * violation — a broken engine must never quietly produce statistics.
+ * The engine checks this after every event batch and again at drain
+ * (where in_flight must be 0).
+ */
+void verifyFlowConservation(std::int64_t started, std::int64_t completed,
+                            std::int64_t failed, std::int64_t in_flight);
+
+/**
+ * Run @p flows (sorted by arrival time, as generateFlows produces)
+ * over @p topo, each switch modeled by @p profile. @p faults is
+ * applied in time order: a dead switch or trunk triggers an ECMP
+ * table rebuild, in-flight flows crossing it are rerouted onto
+ * surviving paths (or counted failed when none exists), and flows
+ * arriving while no path exists fail immediately.
+ *
+ * @p topo is mutated (fault state, routing tables); build a fresh
+ * topology per run.
+ */
+FlowSimResult simulateFlows(DcnTopology &topo,
+                            const SwitchProfile &profile,
+                            const std::vector<FlowArrival> &flows,
+                            const fault::DcnFaultSchedule &faults = {},
+                            const FlowSimConfig &cfg = {});
+
+} // namespace wss::flow
+
+#endif // WSS_FLOW_FLOW_SIM_HPP

@@ -1,0 +1,418 @@
+#include "flow/switch_profile.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "exec/sweep_runner.hpp"
+#include "sim/traffic.hpp"
+#include "topology/clos.hpp"
+#include "util/artifact.hpp"
+#include "util/logging.hpp"
+
+namespace wss::flow {
+
+namespace {
+
+/// Interpolate @p points (plus the implicit (0, zero_load) anchor)
+/// at @p offered, reading the latency via @p get.
+template <typename Get>
+double
+interpolate(const std::vector<ProfilePoint> &points, double zero_load,
+            double offered, Get get)
+{
+    if (points.empty() || offered <= 0.0)
+        return zero_load;
+    double x0 = 0.0;
+    double y0 = zero_load;
+    for (const auto &point : points) {
+        if (offered <= point.offered) {
+            const double span = point.offered - x0;
+            if (span <= 0.0)
+                return get(point);
+            const double t = (offered - x0) / span;
+            return y0 + t * (get(point) - y0);
+        }
+        x0 = point.offered;
+        y0 = get(point);
+    }
+    // Beyond the last calibrated point: clamp. The saturation derate
+    // keeps flow-level loads from straying far past it anyway.
+    return y0;
+}
+
+// ---------------------------------------------------------------
+// A minimal recursive-descent JSON reader — just enough for the
+// documents writeJson() emits (objects, arrays, numbers, strings,
+// booleans). No dependencies; fatal() on malformed input.
+// ---------------------------------------------------------------
+
+class JsonReader
+{
+  public:
+    explicit JsonReader(std::string text) : text_(std::move(text)) {}
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            fatal("SwitchProfile JSON: unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fatal("SwitchProfile JSON: expected '", std::string(1, c),
+                  "' at offset ", pos_, ", got '",
+                  std::string(1, text_[pos_]), "'");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fatal("SwitchProfile JSON: dangling escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                case 'n': c = '\n'; break;
+                case 't': c = '\t'; break;
+                case '"': c = '"'; break;
+                case '\\': c = '\\'; break;
+                case '/': c = '/'; break;
+                default:
+                    fatal("SwitchProfile JSON: unsupported escape \\",
+                          std::string(1, e));
+                }
+            }
+            out += c;
+        }
+        if (pos_ >= text_.size())
+            fatal("SwitchProfile JSON: unterminated string");
+        ++pos_; // closing quote
+        return out;
+    }
+
+    double
+    parseNumber()
+    {
+        skipSpace();
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '-' || text_[end] == '+' ||
+                text_[end] == '.' || text_[end] == 'e' ||
+                text_[end] == 'E'))
+            ++end;
+        if (end == pos_)
+            fatal("SwitchProfile JSON: expected a number at offset ",
+                  pos_);
+        const std::string token = text_.substr(pos_, end - pos_);
+        pos_ = end;
+        try {
+            return std::stod(token);
+        } catch (const std::exception &) {
+            fatal("SwitchProfile JSON: bad number '", token, "'");
+        }
+    }
+
+    /// Skip one value of any type (for unknown keys: forward
+    /// compatibility with future profile fields).
+    void
+    skipValue()
+    {
+        const char c = peek();
+        if (c == '"') {
+            parseString();
+        } else if (c == '{') {
+            ++pos_;
+            if (consume('}'))
+                return;
+            do {
+                parseString();
+                expect(':');
+                skipValue();
+            } while (consume(','));
+            expect('}');
+        } else if (c == '[') {
+            ++pos_;
+            if (consume(']'))
+                return;
+            do {
+                skipValue();
+            } while (consume(','));
+            expect(']');
+        } else if (c == 't' || c == 'f' || c == 'n') {
+            while (pos_ < text_.size() &&
+                   std::isalpha(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        } else {
+            parseNumber();
+        }
+    }
+
+  private:
+    std::string text_;
+    std::size_t pos_ = 0;
+};
+
+/// Full-precision double that round-trips bit-exactly.
+std::string
+jsonNumber(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(std::numeric_limits<double>::max_digits10)
+       << v;
+    return os.str();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += ' ';
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+double
+SwitchProfile::latencyCycles(double offered) const
+{
+    return interpolate(points, zero_load_latency, offered,
+                       [](const ProfilePoint &p) { return p.avg_latency; });
+}
+
+double
+SwitchProfile::p99LatencyCycles(double offered) const
+{
+    return interpolate(points, zero_load_latency, offered,
+                       [](const ProfilePoint &p) { return p.p99_latency; });
+}
+
+void
+SwitchProfile::writeJson(std::ostream &os) const
+{
+    os << "{\n";
+    os << "  \"wss_switch_profile\": 1,\n";
+    os << "  \"name\": \"" << jsonEscape(name) << "\",\n";
+    os << "  \"radix\": " << radix << ",\n";
+    os << "  \"line_rate_gbps\": " << jsonNumber(line_rate_gbps)
+       << ",\n";
+    os << "  \"cycle_seconds\": " << jsonNumber(cycle_seconds) << ",\n";
+    os << "  \"power_watts\": " << jsonNumber(power_watts) << ",\n";
+    os << "  \"zero_load_latency\": " << jsonNumber(zero_load_latency)
+       << ",\n";
+    os << "  \"saturation\": " << jsonNumber(saturation) << ",\n";
+    os << "  \"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        os << (i ? ",\n             " : "\n             ");
+        os << "{\"offered\": " << jsonNumber(points[i].offered)
+           << ", \"avg_latency\": " << jsonNumber(points[i].avg_latency)
+           << ", \"p99_latency\": " << jsonNumber(points[i].p99_latency)
+           << "}";
+    }
+    os << (points.empty() ? "]\n" : "\n  ]\n");
+    os << "}\n";
+}
+
+void
+SwitchProfile::writeJsonFile(const std::string &path) const
+{
+    util::writeArtifactFile(path, "SwitchProfile",
+                            [this](std::ostream &os) { writeJson(os); });
+}
+
+SwitchProfile
+SwitchProfile::fromJson(std::istream &is)
+{
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    JsonReader reader(buffer.str());
+
+    SwitchProfile profile;
+    bool versioned = false;
+
+    reader.expect('{');
+    if (!reader.consume('}')) {
+        do {
+            const std::string key = reader.parseString();
+            reader.expect(':');
+            if (key == "wss_switch_profile") {
+                versioned = true;
+                const double v = reader.parseNumber();
+                if (v != 1.0)
+                    fatal("SwitchProfile JSON: unsupported version ", v);
+            } else if (key == "name") {
+                profile.name = reader.parseString();
+            } else if (key == "radix") {
+                profile.radix =
+                    static_cast<std::int64_t>(reader.parseNumber());
+            } else if (key == "line_rate_gbps") {
+                profile.line_rate_gbps = reader.parseNumber();
+            } else if (key == "cycle_seconds") {
+                profile.cycle_seconds = reader.parseNumber();
+            } else if (key == "power_watts") {
+                profile.power_watts = reader.parseNumber();
+            } else if (key == "zero_load_latency") {
+                profile.zero_load_latency = reader.parseNumber();
+            } else if (key == "saturation") {
+                profile.saturation = reader.parseNumber();
+            } else if (key == "points") {
+                reader.expect('[');
+                if (!reader.consume(']')) {
+                    do {
+                        ProfilePoint point;
+                        reader.expect('{');
+                        do {
+                            const std::string field =
+                                reader.parseString();
+                            reader.expect(':');
+                            if (field == "offered")
+                                point.offered = reader.parseNumber();
+                            else if (field == "avg_latency")
+                                point.avg_latency = reader.parseNumber();
+                            else if (field == "p99_latency")
+                                point.p99_latency = reader.parseNumber();
+                            else
+                                reader.skipValue();
+                        } while (reader.consume(','));
+                        reader.expect('}');
+                        profile.points.push_back(point);
+                    } while (reader.consume(','));
+                    reader.expect(']');
+                }
+            } else {
+                reader.skipValue();
+            }
+        } while (reader.consume(','));
+        reader.expect('}');
+    }
+
+    if (!versioned)
+        fatal("SwitchProfile JSON: missing wss_switch_profile marker "
+              "(is this really a profile file?)");
+    if (profile.radix <= 0 || profile.line_rate_gbps <= 0.0)
+        fatal("SwitchProfile JSON: radix and line_rate_gbps must be "
+              "positive");
+    if (profile.saturation <= 0.0 || profile.cycle_seconds <= 0.0)
+        fatal("SwitchProfile JSON: saturation and cycle_seconds must "
+              "be positive");
+    for (std::size_t i = 1; i < profile.points.size(); ++i)
+        if (profile.points[i].offered <= profile.points[i - 1].offered)
+            fatal("SwitchProfile JSON: points must ascend in offered "
+                  "load");
+    return profile;
+}
+
+SwitchProfile
+SwitchProfile::loadJsonFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("SwitchProfile: cannot open '", path,
+              "' (run the calibration first, e.g. `wss dcn "
+              "--calibrate --profiles <dir>`)");
+    return fromJson(is);
+}
+
+SwitchProfile
+calibrateSwitchProfile(const CalibrationSpec &spec,
+                       exec::ThreadPool *pool,
+                       obs::TraceEventSink *trace)
+{
+    if (spec.ports <= 0)
+        fatal("calibrateSwitchProfile: need a positive port count");
+    if (spec.ssc.radix <= 0)
+        fatal("calibrateSwitchProfile: SSC radix must be positive");
+
+    const auto topo = topology::buildFoldedClos(
+        {spec.ports, spec.ssc, /*leaf_split=*/1});
+
+    exec::SweepJob job;
+    job.make_network = [topo, net = spec.net_spec](std::uint64_t seed) {
+        return std::make_unique<sim::Network>(topo, net, seed);
+    };
+    const auto ports = static_cast<int>(spec.ports);
+    job.make_workload = [ports, packet = spec.packet_flits](
+                            double rate, std::uint64_t) {
+        return std::make_unique<sim::SyntheticWorkload>(
+            sim::uniformTraffic(ports), rate, packet);
+    };
+    job.rates = spec.rates.empty()
+                    ? sim::geometricRates(0.05, 0.95, 7)
+                    : spec.rates;
+    job.cfg = spec.sim_cfg;
+    job.repetitions = 1;
+
+    const auto output = exec::SweepRunner(std::move(job)).run(pool, trace);
+    const sim::SweepResult &sweep = output.combined;
+
+    SwitchProfile profile;
+    profile.name = spec.name.empty()
+                       ? topo.name()
+                       : spec.name;
+    profile.radix = spec.ports;
+    profile.line_rate_gbps = spec.ssc.line_rate;
+    profile.cycle_seconds = spec.cycle_seconds;
+    profile.power_watts = spec.power_watts;
+    profile.zero_load_latency = sweep.zero_load_latency;
+    profile.saturation = sweep.saturation_throughput;
+    for (const auto &point : sweep.points)
+        if (point.stable)
+            profile.points.push_back(
+                {point.offered, point.avg_latency, point.p99_latency});
+    if (profile.points.empty()) {
+        warn("calibrateSwitchProfile: every sweep point of '",
+             profile.name,
+             "' is saturated; the latency curve degenerates to the "
+             "zero-load anchor");
+    }
+    if (profile.saturation <= 0.0)
+        profile.saturation = 1.0;
+    return profile;
+}
+
+} // namespace wss::flow

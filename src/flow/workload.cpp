@@ -1,0 +1,220 @@
+#include "flow/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace wss::flow {
+
+namespace {
+
+/// One CDF breakpoint: P(size <= bytes) = cdf.
+struct CdfPoint
+{
+    double bytes;
+    double cdf;
+};
+
+// Empirical flow-size CDFs in the shape every flow-level DCN study
+// uses: the DCTCP web-search trace and the Facebook hadoop trace,
+// condensed to a handful of breakpoints (linear interpolation in
+// between).
+constexpr CdfPoint kWebSearch[] = {
+    {6.0e3, 0.15},  {13.0e3, 0.20}, {19.0e3, 0.30}, {33.0e3, 0.40},
+    {53.0e3, 0.53}, {133.0e3, 0.60}, {667.0e3, 0.70}, {1.3e6, 0.80},
+    {3.3e6, 0.90},  {6.7e6, 0.95},  {20.0e6, 0.98}, {30.0e6, 1.00},
+};
+
+constexpr CdfPoint kHadoop[] = {
+    {0.25e3, 0.30}, {0.5e3, 0.50}, {1.0e3, 0.60}, {2.0e3, 0.70},
+    {10.0e3, 0.80}, {100.0e3, 0.90}, {1.0e6, 0.95}, {10.0e6, 0.99},
+    {50.0e6, 1.00},
+};
+
+template <std::size_t N>
+double
+sampleCdf(const CdfPoint (&table)[N], double u)
+{
+    double b0 = 0.0;
+    double c0 = 0.0;
+    for (const auto &point : table) {
+        if (u <= point.cdf) {
+            const double span = point.cdf - c0;
+            if (span <= 0.0)
+                return point.bytes;
+            return b0 + (u - c0) / span * (point.bytes - b0);
+        }
+        b0 = point.bytes;
+        c0 = point.cdf;
+    }
+    return table[N - 1].bytes;
+}
+
+template <std::size_t N>
+double
+cdfMean(const CdfPoint (&table)[N])
+{
+    double mean = 0.0;
+    double b0 = 0.0;
+    double c0 = 0.0;
+    for (const auto &point : table) {
+        mean += (point.cdf - c0) * 0.5 * (b0 + point.bytes);
+        b0 = point.bytes;
+        c0 = point.cdf;
+    }
+    return mean;
+}
+
+double
+sampleBytes(const DcnWorkloadSpec &spec, Rng &rng)
+{
+    switch (spec.dist) {
+    case FlowSizeDist::Fixed:
+        return spec.fixed_bytes;
+    case FlowSizeDist::WebSearch:
+        return sampleCdf(kWebSearch, rng.nextDouble());
+    case FlowSizeDist::Hadoop:
+        return sampleCdf(kHadoop, rng.nextDouble());
+    }
+    return spec.fixed_bytes;
+}
+
+double
+distMeanBytes(const DcnWorkloadSpec &spec)
+{
+    switch (spec.dist) {
+    case FlowSizeDist::Fixed: return spec.fixed_bytes;
+    case FlowSizeDist::WebSearch: return cdfMean(kWebSearch);
+    case FlowSizeDist::Hadoop: return cdfMean(kHadoop);
+    }
+    return spec.fixed_bytes;
+}
+
+} // namespace
+
+std::string_view
+toString(FlowSizeDist dist)
+{
+    switch (dist) {
+    case FlowSizeDist::Fixed: return "fixed";
+    case FlowSizeDist::WebSearch: return "websearch";
+    case FlowSizeDist::Hadoop: return "hadoop";
+    }
+    return "?";
+}
+
+DcnWorkloadSpec
+workloadByName(std::string_view name)
+{
+    DcnWorkloadSpec spec;
+    spec.name = std::string(name);
+    if (name == "websearch") {
+        spec.dist = FlowSizeDist::WebSearch;
+    } else if (name == "hadoop") {
+        spec.dist = FlowSizeDist::Hadoop;
+    } else if (name == "fixed") {
+        spec.dist = FlowSizeDist::Fixed;
+    } else if (name == "incast") {
+        spec.dist = FlowSizeDist::WebSearch;
+        spec.incast_fraction = 0.05;
+        spec.incast_degree = 32;
+    } else {
+        fatal("unknown DCN workload '", name,
+              "' (expected websearch, hadoop, fixed, or incast)");
+    }
+    return spec;
+}
+
+double
+meanFlowBytes(const DcnWorkloadSpec &spec)
+{
+    const double base = distMeanBytes(spec);
+    if (spec.incast_fraction <= 0.0 || spec.incast_degree <= 0)
+        return base;
+    // An arrival event is a burst with probability f, contributing
+    // `degree` flows of incast_bytes; weight the per-flow mean
+    // accordingly.
+    const double f = std::min(spec.incast_fraction, 1.0);
+    const double deg = static_cast<double>(spec.incast_degree);
+    const double flows_per_event = (1.0 - f) + f * deg;
+    const double bytes_per_event =
+        (1.0 - f) * base + f * deg * spec.incast_bytes;
+    return bytes_per_event / flows_per_event;
+}
+
+std::vector<FlowArrival>
+generateFlows(const DcnWorkloadSpec &spec, std::int64_t hosts,
+              double line_rate_gbps, std::uint64_t seed)
+{
+    if (hosts < 2)
+        fatal("generateFlows: need at least 2 hosts, got ", hosts);
+    if (spec.flow_count <= 0)
+        fatal("generateFlows: flow_count must be positive");
+    if (spec.load <= 0.0)
+        fatal("generateFlows: load must be positive");
+
+    // Arrival *events* per second so that offered bytes match the
+    // target load of the aggregate host bandwidth.
+    const double f = std::clamp(spec.incast_fraction, 0.0, 1.0);
+    const double deg = static_cast<double>(std::max(1, spec.incast_degree));
+    const double bytes_per_event =
+        (1.0 - f) * distMeanBytes(spec) + f * deg * spec.incast_bytes;
+    const double offered_bytes_s = spec.load *
+                                   static_cast<double>(hosts) *
+                                   line_rate_gbps * 1e9 / 8.0;
+    const double event_rate = offered_bytes_s / bytes_per_event;
+
+    Rng rng(seed);
+    std::vector<FlowArrival> flows;
+    flows.reserve(static_cast<std::size_t>(spec.flow_count));
+    const auto n_hosts = static_cast<std::uint64_t>(hosts);
+    double now = 0.0;
+    std::uint64_t next_id = 0;
+    while (static_cast<std::int64_t>(flows.size()) < spec.flow_count) {
+        now += -std::log1p(-rng.nextDouble()) / event_rate;
+        const bool incast = f > 0.0 && rng.nextDouble() < f;
+        if (!incast) {
+            FlowArrival flow;
+            flow.id = next_id++;
+            flow.arrival_s = now;
+            flow.src_host =
+                static_cast<std::int64_t>(rng.nextBelow(n_hosts));
+            do {
+                flow.dst_host =
+                    static_cast<std::int64_t>(rng.nextBelow(n_hosts));
+            } while (flow.dst_host == flow.src_host);
+            flow.bytes = sampleBytes(spec, rng);
+            flows.push_back(flow);
+        } else {
+            const auto victim =
+                static_cast<std::int64_t>(rng.nextBelow(n_hosts));
+            for (int s = 0;
+                 s < spec.incast_degree &&
+                 static_cast<std::int64_t>(flows.size()) <
+                     spec.flow_count;
+                 ++s) {
+                FlowArrival flow;
+                flow.id = next_id++;
+                flow.arrival_s = now;
+                flow.dst_host = victim;
+                do {
+                    flow.src_host = static_cast<std::int64_t>(
+                        rng.nextBelow(n_hosts));
+                } while (flow.src_host == victim);
+                flow.bytes = spec.incast_bytes;
+                flows.push_back(flow);
+            }
+        }
+    }
+    std::stable_sort(flows.begin(), flows.end(),
+                     [](const FlowArrival &x, const FlowArrival &y) {
+                         if (x.arrival_s != y.arrival_s)
+                             return x.arrival_s < y.arrival_s;
+                         return x.id < y.id;
+                     });
+    return flows;
+}
+
+} // namespace wss::flow

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Flow-level workloads for the multi-switch DCN simulator.
+ *
+ * Flows arrive as a Poisson process whose rate is chosen so the
+ * aggregate offered bytes match a target fraction of the hosts'
+ * line rate. Flow sizes come from empirical CDFs of the two
+ * canonical datacenter traces (web-search and hadoop), a fixed
+ * size, or those plus synchronized incast bursts — the workload mix
+ * every flow-level DCN study runs.
+ *
+ * Generation is purely deterministic: the same spec, host count and
+ * seed produce the same flow list on every platform, which is what
+ * lets exec::Campaign fan DCN cells across threads while keeping the
+ * CSV byte-identical.
+ */
+
+#ifndef WSS_FLOW_WORKLOAD_HPP
+#define WSS_FLOW_WORKLOAD_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wss::flow {
+
+/// Which flow-size distribution to draw from.
+enum class FlowSizeDist
+{
+    /// Every flow is spec.fixed_bytes.
+    Fixed,
+    /// Web-search trace CDF (DCTCP): mostly mice, heavy elephant
+    /// tail; mean ~1.6 MB.
+    WebSearch,
+    /// Hadoop trace CDF: dominated by sub-10 kB RPCs with a thin
+    /// large-shuffle tail; mean ~270 kB.
+    Hadoop,
+};
+
+std::string_view toString(FlowSizeDist dist);
+
+/// One flow the simulator will run: @p src_host sends @p bytes to
+/// @p dst_host starting at @p arrival_s.
+struct FlowArrival
+{
+    std::uint64_t id = 0;
+    double arrival_s = 0.0;
+    std::int64_t src_host = 0;
+    std::int64_t dst_host = 0;
+    double bytes = 0.0;
+};
+
+/**
+ * A flow workload recipe; see workloadByName() for the stock mixes.
+ */
+struct DcnWorkloadSpec
+{
+    /// Label carried into result rows.
+    std::string name = "websearch";
+    FlowSizeDist dist = FlowSizeDist::WebSearch;
+    /// Target offered load as a fraction of aggregate host line
+    /// rate; sets the Poisson arrival rate.
+    double load = 0.3;
+    /// Flows to generate (incast bursts count each fan-in flow).
+    std::int64_t flow_count = 100000;
+    /// Flow size when dist == Fixed (bytes).
+    double fixed_bytes = 64.0 * 1024.0;
+    /// Fraction of arrival events that become incast bursts:
+    /// incast_degree distinct senders all firing at one victim at
+    /// the same instant.
+    double incast_fraction = 0.0;
+    /// Fan-in of each incast burst.
+    int incast_degree = 32;
+    /// Bytes each incast sender contributes.
+    double incast_bytes = 32.0 * 1024.0;
+};
+
+/**
+ * Stock workloads: "websearch", "hadoop", "fixed", or "incast"
+ * (web-search background plus 5% 32:1 bursts). fatal() on anything
+ * else.
+ */
+DcnWorkloadSpec workloadByName(std::string_view name);
+
+/// Mean flow size (bytes) the spec's distribution draws, including
+/// the incast share — the quantity the Poisson rate is derived from.
+double meanFlowBytes(const DcnWorkloadSpec &spec);
+
+/**
+ * Generate @p spec.flow_count flows over @p hosts hosts of
+ * @p line_rate_gbps each, sorted by arrival time (ties by id).
+ * Sources and destinations are uniform random distinct hosts.
+ * Deterministic in @p seed.
+ */
+std::vector<FlowArrival> generateFlows(const DcnWorkloadSpec &spec,
+                                       std::int64_t hosts,
+                                       double line_rate_gbps,
+                                       std::uint64_t seed);
+
+} // namespace wss::flow
+
+#endif // WSS_FLOW_WORKLOAD_HPP

@@ -354,7 +354,9 @@ Simulator::run()
         finalizeObs(now + 1);
         result.observation = obs_->data;
     }
-    result.p99_packet_latency = packet_latency_q_.quantile(0.99);
+    result.p99_packet_latency = packet_latency_q_.empty()
+                                    ? 0.0
+                                    : packet_latency_q_.quantile(0.99);
     return result;
 }
 

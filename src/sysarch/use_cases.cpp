@@ -1,9 +1,46 @@
 #include "sysarch/use_cases.hpp"
 
+#include "power/ssc.hpp"
+#include "power/switch_power.hpp"
+#include "tech/external_io.hpp"
+#include "tech/wsi.hpp"
 #include "topology/clos.hpp"
 #include "util/logging.hpp"
 
 namespace wss::sysarch {
+
+namespace {
+
+/// Aggregate power (kW) of one waferscale switch with @p ports at
+/// @p line_rate: chiplet cores of its internal 2-level Clos plus the
+/// substrate-crossing I/O and optical external ports.
+double
+waferscalePowerKw(std::int64_t ports, Gbps line_rate)
+{
+    const power::SscConfig ssc = power::tomahawk5(1);
+    const auto chiplets = topology::closChipletCount(ports, ssc.radix);
+    const double watts =
+        static_cast<double>(chiplets) * ssc.core_power +
+        power::internalIoPower(
+            2.0 * static_cast<double>(ports) * line_rate,
+            tech::siIf2x()) +
+        power::externalIoPower(ports, line_rate, tech::opticalIo());
+    return watts / 1000.0;
+}
+
+/// Aggregate power (kW) of @p boxes conventional switch boxes of
+/// radix @p radix: per-box core power plus pluggable-SerDes ports.
+double
+closBoxesPowerKw(std::int64_t boxes, int radix, Gbps line_rate)
+{
+    const power::SscConfig ssc = power::tomahawk5(1);
+    const double per_box =
+        ssc.core_power +
+        power::externalIoPower(radix, line_rate, tech::serdes());
+    return static_cast<double>(boxes) * per_box / 1000.0;
+}
+
+} // namespace
 
 DeploymentComparison
 singleSwitchDatacenter(std::int64_t servers, Gbps line_rate,
@@ -24,6 +61,8 @@ singleSwitchDatacenter(std::int64_t servers, Gbps line_rate,
     cmp.waferscale.port_bandwidth = line_rate;
     cmp.waferscale.bisection_tbps =
         static_cast<double>(servers) * line_rate / 2.0 / 1000.0;
+    cmp.waferscale.total_power_kw =
+        waferscalePowerKw(servers, line_rate);
 
     // Equivalent 2-level TH-5 Clos: 3N/k switch boxes of 2U each;
     // every server cable plus every leaf-spine cable.
@@ -39,6 +78,8 @@ singleSwitchDatacenter(std::int64_t servers, Gbps line_rate,
         cmp.conventional.switches * kSwitchBoxRu;
     cmp.conventional.port_bandwidth = line_rate;
     cmp.conventional.bisection_tbps = cmp.waferscale.bisection_tbps;
+    cmp.conventional.total_power_kw = closBoxesPowerKw(
+        cmp.conventional.switches, kTh5Radix, line_rate);
     return cmp;
 }
 
@@ -57,7 +98,11 @@ singularGpuCluster(std::int64_t gpus, int ws_rack_units)
     cmp.waferscale.port_bandwidth = kWsGpuRate;
     cmp.waferscale.bisection_tbps =
         static_cast<double>(gpus) * kWsGpuRate / 2.0 / 1000.0;
+    cmp.waferscale.total_power_kw =
+        waferscalePowerKw(gpus, kWsGpuRate);
 
+    // total_power_kw stays 0 on the NVSwitch side: the GH200 source
+    // quotes no switching-power figure to model from.
     // DGX GH200 NVSwitch constants [8]: 256 GPUs at 900 Gbps behind
     // 132 NVSwitches in a 2-layer network, 2304 cables, 195 RU.
     cmp.conventional.name = "NVSwitch network (DGX GH200)";
@@ -96,6 +141,10 @@ waferscaleDcn(std::int64_t racks, int ws_switches, int ws_rack_units)
     cmp.waferscale.bisection_tbps = static_cast<double>(racks) *
                                     kRackLink * kLinksPerRack / 2.0 /
                                     1000.0;
+    // Each spine switch is a 2048 x 800G waferscale build.
+    cmp.waferscale.total_power_kw =
+        static_cast<double>(ws_switches) *
+        waferscalePowerKw(2048, kRackLink);
 
     // TH-5 DCN with the same racks and bisection: a 3-level Clos of
     // 256 x 200G boxes. Each rack needs 8 x 200G of uplink; the
@@ -109,6 +158,8 @@ waferscaleDcn(std::int64_t racks, int ws_switches, int ws_rack_units)
     cmp.conventional.rack_units = racks * 18432 / 16384;
     cmp.conventional.port_bandwidth = kRackLink * kLinksPerRack;
     cmp.conventional.bisection_tbps = cmp.waferscale.bisection_tbps;
+    cmp.conventional.total_power_kw =
+        closBoxesPowerKw(cmp.conventional.switches, 256, 200.0);
     return cmp;
 }
 

@@ -36,6 +36,9 @@ struct DeploymentSide
     Gbps port_bandwidth = 0.0;
     /// Bisection bandwidth (Tbps).
     double bisection_tbps = 0.0;
+    /// Aggregate switching power (kW); 0 when the source the side is
+    /// modeled from does not quote one.
+    double total_power_kw = 0.0;
 };
 
 /// A full comparison (waferscale vs conventional).

@@ -112,13 +112,15 @@ class QuantileSampler
      * sort), leaving the sample stream itself untouched — callers
      * can keep adding or merging afterwards, and no copy of the
      * sampler is ever needed just to read a quantile.
-     * @return 0 for an empty sampler.
+     * @return NaN for an empty sampler — "no samples" must not be
+     *         confusable with a measured 0; callers that want a
+     *         sentinel check empty() first.
      */
     double
     quantile(double q) const
     {
         if (samples_.empty())
-            return 0.0;
+            return std::numeric_limits<double>::quiet_NaN();
         scratch_ = samples_;
         const double pos = q * static_cast<double>(samples_.size() - 1);
         const auto idx = std::min(static_cast<std::size_t>(pos + 0.5),

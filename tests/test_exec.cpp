@@ -100,6 +100,24 @@ TEST(ThreadPool, DefaultThreadsHonoursEnvOverride)
     EXPECT_GE(ThreadPool::defaultThreads(), 1);
 }
 
+TEST(ThreadPool, RejectsMalformedJobsEnv)
+{
+    // Anything that is not a whole positive decimal integer must be
+    // ignored (with a warning) in favour of hardware concurrency —
+    // including trailing garbage that atoi would silently accept.
+    unsetenv("WSS_JOBS");
+    const int fallback = ThreadPool::defaultThreads();
+    for (const char *bad :
+         {"0", "-2", "abc", "", "8x", "3.5", " 4", "99999999999999"}) {
+        setenv("WSS_JOBS", bad, 1);
+        EXPECT_EQ(ThreadPool::defaultThreads(), fallback)
+            << "WSS_JOBS='" << bad << "'";
+    }
+    setenv("WSS_JOBS", "2", 1);
+    EXPECT_EQ(ThreadPool::defaultThreads(), 2);
+    unsetenv("WSS_JOBS");
+}
+
 TEST(ExecSeed, IndexZeroIsTheBaseSeed)
 {
     EXPECT_EQ(deriveSeed(42, 0), 42u);

@@ -1,0 +1,556 @@
+/**
+ * @file
+ * Tests for the flow-level DCN simulator: profile serialization and
+ * interpolation, fat-tree/dragonfly construction and ECMP routing,
+ * workload generation, the flow-conservation invariant, fault-driven
+ * reroutes, and campaign determinism (byte-identical CSV at any
+ * thread count — the engine's core contract).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "exec/thread_pool.hpp"
+#include "fault/flow_faults.hpp"
+#include "flow/dcn_campaign.hpp"
+#include "flow/dcn_topology.hpp"
+#include "flow/flow_sim.hpp"
+#include "flow/switch_profile.hpp"
+#include "flow/workload.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
+#include "power/ssc.hpp"
+
+namespace wss::flow {
+namespace {
+
+/// A hand-built profile: tests that don't exercise calibration skip
+/// the cycle-accurate sweep entirely.
+SwitchProfile
+testProfile(const std::string &name, std::int64_t radix)
+{
+    SwitchProfile p;
+    p.name = name;
+    p.radix = radix;
+    p.line_rate_gbps = 200.0;
+    p.power_watts = 1000.0;
+    p.zero_load_latency = 12.0;
+    p.saturation = 0.95;
+    p.points = {{0.1, 14.0, 20.0}, {0.5, 25.0, 60.0},
+                {0.9, 80.0, 300.0}};
+    return p;
+}
+
+// --- SwitchProfile ---------------------------------------------------
+
+TEST(FlowProfile, InterpolationAnchorsAndClamps)
+{
+    const SwitchProfile p = testProfile("t", 64);
+    // Anchored at (0, zero_load_latency).
+    EXPECT_DOUBLE_EQ(p.latencyCycles(0.0), 12.0);
+    // Halfway between the anchor and the first point.
+    EXPECT_DOUBLE_EQ(p.latencyCycles(0.05), 13.0);
+    // On the calibrated points.
+    EXPECT_DOUBLE_EQ(p.latencyCycles(0.1), 14.0);
+    EXPECT_DOUBLE_EQ(p.latencyCycles(0.5), 25.0);
+    // Between points.
+    EXPECT_DOUBLE_EQ(p.latencyCycles(0.3), 19.5);
+    // Clamped past the last point.
+    EXPECT_DOUBLE_EQ(p.latencyCycles(0.9), 80.0);
+    EXPECT_DOUBLE_EQ(p.latencyCycles(1.5), 80.0);
+    // p99 uses the same scheme on its own column.
+    EXPECT_DOUBLE_EQ(p.p99LatencyCycles(0.5), 60.0);
+    // Seconds conversion.
+    EXPECT_DOUBLE_EQ(p.latencySeconds(0.0), 12.0 * p.cycle_seconds);
+}
+
+TEST(FlowProfile, EmptyCurveFallsBackToZeroLoad)
+{
+    SwitchProfile p = testProfile("t", 64);
+    p.points.clear();
+    EXPECT_DOUBLE_EQ(p.latencyCycles(0.7), 12.0);
+}
+
+TEST(FlowProfile, JsonRoundTripIsBitExact)
+{
+    SwitchProfile p = testProfile("ws-6400", 6400);
+    // Awkward doubles must survive the round trip bit-for-bit.
+    p.line_rate_gbps = 200.0 / 3.0;
+    p.cycle_seconds = 2.56e-9;
+    p.zero_load_latency = 12.3456789012345;
+    p.saturation = 1.0 / 3.0;
+    p.points = {{0.1 / 3.0, 1.0 / 7.0, 2.0 / 7.0},
+                {0.9, 1e-17, 3.0e17}};
+
+    std::stringstream ss;
+    p.writeJson(ss);
+    const SwitchProfile q = SwitchProfile::fromJson(ss);
+
+    EXPECT_EQ(q.name, p.name);
+    EXPECT_EQ(q.radix, p.radix);
+    EXPECT_EQ(q.line_rate_gbps, p.line_rate_gbps);
+    EXPECT_EQ(q.cycle_seconds, p.cycle_seconds);
+    EXPECT_EQ(q.power_watts, p.power_watts);
+    EXPECT_EQ(q.zero_load_latency, p.zero_load_latency);
+    EXPECT_EQ(q.saturation, p.saturation);
+    ASSERT_EQ(q.points.size(), p.points.size());
+    for (std::size_t i = 0; i < p.points.size(); ++i) {
+        EXPECT_EQ(q.points[i].offered, p.points[i].offered);
+        EXPECT_EQ(q.points[i].avg_latency, p.points[i].avg_latency);
+        EXPECT_EQ(q.points[i].p99_latency, p.points[i].p99_latency);
+    }
+}
+
+TEST(FlowProfile, FromJsonRejectsGarbageDiesLoudly)
+{
+    std::stringstream not_a_profile("{\"foo\": 1}");
+    EXPECT_DEATH(SwitchProfile::fromJson(not_a_profile),
+                 "wss_switch_profile");
+    std::stringstream malformed("{\"wss_switch_profile\": 1,");
+    EXPECT_DEATH(SwitchProfile::fromJson(malformed), "JSON");
+}
+
+TEST(FlowProfile, CalibrationProducesUsableProfile)
+{
+    // Tiny cycle-accurate sweep: a 16-port fabric of radix-8 SSCs.
+    CalibrationSpec spec;
+    spec.name = "cal-test";
+    spec.ports = 16;
+    spec.ssc = power::scaledSsc(8, 200.0);
+    spec.rates = {0.1, 0.5};
+    spec.packet_flits = 1;
+    spec.sim_cfg.warmup = 100;
+    spec.sim_cfg.measure = 300;
+    spec.sim_cfg.drain_limit = 2000;
+    spec.power_watts = 123.0;
+
+    const SwitchProfile p = calibrateSwitchProfile(spec);
+    EXPECT_EQ(p.name, "cal-test");
+    EXPECT_EQ(p.radix, 16);
+    EXPECT_DOUBLE_EQ(p.line_rate_gbps, 200.0);
+    EXPECT_DOUBLE_EQ(p.power_watts, 123.0);
+    EXPECT_GT(p.zero_load_latency, 0.0);
+    EXPECT_GT(p.saturation, 0.0);
+    ASSERT_FALSE(p.points.empty());
+    for (std::size_t i = 1; i < p.points.size(); ++i)
+        EXPECT_GT(p.points[i].offered, p.points[i - 1].offered);
+    // Latency at load must not undercut the zero-load floor.
+    EXPECT_GE(p.latencyCycles(0.5), p.zero_load_latency * 0.99);
+}
+
+// --- DcnTopology -----------------------------------------------------
+
+TEST(FlowTopology, FatTreeTierSelection)
+{
+    const DcnTopology one = DcnTopology::buildFatTree(8, 8, 200.0);
+    EXPECT_EQ(one.tiers(), 1);
+    EXPECT_EQ(one.switchCount(), 1);
+    EXPECT_EQ(one.hostCount(), 8);
+    EXPECT_EQ(one.worstCaseHops(), 1);
+    EXPECT_EQ(one.cableCount(), 8); // host cables only
+
+    const DcnTopology two = DcnTopology::buildFatTree(20, 8, 200.0);
+    EXPECT_EQ(two.tiers(), 2);
+    EXPECT_GT(two.switchCount(), 1);
+    EXPECT_EQ(two.hostCount(), 20);
+    EXPECT_EQ(two.worstCaseHops(), 3); // leaf-spine-leaf
+    EXPECT_GT(two.cableCount(), 20);
+
+    const DcnTopology three = DcnTopology::buildFatTree(100, 8, 200.0);
+    EXPECT_EQ(three.tiers(), 3);
+    EXPECT_EQ(three.hostCount(), 100);
+    EXPECT_EQ(three.worstCaseHops(), 5); // leaf-agg-core-agg-leaf
+}
+
+TEST(FlowTopology, FatTreeBeyondCapacityDiesLoudly)
+{
+    // radix 8 tops out at 8^3/4 = 128 hosts.
+    EXPECT_DEATH(DcnTopology::buildFatTree(129, 8, 200.0), "exceed");
+    EXPECT_DEATH(DcnTopology::buildFatTree(8, 7, 200.0), "even");
+    EXPECT_DEATH(DcnTopology::buildFatTree(0, 8, 200.0), "host");
+}
+
+TEST(FlowTopology, DragonflyShape)
+{
+    // radix 8: p = 2 hosts/switch, a = 4 switches/group, h = 2.
+    const DcnTopology df = DcnTopology::buildDragonfly(32, 8, 200.0);
+    EXPECT_EQ(df.kind(), DcnKind::Dragonfly);
+    EXPECT_EQ(df.hostCount(), 32);
+    EXPECT_EQ(df.switchCount(), 16); // 4 groups of 4
+    EXPECT_GE(df.worstCaseHops(), 2);
+    EXPECT_LE(df.worstCaseHops(), 4);
+    EXPECT_NE(df.name().find("dragonfly"), std::string::npos);
+}
+
+TEST(FlowTopology, DragonflyBeyondBudgetDiesLoudly)
+{
+    // radix 4: a = 2, h = 1 -> 2 global links per group; more than
+    // 3 groups cannot form a clique of groups.
+    EXPECT_DEATH(DcnTopology::buildDragonfly(64, 4, 200.0), "exceed");
+    EXPECT_DEATH(DcnTopology::buildDragonfly(8, 6, 200.0),
+                 "multiple of 4");
+}
+
+TEST(FlowTopology, EcmpRouteIsDeterministicAndValid)
+{
+    const DcnTopology topo = DcnTopology::buildFatTree(32, 8, 200.0);
+    ASSERT_EQ(topo.tiers(), 2);
+    for (std::uint64_t flow = 0; flow < 100; ++flow) {
+        const std::int64_t src = static_cast<std::int64_t>(flow % 32);
+        const std::int64_t dst =
+            static_cast<std::int64_t>((flow * 7 + 5) % 32);
+        if (src == dst)
+            continue;
+        DcnPath a, b;
+        ASSERT_TRUE(topo.route(src, dst, flow, &a));
+        ASSERT_TRUE(topo.route(src, dst, flow, &b));
+        // Same flow id, same path — bit-for-bit.
+        EXPECT_EQ(a.switches, b.switches);
+        EXPECT_EQ(a.directed_links, b.directed_links);
+        // Structurally valid.
+        ASSERT_FALSE(a.switches.empty());
+        EXPECT_EQ(a.switches.front(), topo.edgeOf(src));
+        EXPECT_EQ(a.switches.back(), topo.edgeOf(dst));
+        ASSERT_EQ(a.directed_links.size(), a.switches.size() - 1);
+        for (const int dl : a.directed_links) {
+            const int link = dl >> 1;
+            ASSERT_GE(link, 0);
+            ASSERT_LT(static_cast<std::size_t>(link),
+                      topo.links().size());
+        }
+    }
+}
+
+TEST(FlowTopology, EcmpSpreadsFlowsAcrossSpines)
+{
+    const DcnTopology topo = DcnTopology::buildFatTree(32, 8, 200.0);
+    // Pick a cross-leaf pair and count distinct middle switches over
+    // many flow ids: ECMP must use more than one spine.
+    const std::int64_t src = 0;
+    std::int64_t dst = -1;
+    for (std::int64_t h = 0; h < 32; ++h)
+        if (topo.edgeOf(h) != topo.edgeOf(src)) {
+            dst = h;
+            break;
+        }
+    ASSERT_GE(dst, 0);
+    std::set<int> middles;
+    for (std::uint64_t flow = 0; flow < 64; ++flow) {
+        DcnPath path;
+        ASSERT_TRUE(topo.route(src, dst, flow, &path));
+        ASSERT_EQ(path.switches.size(), 3u);
+        middles.insert(path.switches[1]);
+    }
+    EXPECT_GT(middles.size(), 1u);
+}
+
+TEST(FlowTopology, KilledSwitchDisappearsFromRoutes)
+{
+    DcnTopology topo = DcnTopology::buildFatTree(32, 8, 200.0);
+    // Find a spine (a switch no host hangs off).
+    std::set<int> edges;
+    for (std::int64_t h = 0; h < topo.hostCount(); ++h)
+        edges.insert(topo.edgeOf(h));
+    int spine = -1;
+    for (int s = 0; s < topo.switchCount(); ++s)
+        if (!edges.count(s)) {
+            spine = s;
+            break;
+        }
+    ASSERT_GE(spine, 0);
+
+    topo.setSwitchAlive(spine, false);
+    EXPECT_TRUE(topo.routesDirty());
+    topo.rebuildRoutes();
+    EXPECT_FALSE(topo.switchAlive(spine));
+    for (std::uint64_t flow = 0; flow < 200; ++flow) {
+        DcnPath path;
+        ASSERT_TRUE(topo.route(0, 31, flow, &path));
+        for (const int sw : path.switches)
+            EXPECT_NE(sw, spine);
+    }
+    // Killing an edge switch partitions its hosts.
+    topo.setSwitchAlive(topo.edgeOf(0), false);
+    topo.rebuildRoutes();
+    DcnPath path;
+    EXPECT_FALSE(topo.route(0, 31, 1, &path));
+}
+
+// --- Workloads -------------------------------------------------------
+
+TEST(FlowWorkload, GenerationIsSortedAndDeterministic)
+{
+    DcnWorkloadSpec spec = workloadByName("websearch");
+    spec.flow_count = 2000;
+    spec.load = 0.4;
+    const auto a = generateFlows(spec, 64, 200.0, 9);
+    const auto b = generateFlows(spec, 64, 200.0, 9);
+    ASSERT_EQ(a.size(), 2000u);
+    ASSERT_EQ(b.size(), a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+        EXPECT_EQ(a[i].src_host, b[i].src_host);
+        EXPECT_EQ(a[i].dst_host, b[i].dst_host);
+        EXPECT_EQ(a[i].bytes, b[i].bytes);
+        if (i > 0) {
+            EXPECT_GE(a[i].arrival_s, a[i - 1].arrival_s);
+        }
+        EXPECT_NE(a[i].src_host, a[i].dst_host);
+        EXPECT_GT(a[i].bytes, 0.0);
+    }
+    // A different seed gives a different trace.
+    const auto c = generateFlows(spec, 64, 200.0, 10);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size() && !any_diff; ++i)
+        any_diff = a[i].bytes != c[i].bytes ||
+                   a[i].arrival_s != c[i].arrival_s;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(FlowWorkload, IncastMixProducesSynchronisedBursts)
+{
+    DcnWorkloadSpec spec = workloadByName("incast");
+    EXPECT_GT(spec.incast_fraction, 0.0);
+    spec.flow_count = 5000;
+    const auto flows = generateFlows(spec, 64, 200.0, 4);
+    ASSERT_EQ(flows.size(), 5000u);
+    // A burst is >= incast_degree/2 flows at the same instant aimed
+    // at the same destination (the generator emits whole bursts
+    // unless truncated by flow_count).
+    bool found_burst = false;
+    for (std::size_t i = 0; i + 8 < flows.size() && !found_burst;
+         ++i) {
+        std::size_t j = i;
+        while (j < flows.size() &&
+               flows[j].arrival_s == flows[i].arrival_s &&
+               flows[j].dst_host == flows[i].dst_host)
+            ++j;
+        found_burst = j - i >= 8;
+    }
+    EXPECT_TRUE(found_burst);
+}
+
+TEST(FlowWorkload, FixedDistMeanMatchesSpec)
+{
+    DcnWorkloadSpec spec = workloadByName("fixed");
+    EXPECT_DOUBLE_EQ(meanFlowBytes(spec), spec.fixed_bytes);
+    EXPECT_GT(meanFlowBytes(workloadByName("websearch")), 0.0);
+    EXPECT_GT(meanFlowBytes(workloadByName("hadoop")), 0.0);
+}
+
+TEST(FlowWorkload, UnknownNameDiesLoudly)
+{
+    EXPECT_DEATH(workloadByName("netflix"), "unknown DCN workload");
+}
+
+// --- Flow simulator --------------------------------------------------
+
+TEST(FlowSim, ConservationViolationDiesLoudly)
+{
+    // 10 started but only 5 + 1 + 2 accounted for: the engine must
+    // abort, never quietly emit statistics.
+    EXPECT_DEATH(verifyFlowConservation(10, 5, 1, 2),
+                 "flow conservation violated");
+    // And the accounting identity passes when it holds.
+    verifyFlowConservation(10, 7, 1, 2);
+    verifyFlowConservation(0, 0, 0, 0);
+}
+
+TEST(FlowSim, CleanRunCompletesEveryFlow)
+{
+    DcnTopology topo = DcnTopology::buildFatTree(16, 8, 200.0);
+    const SwitchProfile profile = testProfile("t", 8);
+    DcnWorkloadSpec spec = workloadByName("websearch");
+    spec.flow_count = 500;
+    spec.load = 0.5;
+    const auto flows = generateFlows(spec, 16, 200.0, 2);
+
+    const FlowSimResult r = simulateFlows(topo, profile, flows);
+    EXPECT_EQ(r.started, 500);
+    EXPECT_EQ(r.completed, 500);
+    EXPECT_EQ(r.failed, 0);
+    EXPECT_EQ(r.rerouted, 0);
+    EXPECT_EQ(r.fault_events, 0);
+    EXPECT_GT(r.duration_s, 0.0);
+    EXPECT_GT(r.throughput_gbps, 0.0);
+    EXPECT_GT(r.fct_avg_s, 0.0);
+    EXPECT_GE(r.fct_p99_s, r.fct_p50_s);
+    EXPECT_GE(r.fct_p999_s, r.fct_p99_s);
+    // A shared fabric can't beat the lone-flow ideal.
+    EXPECT_GE(r.slowdown_p50, 0.99);
+    EXPECT_GE(r.avg_hops, 1.0);
+    EXPECT_LE(r.avg_hops, 3.0);
+}
+
+TEST(FlowSim, MetricsAndTraceCoverTheRun)
+{
+    DcnTopology topo = DcnTopology::buildFatTree(16, 8, 200.0);
+    const SwitchProfile profile = testProfile("t", 8);
+    DcnWorkloadSpec spec = workloadByName("websearch");
+    spec.flow_count = 300;
+    const auto flows = generateFlows(spec, 16, 200.0, 3);
+
+    obs::MetricsRegistry metrics;
+    obs::TraceEventSink trace;
+    FlowSimConfig cfg;
+    cfg.metrics = &metrics;
+    cfg.trace = &trace;
+    const FlowSimResult r = simulateFlows(topo, profile, flows, {}, cfg);
+
+    EXPECT_EQ(metrics.counterValue("flow.started"),
+              static_cast<std::uint64_t>(r.started));
+    EXPECT_EQ(metrics.counterValue("flow.completed"),
+              static_cast<std::uint64_t>(r.completed));
+    EXPECT_EQ(metrics.counterValue("flow.failed"), 0u);
+    ASSERT_TRUE(metrics.histograms().count("flow.slowdown"));
+    EXPECT_EQ(metrics.histograms().at("flow.slowdown").count,
+              static_cast<std::uint64_t>(r.completed));
+    EXPECT_GE(trace.size(), 1u);
+}
+
+TEST(FlowSim, SwitchKillMidRunReroutesSurvivors)
+{
+    DcnTopology topo = DcnTopology::buildFatTree(32, 8, 200.0);
+    ASSERT_EQ(topo.tiers(), 2);
+    // Find a spine switch.
+    std::set<int> edges;
+    for (std::int64_t h = 0; h < topo.hostCount(); ++h)
+        edges.insert(topo.edgeOf(h));
+    int spine = -1;
+    for (int s = 0; s < topo.switchCount(); ++s)
+        if (!edges.count(s)) {
+            spine = s;
+            break;
+        }
+    ASSERT_GE(spine, 0);
+
+    const SwitchProfile profile = testProfile("t", 8);
+    DcnWorkloadSpec spec = workloadByName("websearch");
+    spec.flow_count = 3000;
+    spec.load = 0.7;
+    const auto flows = generateFlows(spec, 32, 200.0, 5);
+
+    fault::DcnFaultSchedule faults;
+    faults.killSwitch(flows[flows.size() / 2].arrival_s, spine);
+
+    const FlowSimResult r = simulateFlows(topo, profile, flows, faults);
+    EXPECT_EQ(r.fault_events, 1);
+    // Flows in flight across the dead spine moved to survivors.
+    EXPECT_GT(r.rerouted, 0);
+    // The surviving spines keep every flow alive.
+    EXPECT_EQ(r.failed, 0);
+    EXPECT_EQ(r.completed + r.failed, r.started);
+    EXPECT_FALSE(topo.switchAlive(spine));
+}
+
+TEST(FlowSim, EdgeSwitchKillFailsStrandedFlows)
+{
+    DcnTopology topo = DcnTopology::buildFatTree(32, 8, 200.0);
+    const int edge = topo.edgeOf(0);
+    const SwitchProfile profile = testProfile("t", 8);
+    DcnWorkloadSpec spec = workloadByName("websearch");
+    spec.flow_count = 3000;
+    spec.load = 0.7;
+    const auto flows = generateFlows(spec, 32, 200.0, 6);
+
+    fault::DcnFaultSchedule faults;
+    faults.killSwitch(flows[flows.size() / 3].arrival_s, edge);
+
+    const FlowSimResult r = simulateFlows(topo, profile, flows, faults);
+    // Flows touching the dead leaf's hosts have no path: they fail,
+    // and the accounting still balances (the engine panics
+    // otherwise).
+    EXPECT_GT(r.failed, 0);
+    EXPECT_GT(r.completed, 0);
+    EXPECT_EQ(r.completed + r.failed, r.started);
+}
+
+// --- Campaign --------------------------------------------------------
+
+DcnCampaignConfig
+smallCampaign()
+{
+    DcnCampaignConfig cfg;
+    cfg.designs = {testProfile("ws-512", 512), testProfile("conv", 8)};
+    cfg.hosts = 32;
+    cfg.workloads = {workloadByName("websearch")};
+    cfg.loads = {0.5};
+    cfg.flows_per_cell = 1500;
+    cfg.seed = 3;
+    return cfg;
+}
+
+TEST(FlowCampaign, CsvByteIdenticalAcrossJobs)
+{
+    const DcnCampaign campaign(smallCampaign());
+
+    std::ostringstream serial, threaded, serial_again;
+    campaign.run(nullptr).writeCsv(serial);
+    {
+        exec::ThreadPool pool(4);
+        campaign.run(&pool).writeCsv(threaded);
+    }
+    campaign.run(nullptr).writeCsv(serial_again);
+
+    // The engine's core contract: same (config, seed) => the same
+    // bytes, at any thread count, on every run.
+    EXPECT_EQ(serial.str(), threaded.str());
+    EXPECT_EQ(serial.str(), serial_again.str());
+    EXPECT_NE(serial.str().find("ws-512"), std::string::npos);
+    EXPECT_NE(serial.str().find("fct_p99_us"), std::string::npos);
+}
+
+TEST(FlowCampaign, SeedChangesTheResults)
+{
+    DcnCampaignConfig cfg = smallCampaign();
+    std::ostringstream a, b;
+    DcnCampaign(cfg).run(nullptr).writeCsv(a);
+    cfg.seed = 4;
+    DcnCampaign(cfg).run(nullptr).writeCsv(b);
+    EXPECT_NE(a.str(), b.str());
+}
+
+TEST(FlowCampaign, FieldFailuresKillSwitchesMidRun)
+{
+    DcnCampaignConfig cfg = smallCampaign();
+    cfg.designs = {testProfile("conv", 8)};
+    // Certain death for every switch during the arrival window.
+    cfg.fault_model.node_field_failure = 1.0;
+    const DcnResult result = DcnCampaign(cfg).run(nullptr);
+    ASSERT_EQ(result.cells.size(), 1u);
+    const auto &cell = result.cells[0];
+    EXPECT_EQ(cell.sim.fault_events, cell.switches);
+    // With the whole fabric eventually dead, late flows fail — but
+    // the accounting identity held throughout (no panic).
+    EXPECT_GT(cell.sim.failed, 0);
+    EXPECT_EQ(cell.sim.completed + cell.sim.failed, cell.sim.started);
+}
+
+TEST(FlowCampaign, JsonIsWellFormedEnough)
+{
+    const DcnResult result = DcnCampaign(smallCampaign()).run(nullptr);
+    std::ostringstream os;
+    result.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_NE(json.find("\"cells\""), std::string::npos);
+    EXPECT_NE(json.find("\"fct_p99_s\""), std::string::npos);
+}
+
+TEST(FlowCampaign, EmptyAxesDiesLoudly)
+{
+    DcnCampaignConfig cfg;
+    EXPECT_DEATH(DcnCampaign{cfg}, "at least one");
+    cfg = smallCampaign();
+    cfg.designs[0].radix = 0;
+    EXPECT_DEATH(DcnCampaign{cfg}, "calibrated");
+}
+
+} // namespace
+} // namespace wss::flow

@@ -8,6 +8,8 @@
 
 #include "power/ssc.hpp"
 #include "topology/clos.hpp"
+#include "topology/clos3.hpp"
+#include "topology/dragonfly.hpp"
 #include "topology/mesh.hpp"
 #include "topology/properties.hpp"
 
@@ -107,6 +109,67 @@ TEST(HopCount, MeshGrowsWithDiameter)
     EXPECT_EQ(worstCaseHopCount(buildMesh(4, 4, ssc)), 7);
     EXPECT_LT(averageHopCount(buildMesh(2, 2, ssc)),
               averageHopCount(buildMesh(4, 4, ssc)));
+}
+
+TEST(Dragonfly, MinimumGroupCountIsConnected)
+{
+    // Two groups is the smallest legal dragonfly; every property
+    // helper must still work on it.
+    const power::SscConfig ssc = power::tomahawk5(1);
+    const LogicalTopology topo = buildDragonfly(2, ssc);
+    EXPECT_EQ(topo.nodeCount(), 2 * kDragonflyGroupSize);
+    const int worst = worstCaseHopCount(topo);
+    EXPECT_GE(worst, 1);
+    // Local clique + at most one global crossing + local clique.
+    EXPECT_LE(worst, 3);
+    Rng rng(11);
+    EXPECT_GT(estimateBisectionBandwidth(topo, rng, 8), 0.0);
+    EXPECT_EQ(dragonflyPortCount(2, ssc.radix),
+              2 * kDragonflyGroupSize *
+                  static_cast<std::int64_t>(ssc.radix / 4));
+}
+
+TEST(Dragonfly, SingleGroupDiesLoudly)
+{
+    // A one-group "dragonfly" is degenerate (no global links to
+    // size); the builder must refuse rather than emit a clique.
+    const power::SscConfig ssc = power::tomahawk5(1);
+    EXPECT_DEATH(buildDragonfly(1, ssc), "at least 2 groups");
+    EXPECT_DEATH(buildDragonfly(0, ssc), "at least 2 groups");
+    EXPECT_DEATH(buildDragonfly(-3, ssc), "at least 2 groups");
+}
+
+TEST(Dragonfly, GroupCountBeyondGlobalBudgetDiesLoudly)
+{
+    // Radix 16: 5 global links per router, 40 per group — 42 groups
+    // need 41 distinct peers and exceed the budget.
+    const power::SscConfig ssc = power::scaledSsc(16, 200.0);
+    EXPECT_DEATH(buildDragonfly(42, ssc), "global-link budget");
+}
+
+TEST(TableVI, Clos3ChipletCountNonPowerOfTwoRadix)
+{
+    // The 5N/k law is exact at whole pods, for any even radix — not
+    // just powers of two. Radix 24: pods hold 144 ports.
+    EXPECT_EQ(clos3ChipletCount(288, 24), 5 * 288 / 24);
+    EXPECT_EQ(clos3ChipletCount(720, 24), 5 * 720 / 24);
+    // Radix 96: one pod is 2304 ports.
+    EXPECT_EQ(clos3ChipletCount(4608, 96), 5 * 4608 / 96);
+    // Partial final pods round the aggregation/spine layers up; the
+    // count must match what the builder actually instantiates.
+    for (const int radix : {12, 24, 40}) {
+        const power::SscConfig ssc =
+            power::scaledSsc(radix, 200.0);
+        const std::int64_t half = radix / 2;
+        for (const std::int64_t ports :
+             {half * 3, half * half, half * half * 2 + half}) {
+            const LogicalTopology topo =
+                buildThreeLevelClos(ports, ssc);
+            EXPECT_EQ(topo.nodeCount(),
+                      clos3ChipletCount(ports, radix))
+                << "radix " << radix << ", ports " << ports;
+        }
+    }
 }
 
 } // namespace

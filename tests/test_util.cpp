@@ -235,10 +235,18 @@ TEST(QuantileSampler, ExactQuantiles)
     EXPECT_NEAR(q.quantile(0.99), 99.0, 1.0);
 }
 
-TEST(QuantileSampler, EmptyReturnsZero)
+// "No samples" must be distinguishable from a measured zero: the
+// documented contract is NaN, and callers that serialize pick their
+// own sentinel behind an empty() check.
+TEST(QuantileSampler, EmptyReturnsNan)
 {
     QuantileSampler q;
-    EXPECT_DOUBLE_EQ(q.quantile(0.5), 0.0);
+    EXPECT_TRUE(std::isnan(q.quantile(0.0)));
+    EXPECT_TRUE(std::isnan(q.quantile(0.5)));
+    EXPECT_TRUE(std::isnan(q.quantile(1.0)));
+    // Adding one sample ends the NaN regime.
+    q.add(7.0);
+    EXPECT_DOUBLE_EQ(q.quantile(0.5), 7.0);
 }
 
 TEST(QuantileSampler, MergeMatchesSingleStream)

@@ -26,13 +26,24 @@ import sys
 
 
 def load_points(path):
-    with open(path) as fh:
-        doc = json.load(fh)
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err.strerror}"
+                 " (generate it with `bench_simcore --json`)")
+    except json.JSONDecodeError as err:
+        sys.exit(f"bench_compare: {path} is not valid JSON ({err})")
     if doc.get("bench") != "simcore":
-        sys.exit(f"{path}: not a bench_simcore report")
-    return doc.get("smoke", False), {
-        (p["name"], p["rate"]): p for p in doc["points"]
-    }
+        sys.exit(f"bench_compare: {path} is not a bench_simcore "
+                 f"report (bench={doc.get('bench')!r})")
+    try:
+        return doc.get("smoke", False), {
+            (p["name"], p["rate"]): p for p in doc["points"]
+        }
+    except (KeyError, TypeError) as err:
+        sys.exit(f"bench_compare: {path} is missing expected "
+                 f"bench_simcore fields ({err})")
 
 
 def main():
@@ -58,7 +69,9 @@ def main():
 
     common = sorted(base.keys() & cand.keys())
     if not common:
-        sys.exit("no common points between the two reports")
+        sys.exit("bench_compare: no common points between "
+                 f"{args.baseline} and {args.candidate} — were they "
+                 "produced by different benchmarks?")
     for key in sorted(base.keys() ^ cand.keys()):
         side = "baseline" if key in base else "candidate"
         print(f"note: {key[0]} @ {key[1]} only in {side}, skipped")

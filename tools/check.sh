@@ -17,7 +17,9 @@
 #      perf numbers themselves are tracked in bench_results/), and
 #   5. an observability smoke: a parallel sweep with --trace-out whose
 #      JSON must parse, and a sim run with --stats-out whose counters
-#      must reconcile (the CLI panics if they do not).
+#      must reconcile (the CLI panics if they do not), and
+#   6. a DCN smoke: `wss dcn` calibrates a tiny fat-tree pair and runs
+#      1k flows; its JSON artifact must parse.
 #
 # Usage: tools/check.sh            (from anywhere in the repo)
 #        JOBS=8 tools/check.sh     (override the parallelism)
@@ -34,7 +36,7 @@ cmake --build build -j "$JOBS"
 echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== tsan: configure + build (test_exec, test_sim, test_fault, test_obs) =="
+echo "== tsan: configure + build (test_exec, test_sim, test_fault, test_obs, test_flow) =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$JOBS"
 
@@ -42,7 +44,7 @@ echo "== tsan: race-checked test run =="
 # Death tests (fork under TSAN) are excluded by the preset filter.
 ctest --preset tsan
 
-echo "== asan: configure + build (test_sim_determinism) =="
+echo "== asan: configure + build (test_sim_determinism, test_flow) =="
 cmake --preset asan
 cmake --build --preset asan -j "$JOBS"
 
@@ -71,5 +73,13 @@ echo "trace JSON parses"
 build/tools/wss sim --ports 128 --measure 1000 --points 3 --rate 0.4 \
     --stats-out "$OBS_TMP/sim_stats.csv" --obs-sample 200
 test -s "$OBS_TMP/sim_stats.csv"
+
+echo "== dcn smoke: tiny fat-tree, 1k flows =="
+build/tools/wss dcn --ws-ports 256 --conv-ports 64 --hosts 64 \
+    --flows 1000 --workloads websearch --loads 0.5 --cal-ports 64 \
+    --points 3 --warmup 200 --measure 500 --drain 3000 --jobs 2 \
+    --profiles "$OBS_TMP/profiles" --json "$OBS_TMP/dcn.json"
+python3 -m json.tool "$OBS_TMP/dcn.json" > /dev/null
+echo "dcn JSON parses"
 
 echo "check.sh: all green"

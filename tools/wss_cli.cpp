@@ -9,13 +9,17 @@
  *   trace       generate (and save) a synthetic mini-app message trace
  *   yield       manufacturing-yield analysis for a chiplet assembly
  *   resilience  Monte-Carlo defect/spare/degraded-mode campaign
+ *   dcn         flow-level multi-switch DCN comparison (waferscale
+ *               vs conventional), calibrated from the fabric sim
  *   plan        full system plan (power delivery / cooling / enclosure)
  *
  * Run `wss <subcommand> --help` for the flags of each.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -26,8 +30,10 @@
 #include "core/radix_solver.hpp"
 #include "exec/campaign.hpp"
 #include "fault/resilience.hpp"
+#include "flow/dcn_campaign.hpp"
 #include "obs/trace_event.hpp"
 #include "power/link_power.hpp"
+#include "power/switch_power.hpp"
 #include "sim/load_sweep.hpp"
 #include "sysarch/cooling_loop.hpp"
 #include "sysarch/enclosure.hpp"
@@ -508,7 +514,7 @@ listFromArgs(const Args &args, const std::string &key,
         if (!item.empty())
             items.push_back(item);
     if (items.empty())
-        fatal("resilience: --", key, " needs at least one value");
+        fatal("--", key, " needs at least one value");
     return items;
 }
 
@@ -629,6 +635,257 @@ cmdResilience(const Args &args)
     return 0;
 }
 
+/// Round @p ports down to a positive multiple of ssc.radix / 2 (the
+/// granularity buildFoldedClos accepts).
+std::int64_t
+alignPorts(std::int64_t ports, int ssc_radix)
+{
+    const std::int64_t half = ssc_radix / 2;
+    return std::max<std::int64_t>(ports / half, 1) * half;
+}
+
+/// SSC + I/O power estimate (W) for a switch that did not come out
+/// of the radix solver: core power of its 2-level-Clos chiplets plus
+/// the substrate-crossing and external-port I/O.
+double
+estimateSwitchPower(const Args &args, std::int64_t ports,
+                    const power::SscConfig &ssc)
+{
+    const auto wsi = parseWsi(args.str("wsi", "siif2x"));
+    const auto ext = parseExternalIo(args.str("ext", "optical"));
+    const auto chiplets =
+        topology::closChipletCount(ports, ssc.radix);
+    return static_cast<double>(chiplets) * ssc.core_power +
+           power::internalIoPower(2.0 * static_cast<double>(ports) *
+                                      ssc.line_rate,
+                                  wsi) +
+           power::externalIoPower(ports, ssc.line_rate, ext);
+}
+
+/// Acquire one design's profile: load `<dir>/<name>.json` when
+/// --profiles names a directory holding it (and --calibrate is not
+/// forcing a refresh), otherwise run the cycle-accurate calibration
+/// sweep — and persist it back when a directory was given.
+flow::SwitchProfile
+dcnProfile(const Args &args, const std::string &name,
+           std::int64_t ports, const power::SscConfig &ssc,
+           double power_watts, exec::ThreadPool *pool,
+           obs::TraceEventSink *trace)
+{
+    const std::string dir = args.str("profiles", "");
+    const std::string path =
+        dir.empty() ? "" : dir + "/" + name + ".json";
+    if (!path.empty() && !args.has("calibrate")) {
+        std::ifstream probe(path);
+        if (probe.good()) {
+            std::cout << "dcn: loading profile " << path << "\n";
+            return flow::SwitchProfile::loadJsonFile(path);
+        }
+    }
+
+    flow::CalibrationSpec spec;
+    spec.name = name;
+    // Calibrating the full waferscale fabric cycle-accurately is
+    // expensive, so the sweep runs on a capped internal fabric of
+    // the same chiplet; the latency-vs-load shape carries over and
+    // the profile keeps the full DCN-level radix.
+    spec.ports = alignPorts(
+        std::min<std::int64_t>(ports, args.integer("cal-ports", 512)),
+        ssc.radix);
+    spec.ssc = ssc;
+    spec.rates = sim::geometricRates(
+        args.num("min-rate", 0.05), args.num("max-rate", 0.95),
+        static_cast<int>(args.integer("points", 5)));
+    spec.packet_flits =
+        static_cast<int>(args.integer("packet-flits", 4));
+    spec.net_spec = fabricSpecFromArgs(args);
+    spec.sim_cfg = simConfigFromArgs(args);
+    spec.power_watts = power_watts;
+
+    std::cout << "dcn: calibrating " << name << " ("
+              << spec.ports << "-port internal fabric, "
+              << spec.rates.size() << " load points)\n";
+    flow::SwitchProfile profile =
+        flow::calibrateSwitchProfile(spec, pool, trace);
+    profile.radix = ports;
+    if (!path.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        profile.writeJsonFile(path);
+        std::cout << "dcn: profile written to " << path << "\n";
+    }
+    return profile;
+}
+
+int
+cmdDcn(const Args &args)
+{
+    if (args.has("help")) {
+        std::cout <<
+            "usage: wss dcn [--flags]\n"
+            "\n"
+            "Flow-level DCN comparison: calibrate per-switch load-\n"
+            "latency profiles from the cycle-accurate fabric, build\n"
+            "multi-switch networks from a waferscale design and a\n"
+            "conventional baseline, and compare FCT/slowdown tails,\n"
+            "hop counts and power under the same flow workloads.\n"
+            "\n"
+            "  --ws-ports 0         waferscale radix (0 = run the\n"
+            "                       radix solver with the solve flags)\n"
+            "  --conv-ports 64      conventional switch radix\n"
+            "  --conv-ssc-radix 32  chiplet radix of the baseline\n"
+            "  --cal-ports 512      cap on the calibration fabric\n"
+            "  --calibrate          re-run calibration even when\n"
+            "                       --profiles has cached JSON\n"
+            "  --profiles dir       profile cache directory\n"
+            "                       (ws-<R>.json / conv-<R>.json)\n"
+            "  --dcn-topology fat-tree | dragonfly\n"
+            "  --hosts 1024         endpoints each network must cover\n"
+            "  --flows 100000       flows per cell\n"
+            "  --workloads websearch,hadoop,fixed,incast\n"
+            "  --loads 0.3,0.7      offered loads (fraction of host bw)\n"
+            "  --node-fail 0        per-switch field-failure\n"
+            "                       probability (kills mid-run)\n"
+            "  --points 5           calibration load points\n"
+            "  --jobs N             worker threads\n"
+            "  --seed 1             base seed (same seed + config =>\n"
+            "                       bit-identical CSV at any --jobs)\n"
+            "  --csv out.csv --json out.json --trace-out run.json\n"
+            "  plus the solve flags (--substrate, --wsi, ...) and the\n"
+            "  sim flags of `wss sim` (--vcs, --warmup, ...)\n";
+        return 0;
+    }
+
+    const int jobs = static_cast<int>(
+        args.integer("jobs", exec::ThreadPool::defaultThreads()));
+    exec::ThreadPool pool(jobs);
+    obs::TraceEventSink trace;
+    const bool tracing = args.has("trace-out");
+    if (tracing)
+        trace.setProcessName("wss dcn");
+    obs::TraceEventSink *sink = tracing ? &trace : nullptr;
+
+    // Waferscale design: solver-sized unless --ws-ports pins it.
+    core::DesignSpec dspec;
+    dspec.substrate_side = args.num("substrate", 300.0);
+    dspec.wsi = parseWsi(args.str("wsi", "siif2x"));
+    dspec.external_io = parseExternalIo(args.str("ext", "optical"));
+    dspec.ssc = power::tomahawk5(
+        static_cast<int>(args.integer("ssc-config", 1)));
+    const int deradix = static_cast<int>(args.integer("deradix", 1));
+    if (deradix > 1)
+        dspec.ssc = topology::deradixedSsc(dspec.ssc, deradix);
+    dspec.cooling = parseCooling(args.str("cooling", "none"));
+    dspec.topology = core::TopologyKind::Clos; // internal fabric
+    dspec.mapping_restarts =
+        static_cast<int>(args.integer("restarts", 2));
+    dspec.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
+
+    std::int64_t ws_ports = args.integer("ws-ports", 0);
+    double ws_power = 0.0;
+    if (ws_ports <= 0) {
+        const auto solved = core::RadixSolver(dspec).solveMaxPorts();
+        if (solved.best.ports == 0)
+            fatal("dcn: the radix solver found no feasible "
+                  "waferscale design; pin one with --ws-ports");
+        ws_ports = alignPorts(solved.best.ports, dspec.ssc.radix);
+        ws_power = solved.best.power.total();
+        std::cout << "dcn: solver sized the waferscale switch at "
+                  << ws_ports << " ports, "
+                  << Table::num(ws_power / 1000.0, 1) << " kW\n";
+    } else {
+        ws_ports = alignPorts(ws_ports, dspec.ssc.radix);
+        ws_power = estimateSwitchPower(args, ws_ports, dspec.ssc);
+    }
+
+    // Conventional baseline: a small fixed-radix box built from the
+    // same chiplet family at the same line rate.
+    const std::int64_t conv_ports = args.integer("conv-ports", 64);
+    const power::SscConfig conv_ssc = power::scaledSsc(
+        static_cast<int>(args.integer("conv-ssc-radix", 32)),
+        dspec.ssc.line_rate);
+    const std::int64_t conv_aligned =
+        alignPorts(conv_ports, conv_ssc.radix);
+    const double conv_power =
+        estimateSwitchPower(args, conv_aligned, conv_ssc);
+
+    const flow::SwitchProfile ws_profile = dcnProfile(
+        args, "ws-" + std::to_string(ws_ports), ws_ports, dspec.ssc,
+        ws_power, &pool, sink);
+    const flow::SwitchProfile conv_profile = dcnProfile(
+        args, "conv-" + std::to_string(conv_aligned), conv_aligned,
+        conv_ssc, conv_power, &pool, sink);
+
+    flow::DcnCampaignConfig cfg;
+    cfg.designs = {ws_profile, conv_profile};
+    const std::string kind = args.str("dcn-topology", "fat-tree");
+    if (kind == "fat-tree")
+        cfg.kind = flow::DcnKind::FatTree;
+    else if (kind == "dragonfly")
+        cfg.kind = flow::DcnKind::Dragonfly;
+    else
+        fatal("dcn: unknown --dcn-topology '", kind,
+              "' (fat-tree | dragonfly)");
+    cfg.hosts = args.integer("hosts", 1024);
+    cfg.workloads.clear();
+    for (const auto &name :
+         listFromArgs(args, "workloads", "websearch"))
+        cfg.workloads.push_back(flow::workloadByName(name));
+    cfg.loads.clear();
+    for (const auto &item : listFromArgs(args, "loads", "0.3,0.7"))
+        cfg.loads.push_back(std::stod(item));
+    cfg.flows_per_cell = args.integer("flows", 100000);
+    cfg.fault_model.node_field_failure = args.num("node-fail", 0.0);
+    cfg.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
+
+    const flow::DcnResult result =
+        flow::DcnCampaign(cfg).run(&pool, sink);
+
+    Table table("wss dcn — " + Table::num(cfg.hosts) + " hosts, " +
+                    Table::num(cfg.flows_per_cell) +
+                    " flows/cell, seed " + Table::num(cfg.seed),
+                {"design", "workload", "load", "switches", "hops",
+                 "power kW", "fct p50 us", "fct p99 us", "slow p99",
+                 "done/fail"});
+    for (const auto &cell : result.cells) {
+        table.addRow(
+            {cell.design, cell.workload, Table::num(cell.load, 2),
+             Table::num(cell.switches),
+             Table::num(cell.worst_hops),
+             Table::num(cell.power_kw, 1),
+             Table::num(cell.sim.fct_p50_s * 1e6, 1),
+             Table::num(cell.sim.fct_p99_s * 1e6, 1),
+             Table::num(cell.sim.slowdown_p99, 2),
+             Table::num(cell.sim.completed) + "/" +
+                 Table::num(cell.sim.failed)});
+    }
+    table.print(std::cout);
+    std::cout << "campaign: " << result.cells.size() << " cells on "
+              << result.threads << " threads, wall "
+              << Table::num(result.wall_seconds, 2) << " s\n";
+
+    if (args.has("csv")) {
+        const std::string path = args.str("csv", "");
+        result.writeCsvFile(path);
+        std::cout << "CSV written to " << path << "\n";
+    }
+    if (args.has("json")) {
+        const std::string path = args.str("json", "");
+        result.writeJsonFile(path);
+        std::cout << "JSON written to " << path << "\n";
+    }
+    if (tracing) {
+        const std::string path = args.str("trace-out", "");
+        if (path.empty())
+            fatal("dcn: --trace-out needs a file path");
+        trace.writeFile(path);
+        std::cout << "trace written to " << path << " ("
+                  << trace.size()
+                  << " events; open in Perfetto / chrome://tracing)\n";
+    }
+    return 0;
+}
+
 int
 cmdPlan(const Args &args)
 {
@@ -691,6 +948,11 @@ usage()
         "          --jobs 8 [--csv out.csv --json out.json\n"
         "          --trace-out run.json]\n"
         "          (run `wss resilience --help` for all flags)\n"
+        "  dcn     --hosts 1024 --flows 100000 --loads 0.3,0.7\n"
+        "          --workloads websearch,hadoop --dcn-topology\n"
+        "          fat-tree --jobs 8 [--calibrate --profiles dir]\n"
+        "          [--csv out.csv --json out.json]\n"
+        "          (run `wss dcn --help` for all flags)\n"
         "  plan    (solve flags) -> power delivery/cooling/enclosure\n";
 }
 
@@ -717,6 +979,8 @@ main(int argc, char **argv)
         return cmdYield(args);
     if (cmd == "resilience")
         return cmdResilience(args);
+    if (cmd == "dcn")
+        return cmdDcn(args);
     if (cmd == "plan")
         return cmdPlan(args);
     usage();
