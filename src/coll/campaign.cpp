@@ -1,0 +1,258 @@
+#include "coll/campaign.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "exec/campaign.hpp"
+#include "flow/dcn_topology.hpp"
+#include "util/artifact.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace wss::coll {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += ' ';
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<CollSpec>
+defaultCollSpecs()
+{
+    return {{Collective::AllReduce, Algorithm::Ring},
+            {Collective::AllReduce, Algorithm::HalvingDoubling},
+            {Collective::AllReduce, Algorithm::Tree},
+            {Collective::AllToAll, Algorithm::Pairwise}};
+}
+
+Schedule
+buildSchedule(const CollSpec &spec, int ranks)
+{
+    switch (spec.collective) {
+    case Collective::AllReduce:
+        return allReduceSchedule(spec.algorithm, ranks);
+    case Collective::ReduceScatter:
+        if (spec.algorithm != Algorithm::Ring)
+            break;
+        return reduceScatterSchedule(ranks);
+    case Collective::AllGather:
+        if (spec.algorithm != Algorithm::Ring)
+            break;
+        return allGatherSchedule(ranks);
+    case Collective::AllToAll:
+        if (spec.algorithm != Algorithm::Pairwise)
+            break;
+        return allToAllSchedule(ranks);
+    case Collective::PointToPoint:
+        if (spec.algorithm != Algorithm::Direct)
+            break;
+        return pointToPointSchedule();
+    }
+    fatal("coll: no ", toString(spec.algorithm), " schedule for ",
+          toString(spec.collective));
+}
+
+CollCampaign::CollCampaign(CollCampaignConfig config)
+    : config_(std::move(config))
+{
+    if (config_.designs.empty() || config_.collectives.empty() ||
+        config_.payload_bytes.empty())
+        fatal("CollCampaign: every sweep axis needs at least one value");
+    if (config_.ranks < 2)
+        fatal("CollCampaign: need at least 2 ranks, got ",
+              config_.ranks);
+    for (const auto &design : config_.designs)
+        if (design.radix <= 0 || design.line_rate_gbps <= 0.0)
+            fatal("CollCampaign: design '", design.name,
+                  "' lacks a positive radix/line rate — was it "
+                  "calibrated?");
+    for (double payload : config_.payload_bytes)
+        if (payload <= 0.0)
+            fatal("CollCampaign: payloads must be positive");
+    // Fail fast on rank counts an algorithm cannot schedule, before
+    // the campaign spins up workers.
+    for (const CollSpec &spec : config_.collectives)
+        buildSchedule(spec, config_.ranks);
+}
+
+CollResult
+CollCampaign::run(exec::ThreadPool *pool,
+                  obs::TraceEventSink *trace) const
+{
+    const auto &cfg = config_;
+    const std::size_t n_d = cfg.designs.size();
+    const std::size_t n_c = cfg.collectives.size();
+    const std::size_t n_p = cfg.payload_bytes.size();
+
+    CollResult result;
+    result.cells.resize(n_d * n_c * n_p);
+
+    exec::Campaign campaign;
+    for (std::size_t di = 0; di < n_d; ++di)
+        for (std::size_t ci = 0; ci < n_c; ++ci)
+            for (std::size_t pi = 0; pi < n_p; ++pi) {
+                const std::size_t slot = (di * n_c + ci) * n_p + pi;
+                CollCellResult *out = &result.cells[slot];
+                std::ostringstream name;
+                name << cfg.designs[di].name << "/"
+                     << toString(cfg.collectives[ci].collective) << "/"
+                     << toString(cfg.collectives[ci].algorithm)
+                     << "/b=" << cfg.payload_bytes[pi];
+                campaign.addTask(name.str(), [this, di, ci, pi, out] {
+                    *out = runCell(di, ci, pi);
+                });
+            }
+
+    const exec::CampaignResult campaign_result =
+        campaign.run(pool, trace);
+    result.wall_seconds = campaign_result.wall_seconds;
+    result.threads = campaign_result.threads;
+    for (std::size_t i = 0; i < result.cells.size(); ++i)
+        result.cells[i].seconds = campaign_result.jobs[i].seconds;
+    return result;
+}
+
+CollCellResult
+CollCampaign::runCell(std::size_t di, std::size_t ci,
+                      std::size_t pi) const
+{
+    const auto &cfg = config_;
+    const flow::SwitchProfile &profile = cfg.designs[di];
+    const double payload = cfg.payload_bytes[pi];
+
+    const Schedule schedule =
+        buildSchedule(cfg.collectives[ci], cfg.ranks);
+
+    flow::DcnTopology topo =
+        cfg.kind == flow::DcnKind::FatTree
+            ? flow::DcnTopology::buildFatTree(
+                  cfg.ranks, static_cast<int>(profile.radix),
+                  profile.line_rate_gbps)
+            : flow::DcnTopology::buildDragonfly(
+                  cfg.ranks, static_cast<int>(profile.radix),
+                  profile.line_rate_gbps);
+
+    CollCellResult cell;
+    cell.design = profile.name;
+    cell.collective = schedule.name();
+    cell.ranks = cfg.ranks;
+    cell.payload_bytes = payload;
+    cell.topology = topo.name();
+    cell.switches = topo.switchCount();
+    cell.tiers = topo.tiers();
+    cell.hops = topo.worstCaseHops();
+
+    CollExecConfig exec_cfg;
+    exec_cfg.fault = cfg.fault;
+    cell.flow = executeOnDcn(schedule, payload, topo, profile, exec_cfg);
+    cell.model = executeAlphaBeta(
+        schedule, payload,
+        alphaBetaOf(profile, topo.lineRateGbps(), cell.hops));
+    return cell;
+}
+
+void
+CollResult::writeCsv(std::ostream &os) const
+{
+    // Provenance only — deliberately no wall-clock and no thread
+    // count, so the same config produces a byte-identical file at
+    // any --jobs value.
+    os << "# wss coll campaign\n";
+    os << "# cells=" << cells.size() << "\n";
+
+    Table table("coll",
+                {"design", "collective", "ranks", "payload_bytes",
+                 "topology", "switches", "tiers", "hops", "steps",
+                 "messages", "bytes_on_wire", "failed", "flow_us",
+                 "flow_algbw_gbps", "flow_busbw_gbps", "model_us",
+                 "model_busbw_gbps", "flow_vs_model"});
+    for (const auto &cell : cells) {
+        const double ratio = cell.model.seconds > 0.0
+                                 ? cell.flow.seconds / cell.model.seconds
+                                 : 0.0;
+        table.addRow(
+            {cell.design, cell.collective, Table::num(cell.ranks),
+             Table::num(cell.payload_bytes, 0),
+             cell.topology, Table::num(cell.switches),
+             Table::num(cell.tiers), Table::num(cell.hops),
+             Table::num(cell.flow.steps),
+             Table::num(cell.flow.messages),
+             Table::num(cell.flow.bytes_on_wire, 0),
+             Table::num(cell.flow.failed_messages),
+             Table::num(cell.flow.seconds * 1e6, 4),
+             Table::num(cell.flow.algbw_gbps, 3),
+             Table::num(cell.flow.busbw_gbps, 3),
+             Table::num(cell.model.seconds * 1e6, 4),
+             Table::num(cell.model.busbw_gbps, 3),
+             Table::num(ratio, 4)});
+    }
+    table.printCsv(os);
+}
+
+void
+CollResult::writeJson(std::ostream &os) const
+{
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    os << "{\n  \"wall_seconds\": " << wall_seconds
+       << ",\n  \"threads\": " << threads << ",\n  \"cells\": [";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &c = cells[i];
+        os << (i ? ",\n" : "\n") << "    {\"design\": \""
+           << jsonEscape(c.design) << "\", \"collective\": \""
+           << jsonEscape(c.collective) << "\", \"ranks\": " << c.ranks
+           << ", \"payload_bytes\": " << c.payload_bytes
+           << ", \"topology\": \"" << jsonEscape(c.topology)
+           << "\", \"switches\": " << c.switches
+           << ", \"tiers\": " << c.tiers << ", \"hops\": " << c.hops
+           << ", \"steps\": " << c.flow.steps
+           << ", \"messages\": " << c.flow.messages
+           << ", \"bytes_on_wire\": " << c.flow.bytes_on_wire
+           << ", \"failed\": " << c.flow.failed_messages
+           << ", \"flow_seconds\": " << c.flow.seconds
+           << ", \"flow_algbw_gbps\": " << c.flow.algbw_gbps
+           << ", \"flow_busbw_gbps\": " << c.flow.busbw_gbps
+           << ", \"model_seconds\": " << c.model.seconds
+           << ", \"model_busbw_gbps\": " << c.model.busbw_gbps
+           << ", \"seconds\": " << c.seconds << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+void
+CollResult::writeCsvFile(const std::string &path) const
+{
+    util::writeArtifactFile(path, "CollResult",
+                            [this](std::ostream &os) { writeCsv(os); });
+}
+
+void
+CollResult::writeJsonFile(const std::string &path) const
+{
+    util::writeArtifactFile(path, "CollResult",
+                            [this](std::ostream &os) { writeJson(os); });
+}
+
+} // namespace wss::coll

@@ -1,0 +1,96 @@
+#include "coll/plan.hpp"
+
+#include "util/logging.hpp"
+
+namespace wss::coll {
+
+std::string
+PlanShape::validate() const
+{
+    if (dp < 1 || tp < 1 || pp < 1 || ep < 1)
+        return "dp/tp/pp/ep must all be >= 1";
+    if (ep > dp || dp % ep != 0)
+        return "ep must divide dp (experts are sharded across the "
+               "data-parallel dimension)";
+    return "";
+}
+
+std::vector<PlannedCollective>
+composeTrainingStep(const PlanShape &shape, const ModelSpec &model)
+{
+    const std::string err = shape.validate();
+    if (!err.empty()) fatal("coll: invalid plan shape: ", err);
+
+    std::vector<PlannedCollective> plan;
+    const double act_bytes = static_cast<double>(model.tokens_per_microbatch) *
+                             model.hidden * model.bytes_per_act;
+
+    if (shape.tp > 1) {
+        // Megatron sharding: 2 row-parallel matmul outputs per block
+        // need an allreduce in forward, mirrored in backward.
+        PlannedCollective tp;
+        tp.label = "tp_allreduce";
+        tp.collective = Collective::AllReduce;
+        tp.algorithm = Algorithm::Ring;
+        tp.group_ranks = shape.tp;
+        tp.concurrent_groups = shape.dp * shape.pp;
+        tp.payload_bytes = act_bytes;
+        tp.invocations = 4L * model.layers * model.microbatches;
+        plan.push_back(tp);
+    }
+
+    if (shape.pp > 1) {
+        // Stage-boundary activation transfer, forward + backward.
+        PlannedCollective pp;
+        pp.label = "pp_send";
+        pp.collective = Collective::PointToPoint;
+        pp.algorithm = Algorithm::Direct;
+        pp.group_ranks = 2;
+        pp.concurrent_groups = shape.dp * shape.tp;
+        pp.payload_bytes = act_bytes;
+        pp.invocations = 2L * (shape.pp - 1) * model.microbatches;
+        plan.push_back(pp);
+    }
+
+    if (shape.ep > 1 && model.moe_layers > 0) {
+        // Token dispatch + combine, forward + backward.
+        PlannedCollective ep;
+        ep.label = "ep_all_to_all";
+        ep.collective = Collective::AllToAll;
+        ep.algorithm = Algorithm::Pairwise;
+        ep.group_ranks = shape.ep;
+        ep.concurrent_groups = shape.totalRanks() / shape.ep;
+        ep.payload_bytes = act_bytes * model.moe_capacity;
+        ep.invocations = 4L * model.moe_layers * model.microbatches;
+        plan.push_back(ep);
+    }
+
+    if (shape.dp > 1) {
+        // Gradient sync of this rank's parameter shard, once per
+        // iteration.
+        PlannedCollective dp;
+        dp.label = "dp_allreduce";
+        dp.collective = Collective::AllReduce;
+        dp.algorithm = Algorithm::Ring;
+        dp.group_ranks = shape.dp;
+        dp.concurrent_groups = shape.tp * shape.pp;
+        dp.payload_bytes =
+            model.parameters * model.bytes_per_grad / (shape.tp * shape.pp);
+        dp.invocations = 1;
+        plan.push_back(dp);
+    }
+
+    return plan;
+}
+
+double
+iterationSeconds(const std::vector<PlannedCollective> &plan,
+                 const CollectiveCost &cost)
+{
+    double total = 0.0;
+    for (const PlannedCollective &p : plan)
+        total += static_cast<double>(p.invocations) * cost(p);
+    return total;
+}
+
+} // namespace wss::coll

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * LLM parallelism-plan composer: map a (DP, TP, PP, EP) decomposition
+ * of a training job onto the collective mix one training iteration
+ * issues, in the style of Megatron-LM / DeepSpeed execution:
+ *
+ *  - tensor parallel: an allreduce of the activation tile after each
+ *    of the two sharded matmul pairs, forward and backward — four
+ *    allreduces per transformer layer per microbatch over the TP
+ *    group;
+ *  - pipeline parallel: one activation send per stage boundary per
+ *    microbatch, forward and backward (point-to-point);
+ *  - expert parallel (MoE): token dispatch and combine all-to-all,
+ *    forward and backward — four all-to-alls per MoE layer per
+ *    microbatch over the EP group;
+ *  - data parallel: one gradient allreduce of each rank's parameter
+ *    shard at the end of the iteration over the DP group.
+ *
+ * The composer only decides *what* collectives run, on how many
+ * ranks, with what payload, how many times; pricing them is the
+ * execution layer's job, injected as a callback so the same plan can
+ * be costed by the alpha-beta model, the flow simulator, or the
+ * cycle-accurate fabric.
+ */
+
+#ifndef WSS_COLL_PLAN_HPP
+#define WSS_COLL_PLAN_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "coll/schedule.hpp"
+
+namespace wss::coll {
+
+/// How many ways each axis of the job is split. Total GPUs/hosts =
+/// dp * tp * pp (EP reuses DP-dimension ranks, Switch-style).
+struct PlanShape
+{
+    int dp = 1;    ///< data-parallel replicas
+    int tp = 1;    ///< tensor-parallel shards per layer
+    int pp = 1;    ///< pipeline stages
+    int ep = 1;    ///< expert-parallel group size (MoE), 1 = dense
+
+    int totalRanks() const { return dp * tp * pp; }
+
+    /// Empty string when consistent (all >= 1, ep divides dp).
+    std::string validate() const;
+};
+
+/// The model + batch geometry that sets collective payloads.
+struct ModelSpec
+{
+    double parameters = 7e9;           ///< total weights
+    double bytes_per_grad = 2.0;       ///< fp16/bf16 gradients
+    int layers = 32;                   ///< transformer blocks
+    int hidden = 4096;                 ///< model width
+    double bytes_per_act = 2.0;        ///< activation precision
+    int tokens_per_microbatch = 4096;  ///< seq_len x microbatch size
+    int microbatches = 8;              ///< pipeline microbatches
+    int moe_layers = 0;                ///< how many blocks are MoE
+    /// Token expansion through the MoE dispatch (capacity factor x
+    /// top-k); scales all-to-all payloads.
+    double moe_capacity = 1.0;
+};
+
+/// One entry of the iteration's collective mix.
+struct PlannedCollective
+{
+    std::string label;          ///< "tp_allreduce_fwd", "dp_allreduce", ...
+    Collective collective = Collective::AllReduce;
+    Algorithm algorithm = Algorithm::Ring;
+    int group_ranks = 0;        ///< ranks participating per group
+    /// How many disjoint groups run this collective at the same
+    /// time (e.g. dp*pp TP groups). They share the network.
+    int concurrent_groups = 1;
+    double payload_bytes = 0.0; ///< per-rank payload of one invocation
+    long invocations = 0;       ///< times per training iteration
+};
+
+/**
+ * The collective mix of one training iteration for @p shape x
+ * @p model. fatal() on an invalid shape. Entries with zero
+ * invocations (e.g. PP sends when pp == 1) are omitted; entries are
+ * emitted in a fixed order (TP, PP, EP, DP) so downstream CSV output
+ * is deterministic.
+ */
+std::vector<PlannedCollective>
+composeTrainingStep(const PlanShape &shape, const ModelSpec &model);
+
+/// Prices one invocation of a planned collective in seconds.
+using CollectiveCost = std::function<double(const PlannedCollective &)>;
+
+/**
+ * Serial-sum iteration time: sum over entries of invocations x
+ * cost(entry). A deliberate upper bound — no overlap of collectives
+ * with compute or with each other — matching how collective cost
+ * ceilings are usually quoted.
+ */
+double iterationSeconds(const std::vector<PlannedCollective> &plan,
+                        const CollectiveCost &cost);
+
+} // namespace wss::coll
+
+#endif // WSS_COLL_PLAN_HPP

@@ -73,6 +73,10 @@ struct FlowSimResult
     /// Flow completion time (seconds): transfer time plus the
     /// calibrated per-switch latency terms.
     double fct_avg_s = 0.0;
+    /// Largest FCT of any completed flow — the completion time of
+    /// the whole batch when all flows are released together (how
+    /// coll:: prices one bulk-synchronous collective step).
+    double fct_max_s = 0.0;
     double fct_p50_s = 0.0;
     double fct_p99_s = 0.0;
     double fct_p999_s = 0.0;
@@ -102,6 +106,14 @@ void verifyFlowConservation(std::int64_t started, std::int64_t completed,
  * table rebuild, in-flight flows crossing it are rerouted onto
  * surviving paths (or counted failed when none exists), and flows
  * arriving while no path exists fail immediately.
+ *
+ * Degenerate flows are handled explicitly: a same-host (src == dst)
+ * flow is host loopback — it completes in bytes/line_rate without
+ * touching NICs, trunks or switch latency (0 hops); a zero-byte flow
+ * completes at arrival paying only the calibrated path latency.
+ * Neither ever enters the fair-share waterfill, so they cannot stall
+ * the engine or steal bandwidth. Negative byte counts are a fatal
+ * input error.
  *
  * @p topo is mutated (fault state, routing tables); build a fresh
  * topology per run.

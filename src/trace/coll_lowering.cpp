@@ -1,0 +1,33 @@
+#include "trace/coll_lowering.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace wss::trace {
+
+void
+appendSchedule(MessageTrace &trace, const coll::Schedule &schedule,
+               sim::Cycle start, sim::Cycle step_gap, int payload_flits)
+{
+    const std::string err = schedule.validate();
+    if (!err.empty())
+        fatal("appendSchedule: invalid ", schedule.name(), " schedule: ",
+              err);
+    if (schedule.ranks > trace.ranks)
+        fatal("appendSchedule: schedule spans ", schedule.ranks,
+              " ranks but trace has only ", trace.ranks);
+    if (payload_flits < 1)
+        fatal("appendSchedule: payload_flits must be >= 1, got ",
+              payload_flits);
+
+    trace.events.reserve(trace.events.size() + schedule.messages.size());
+    for (const coll::CollMessage &m : schedule.messages) {
+        const auto flits = static_cast<std::int32_t>(std::max<long>(
+            1, std::lround(m.fraction * payload_flits)));
+        trace.events.push_back({start + m.step * step_gap, m.src, m.dst,
+                                flits});
+    }
+}
+
+} // namespace wss::trace

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Lowering from coll:: collective schedules to message traces — the
+ * single path by which a schedule becomes cycle-accurate fabric
+ * traffic (via TraceWorkload), shared by the mini-app generators'
+ * allreduce phases and by coll::executeOnFabric so the two can never
+ * drift.
+ */
+
+#ifndef WSS_TRACE_COLL_LOWERING_HPP
+#define WSS_TRACE_COLL_LOWERING_HPP
+
+#include "coll/schedule.hpp"
+#include "trace/trace.hpp"
+
+namespace wss::trace {
+
+/**
+ * Append @p schedule's messages to @p trace, step s landing at cycle
+ * @p start + s * @p step_gap. Message sizes are
+ * max(1, round(fraction * payload_flits)) — a fraction never rounds
+ * to a zero-flit message. Events are appended in schedule order
+ * (step-major, source-ascending), which TraceWorkload's barrier mode
+ * turns into dependency-ordered injection; callers that need global
+ * cycle order still call trace.normalize() once at the end
+ * (stable_sort, so intra-cycle schedule order is preserved).
+ *
+ * The schedule's ranks must not exceed trace.ranks (fatal otherwise).
+ */
+void appendSchedule(MessageTrace &trace, const coll::Schedule &schedule,
+                    sim::Cycle start, sim::Cycle step_gap,
+                    int payload_flits);
+
+} // namespace wss::trace
+
+#endif // WSS_TRACE_COLL_LOWERING_HPP

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "trace/coll_lowering.hpp"
 #include "util/logging.hpp"
 
 namespace wss::trace {
@@ -35,18 +36,15 @@ struct Grid3
 
 /// Recursive-doubling allreduce: log2(ranks) stages of pairwise
 /// exchanges of @p flits-flit messages, @p stage_gap cycles apart.
+/// Lowered from the coll:: schedule so mini-app traces and the
+/// collective engine share one message pattern.
 void
 emitAllreduce(MessageTrace &trace, int ranks, sim::Cycle start,
               int flits, sim::Cycle stage_gap)
 {
-    for (int bit = 1; bit < ranks; bit <<= 1) {
-        for (int r = 0; r < ranks; ++r) {
-            const int partner = r ^ bit;
-            if (partner < ranks)
-                trace.events.push_back({start, r, partner, flits});
-        }
-        start += stage_gap;
-    }
+    const coll::Schedule schedule =
+        coll::allReduceSchedule(coll::Algorithm::RecursiveDoubling, ranks);
+    appendSchedule(trace, schedule, start, stage_gap, flits);
 }
 
 } // namespace

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Strict CLI value parsing.
+ *
+ * The same contract as WSS_JOBS (exec::ThreadPool): the whole string
+ * must be a plain positive decimal integer — "8x", "", " 4", "+4",
+ * "0" and "-2" are all rejected. The difference is the failure mode:
+ * an environment knob falls back with a warning (a typo should not
+ * kill a long campaign), but an explicit command-line argument is a
+ * stated intent, so a malformed one is a fatal error — silently
+ * running with a different seed or rank count than the user asked
+ * for would poison every artifact downstream.
+ */
+
+#ifndef WSS_UTIL_PARSE_HPP
+#define WSS_UTIL_PARSE_HPP
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.hpp"
+
+namespace wss::util {
+
+/**
+ * Parse @p value as a strictly positive decimal integer in
+ * [1, @p max]. fatal() — naming @p what and echoing the offending
+ * text — on anything else: empty, non-numeric, trailing junk, signs,
+ * whitespace, zero, negative, or out of range.
+ */
+inline std::int64_t
+parsePositiveInt(const std::string &value, const char *what,
+                 std::int64_t max = INT64_MAX)
+{
+    const char *text = value.c_str();
+    char *end = nullptr;
+    errno = 0;
+    const long long n = std::strtoll(text, &end, 10);
+    // strtoll alone would accept " 4", "+4" and "8x"; require the
+    // value to be exactly a string of decimal digits.
+    if (text[0] < '0' || text[0] > '9' || errno != 0 || end == text ||
+        *end != '\0' || n <= 0 || n > max)
+        fatal(what, "='", value, "' is not a positive integer (1..",
+              max, ")");
+    return static_cast<std::int64_t>(n);
+}
+
+} // namespace wss::util
+
+#endif // WSS_UTIL_PARSE_HPP

@@ -470,6 +470,87 @@ TEST(FlowSim, EdgeSwitchKillFailsStrandedFlows)
     EXPECT_EQ(r.completed + r.failed, r.started);
 }
 
+// --- Degenerate flows ------------------------------------------------
+
+TEST(FlowSim, LoopbackFlowsCompleteWithoutTouchingTheFabric)
+{
+    // src == dst never leaves the host NIC: zero hops, line-rate
+    // transfer, and no share of any switch's capacity.
+    DcnTopology topo = DcnTopology::buildFatTree(16, 8, 200.0);
+    const SwitchProfile profile = testProfile("t", 8);
+    const double bytes = 1e6;
+    std::vector<FlowArrival> flows = {{1, 0.0, 3, 3, bytes}};
+    const FlowSimResult r = simulateFlows(topo, profile, flows);
+    EXPECT_EQ(r.completed, 1);
+    EXPECT_EQ(r.failed, 0);
+    EXPECT_EQ(r.avg_hops, 0.0);
+    const double xfer = bytes / (200.0 * 1e9 / 8.0);
+    EXPECT_NEAR(r.fct_avg_s, xfer, 1e-12);
+    EXPECT_NEAR(r.slowdown_p50, 1.0, 1e-9);
+    EXPECT_EQ(r.completed_bytes, bytes);
+}
+
+TEST(FlowSim, ZeroByteFlowsPayOnlyPathLatency)
+{
+    DcnTopology topo = DcnTopology::buildFatTree(16, 8, 200.0);
+    const SwitchProfile profile = testProfile("t", 8);
+    std::vector<FlowArrival> flows = {{1, 0.0, 0, 9, 0.0},
+                                      {2, 0.0, 1, 2, 0.0}};
+    const FlowSimResult r = simulateFlows(topo, profile, flows);
+    EXPECT_EQ(r.completed, 2);
+    EXPECT_EQ(r.failed, 0);
+    // An RPC-style empty flow still crosses the calibrated switches:
+    // its FCT is the zero-load path latency, not zero and not NaN.
+    EXPECT_GT(r.fct_avg_s, 0.0);
+    EXPECT_LT(r.fct_avg_s, 1e-3);
+    EXPECT_TRUE(std::isfinite(r.slowdown_p99));
+    EXPECT_EQ(r.completed_bytes, 0.0);
+}
+
+TEST(FlowSim, MixedDegenerateAndBulkFlowsBalance)
+{
+    DcnTopology topo = DcnTopology::buildFatTree(16, 8, 200.0);
+    const SwitchProfile profile = testProfile("t", 8);
+    std::vector<FlowArrival> flows = {
+        {1, 0.0, 0, 1, 1e7},   // bulk
+        {2, 0.0, 4, 4, 5e5},   // loopback
+        {3, 0.0, 2, 11, 0.0},  // zero-byte RPC
+        {4, 1e-5, 6, 6, 0.0},  // zero-byte loopback
+    };
+    const FlowSimResult r = simulateFlows(topo, profile, flows);
+    EXPECT_EQ(r.started, 4);
+    EXPECT_EQ(r.completed, 4);
+    EXPECT_EQ(r.completed + r.failed, r.started);
+    EXPECT_EQ(r.completed_bytes, 1e7 + 5e5);
+    // fct_max_s covers the slowest flow — the bulk one here.
+    EXPECT_GE(r.fct_max_s, 1e7 / (200.0 * 1e9 / 8.0));
+    EXPECT_GE(r.fct_max_s, r.fct_p999_s);
+}
+
+TEST(FlowSim, NegativeByteSizeDiesLoudly)
+{
+    DcnTopology topo = DcnTopology::buildFatTree(16, 8, 200.0);
+    const SwitchProfile profile = testProfile("t", 8);
+    std::vector<FlowArrival> flows = {{1, 0.0, 0, 1, -5.0}};
+    EXPECT_DEATH(simulateFlows(topo, profile, flows), "negative size");
+}
+
+TEST(FlowSim, FctMaxTracksTheSlowestFlow)
+{
+    DcnTopology topo = DcnTopology::buildFatTree(16, 8, 200.0);
+    const SwitchProfile profile = testProfile("t", 8);
+    std::vector<FlowArrival> flows;
+    for (int i = 0; i < 8; ++i)
+        flows.push_back({static_cast<std::uint64_t>(i + 1), 0.0, i,
+                         i + 8, (i + 1) * 1e5});
+    const FlowSimResult r = simulateFlows(topo, profile, flows);
+    EXPECT_EQ(r.completed, 8);
+    EXPECT_GE(r.fct_max_s, r.fct_p50_s);
+    // The slowest flow is the largest one; its ideal time lower-bounds
+    // the max FCT.
+    EXPECT_GE(r.fct_max_s, 8e5 / (200.0 * 1e9 / 8.0));
+}
+
 // --- Campaign --------------------------------------------------------
 
 DcnCampaignConfig

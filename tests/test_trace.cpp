@@ -6,11 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <string>
 
+#include "coll/schedule.hpp"
 #include "power/ssc.hpp"
 #include "sim/simulator.hpp"
 #include "topology/clos.hpp"
+#include "trace/coll_lowering.hpp"
 #include "trace/generators.hpp"
 #include "trace/trace_workload.hpp"
 
@@ -312,6 +316,86 @@ TEST(TraceWorkload, ClosedLoopReplayCompletesInTheSimulator)
               static_cast<std::int64_t>(trace.events.size()));
     EXPECT_GT(result.end_cycle, 0);
     EXPECT_EQ(result.flits_delivered, trace.totalFlits());
+}
+
+// --- coll:: schedule lowering ---------------------------------------
+
+TEST(CollLowering, AppendScheduleLowersStepMajor)
+{
+    MessageTrace mt;
+    mt.ranks = 8;
+    const coll::Schedule s =
+        coll::allReduceSchedule(coll::Algorithm::Ring, 8);
+    appendSchedule(mt, s, 100, 10, 64);
+    ASSERT_EQ(mt.events.size(), s.messages.size());
+    for (std::size_t i = 0; i < mt.events.size(); ++i) {
+        const auto &e = mt.events[i];
+        const auto &m = s.messages[i];
+        EXPECT_EQ(e.cycle,
+                  100 + static_cast<sim::Cycle>(m.step) * 10);
+        EXPECT_EQ(e.src, m.src);
+        EXPECT_EQ(e.dst, m.dst);
+        // Ring chunks: 1/8 of 64 flits.
+        EXPECT_EQ(e.size_flits, 8);
+    }
+    EXPECT_TRUE(mt.validate().empty()) << mt.validate();
+    // Sub-flit fractions round up to one flit, never to zero.
+    MessageTrace tiny;
+    tiny.ranks = 8;
+    appendSchedule(tiny, s, 0, 1, 1);
+    for (const auto &e : tiny.events)
+        EXPECT_EQ(e.size_flits, 1);
+}
+
+TEST(CollLowering, RejectsUndersizedTraceAndBadPayload)
+{
+    const coll::Schedule s =
+        coll::allReduceSchedule(coll::Algorithm::Ring, 8);
+    MessageTrace small;
+    small.ranks = 4;
+    EXPECT_DEATH(appendSchedule(small, s, 0, 1, 8), "ranks");
+    MessageTrace ok;
+    ok.ranks = 8;
+    EXPECT_DEATH(appendSchedule(ok, s, 0, 1, 0), "payload");
+}
+
+/**
+ * The allreduce phases of the mini-app generators now come from
+ * coll::allReduceSchedule (recursive doubling). These golden hashes
+ * were captured from the pre-refactor emitter: the lowering through
+ * coll:: must keep every generated trace bit-identical.
+ */
+TEST(CollLowering, GeneratorGoldensAreBitIdentical)
+{
+    const auto fnv = [](const std::string &text) {
+        std::uint64_t h = 1469598103934665603ull;
+        for (const unsigned char c : text) {
+            h ^= c;
+            h *= 1099511628211ull;
+        }
+        return h;
+    };
+    GeneratorConfig cfg;
+    cfg.iterations = 3;
+    const struct
+    {
+        const char *app;
+        int ranks;
+        std::uint64_t hash;
+    } goldens[] = {
+        {"nekbone", 27, 0xec4c920855396b1cull},
+        {"nekbone", 64, 0xeff44359f928e274ull},
+        {"lulesh", 27, 0x50c69a5fd150b762ull},
+        {"lulesh", 64, 0x3c8de9ea5af3a613ull},
+    };
+    for (const auto &g : goldens) {
+        const MessageTrace t = generateMiniApp(g.app, g.ranks, cfg);
+        std::ostringstream os;
+        saveTrace(t, os);
+        EXPECT_EQ(fnv(os.str()), g.hash)
+            << g.app << " " << g.ranks
+            << " drifted from its golden trace";
+    }
 }
 
 } // namespace

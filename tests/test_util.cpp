@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/logging.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/stats_accumulator.hpp"
 #include "util/table.hpp"
@@ -322,6 +323,33 @@ TEST(Logging, WarnOnceFiresExactlyOnceAcrossThreads)
     // site executes.
     for (int i = 0; i < 3; ++i)
         WSS_WARN_ONCE("macro warn-once (expected once)");
+}
+
+TEST(ParsePositiveInt, AcceptsPlainPositiveDecimals)
+{
+    EXPECT_EQ(util::parsePositiveInt("1", "--x"), 1);
+    EXPECT_EQ(util::parsePositiveInt("64", "--x"), 64);
+    EXPECT_EQ(util::parsePositiveInt("4096", "--x", 4096), 4096);
+    EXPECT_EQ(util::parsePositiveInt("007", "--x"), 7);
+}
+
+TEST(ParsePositiveInt, RejectsEverythingElseLoudly)
+{
+    // The WSS_JOBS contract, but fatal: an explicit CLI value that
+    // does not parse must abort, not silently run with a default.
+    EXPECT_DEATH(util::parsePositiveInt("0", "--seed"),
+                 "--seed='0' is not a positive integer");
+    EXPECT_DEATH(util::parsePositiveInt("-3", "--seed"), "--seed");
+    EXPECT_DEATH(util::parsePositiveInt("8x", "--ranks"),
+                 "--ranks='8x'");
+    EXPECT_DEATH(util::parsePositiveInt("", "--ranks"), "--ranks");
+    EXPECT_DEATH(util::parsePositiveInt(" 4", "--x"), "--x");
+    EXPECT_DEATH(util::parsePositiveInt("+4", "--x"), "--x");
+    EXPECT_DEATH(util::parsePositiveInt("4.5", "--x"), "--x");
+    EXPECT_DEATH(util::parsePositiveInt("4097", "--jobs", 4096),
+                 "--jobs");
+    EXPECT_DEATH(util::parsePositiveInt("99999999999999999999", "--x"),
+                 "--x");
 }
 
 } // namespace

@@ -1,20 +1,29 @@
 #!/usr/bin/env python3
-"""Compare two bench_simcore JSON reports.
+"""Compare two bench JSON reports (bench_simcore or bench_coll).
 
 Usage: tools/bench_compare.py BASELINE.json CANDIDATE.json
            [--max-regress PCT] [--require-identical]
 
-Points are matched by (name, rate). For each match the tool prints
-the throughput ratio, and fails (exit 1) when:
+Both files must come from the same benchmark; the kind is read from
+the "bench" field. Points are matched by (name, rate). For each match
+the tool prints the metric ratio, and fails (exit 1) when:
 
-  * the candidate is more than --max-regress percent slower than the
+  * the candidate is more than --max-regress percent below the
     baseline on any point (default 10; timing noise on shared boxes
     easily reaches a few percent, so the default is deliberately
     loose — tighten it on quiet machines), or
-  * --require-identical is given and flits_delivered / end_cycle /
-    stable differ on any point. Those fields are wall-clock
-    independent: any difference means the simulator's *behaviour*
-    changed, not just its speed, and the perf comparison is void.
+  * --require-identical is given and the kind's identity fields
+    differ on any point. Those fields are wall-clock independent:
+    any difference means the engine's *behaviour* changed, not just
+    its speed, and the perf comparison is void.
+
+Kinds:
+  simcore  metric mflits_per_second (wall-clock throughput);
+           identity flits_delivered / end_cycle / stable
+  coll     metric busbw_gbps (simulated bus bandwidth — fully
+           deterministic, so use --require-identical and treat ANY
+           drift as behavioural); identity steps / messages /
+           flow_us / model_us / failed
 
 Only the standard library is used, so the script runs anywhere the
 repo builds.
@@ -24,6 +33,21 @@ import argparse
 import json
 import sys
 
+# Per-benchmark comparison contract: which field is the higher-is-
+# better metric, and which fields must be bit-identical for the run
+# to count as behaviourally unchanged.
+BENCH_KINDS = {
+    "simcore": {
+        "metric": "mflits_per_second",
+        "identity": ("flits_delivered", "end_cycle", "stable"),
+    },
+    "coll": {
+        "metric": "busbw_gbps",
+        "identity": ("steps", "messages", "flow_us", "model_us",
+                     "failed"),
+    },
+}
+
 
 def load_points(path):
     try:
@@ -31,41 +55,49 @@ def load_points(path):
             doc = json.load(fh)
     except OSError as err:
         sys.exit(f"bench_compare: cannot read {path}: {err.strerror}"
-                 " (generate it with `bench_simcore --json`)")
+                 " (generate it with `bench_simcore --json` or "
+                 "`bench_coll --json`)")
     except json.JSONDecodeError as err:
         sys.exit(f"bench_compare: {path} is not valid JSON ({err})")
-    if doc.get("bench") != "simcore":
-        sys.exit(f"bench_compare: {path} is not a bench_simcore "
-                 f"report (bench={doc.get('bench')!r})")
+    kind = doc.get("bench")
+    if kind not in BENCH_KINDS:
+        sys.exit(f"bench_compare: {path} is not a known bench report "
+                 f"(bench={kind!r}, expected one of "
+                 f"{sorted(BENCH_KINDS)})")
     try:
-        return doc.get("smoke", False), {
+        return kind, doc.get("smoke", False), {
             (p["name"], p["rate"]): p for p in doc["points"]
         }
     except (KeyError, TypeError) as err:
         sys.exit(f"bench_compare: {path} is missing expected "
-                 f"bench_simcore fields ({err})")
+                 f"bench_{kind} fields ({err})")
 
 
 def main():
     parser = argparse.ArgumentParser(
-        description="Diff two bench_simcore JSON reports.")
+        description="Diff two bench JSON reports.")
     parser.add_argument("baseline")
     parser.add_argument("candidate")
     parser.add_argument(
         "--max-regress", type=float, default=10.0, metavar="PCT",
-        help="fail if any point is more than PCT%% slower "
-             "(default: %(default)s)")
+        help="fail if any point is more than PCT%% below the "
+             "baseline (default: %(default)s)")
     parser.add_argument(
         "--require-identical", action="store_true",
-        help="fail unless flits_delivered/end_cycle/stable match "
-             "point-for-point (behavioural bit-identity)")
+        help="fail unless the identity fields match point-for-point "
+             "(behavioural bit-identity)")
     args = parser.parse_args()
 
-    base_smoke, base = load_points(args.baseline)
-    cand_smoke, cand = load_points(args.candidate)
+    base_kind, base_smoke, base = load_points(args.baseline)
+    cand_kind, cand_smoke, cand = load_points(args.candidate)
+    if base_kind != cand_kind:
+        sys.exit(f"refusing to compare bench={base_kind!r} against "
+                 f"bench={cand_kind!r}")
     if base_smoke != cand_smoke:
         sys.exit("refusing to compare a --smoke run against a full "
                  "run: the workloads differ")
+    metric = BENCH_KINDS[base_kind]["metric"]
+    identity = BENCH_KINDS[base_kind]["identity"]
 
     common = sorted(base.keys() & cand.keys())
     if not common:
@@ -77,30 +109,26 @@ def main():
         print(f"note: {key[0]} @ {key[1]} only in {side}, skipped")
 
     failures = []
-    print(f"{'point':28s} {'base':>9s} {'cand':>9s} {'ratio':>7s}  "
+    print(f"{'point':44s} {'base':>9s} {'cand':>9s} {'ratio':>7s}  "
           f"identical")
     for key in common:
         b, c = base[key], cand[key]
-        ratio = (c["mflits_per_second"] / b["mflits_per_second"]
-                 if b["mflits_per_second"] > 0 else float("inf"))
-        identical = all(
-            b[f] == c[f]
-            for f in ("flits_delivered", "end_cycle", "stable"))
+        ratio = (c[metric] / b[metric]
+                 if b[metric] > 0 else float("inf"))
+        identical = all(b[f] == c[f] for f in identity)
         label = f"{key[0]}/{key[1]:.2f}"
-        print(f"{label:28s} {b['mflits_per_second']:9.3f} "
-              f"{c['mflits_per_second']:9.3f} {ratio:6.2f}x  "
-              f"{'yes' if identical else 'NO'}")
+        print(f"{label:44s} {b[metric]:9.3f} {c[metric]:9.3f} "
+              f"{ratio:6.2f}x  {'yes' if identical else 'NO'}")
         if ratio < 1.0 - args.max_regress / 100.0:
             failures.append(
-                f"{label}: {((1.0 - ratio) * 100.0):.1f}% slower "
-                f"(limit {args.max_regress}%)")
+                f"{label}: {((1.0 - ratio) * 100.0):.1f}% below "
+                f"baseline (limit {args.max_regress}%)")
         if args.require_identical and not identical:
+            mismatches = ", ".join(
+                f"{f} {b[f]} vs {c[f]}"
+                for f in identity if b[f] != c[f])
             failures.append(
-                f"{label}: behavioural mismatch "
-                f"(flits {b['flits_delivered']} vs "
-                f"{c['flits_delivered']}, end_cycle "
-                f"{b['end_cycle']} vs {c['end_cycle']}, stable "
-                f"{b['stable']} vs {c['stable']})")
+                f"{label}: behavioural mismatch ({mismatches})")
 
     if failures:
         print()

@@ -19,7 +19,13 @@
 #      JSON must parse, and a sim run with --stats-out whose counters
 #      must reconcile (the CLI panics if they do not), and
 #   6. a DCN smoke: `wss dcn` calibrates a tiny fat-tree pair and runs
-#      1k flows; its JSON artifact must parse.
+#      1k flows; its JSON artifact must parse, and
+#   7. a collectives smoke: `wss coll` runs the allreduce/all-to-all
+#      comparison (flow vs alpha-beta, plus the cycle-accurate fabric
+#      crosscheck and a parallelism plan); its JSON must parse, and
+#      bench_coll --smoke is gated against a fresh re-run with
+#      tools/bench_compare.py --require-identical (the engine is
+#      deterministic, so any drift is a behavioural change).
 #
 # Usage: tools/check.sh            (from anywhere in the repo)
 #        JOBS=8 tools/check.sh     (override the parallelism)
@@ -36,7 +42,7 @@ cmake --build build -j "$JOBS"
 echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== tsan: configure + build (test_exec, test_sim, test_fault, test_obs, test_flow) =="
+echo "== tsan: configure + build (test_exec, test_sim, test_fault, test_obs, test_flow, test_coll) =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$JOBS"
 
@@ -44,7 +50,7 @@ echo "== tsan: race-checked test run =="
 # Death tests (fork under TSAN) are excluded by the preset filter.
 ctest --preset tsan
 
-echo "== asan: configure + build (test_sim_determinism, test_flow) =="
+echo "== asan: configure + build (test_sim_determinism, test_flow, test_coll) =="
 cmake --preset asan
 cmake --build --preset asan -j "$JOBS"
 
@@ -81,5 +87,22 @@ build/tools/wss dcn --ws-ports 256 --conv-ports 64 --hosts 64 \
     --profiles "$OBS_TMP/profiles" --json "$OBS_TMP/dcn.json"
 python3 -m json.tool "$OBS_TMP/dcn.json" > /dev/null
 echo "dcn JSON parses"
+
+echo "== coll smoke: schedules at three fidelities =="
+build/tools/wss coll --ws-ports 256 --conv-ports 64 --cal-ports 64 \
+    --points 2 --ranks 8 --payloads 65536,1048576 --fabric \
+    --fabric-payload 16384 --plan dp=4,tp=2 --layers 4 \
+    --microbatches 2 --warmup 200 --measure 500 --drain 3000 \
+    --jobs 2 --profiles "$OBS_TMP/profiles" --json "$OBS_TMP/coll.json"
+python3 -m json.tool "$OBS_TMP/coll.json" > /dev/null
+echo "coll JSON parses"
+
+echo "== coll bench: deterministic against itself =="
+build-release/bench/bench_coll --smoke \
+    --json "$OBS_TMP/BENCH_coll_a.json"
+build-release/bench/bench_coll --smoke \
+    --json "$OBS_TMP/BENCH_coll_b.json"
+python3 tools/bench_compare.py "$OBS_TMP/BENCH_coll_a.json" \
+    "$OBS_TMP/BENCH_coll_b.json" --require-identical
 
 echo "check.sh: all green"

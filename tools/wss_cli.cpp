@@ -11,6 +11,9 @@
  *   resilience  Monte-Carlo defect/spare/degraded-mode campaign
  *   dcn         flow-level multi-switch DCN comparison (waferscale
  *               vs conventional), calibrated from the fabric sim
+ *   coll        collective-communication comparison (allreduce /
+ *               all-to-all schedules priced on waferscale vs
+ *               conventional, cross-checked against alpha-beta)
  *   plan        full system plan (power delivery / cooling / enclosure)
  *
  * Run `wss <subcommand> --help` for the flags of each.
@@ -27,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "coll/campaign.hpp"
+#include "coll/plan.hpp"
 #include "core/radix_solver.hpp"
 #include "exec/campaign.hpp"
 #include "fault/resilience.hpp"
@@ -42,6 +47,7 @@
 #include "topology/clos.hpp"
 #include "trace/generators.hpp"
 #include "util/logging.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -886,6 +892,407 @@ cmdDcn(const Args &args)
     return 0;
 }
 
+/// Collective name -> (collective, algorithm) for `wss coll`.
+coll::CollSpec
+parseCollSpec(const std::string &name)
+{
+    if (name == "ring")
+        return {coll::Collective::AllReduce, coll::Algorithm::Ring};
+    if (name == "rd" || name == "recursive-doubling")
+        return {coll::Collective::AllReduce,
+                coll::Algorithm::RecursiveDoubling};
+    if (name == "hd" || name == "halving-doubling")
+        return {coll::Collective::AllReduce,
+                coll::Algorithm::HalvingDoubling};
+    if (name == "tree")
+        return {coll::Collective::AllReduce, coll::Algorithm::Tree};
+    if (name == "alltoall" || name == "a2a")
+        return {coll::Collective::AllToAll, coll::Algorithm::Pairwise};
+    if (name == "reduce-scatter" || name == "rs")
+        return {coll::Collective::ReduceScatter, coll::Algorithm::Ring};
+    if (name == "all-gather" || name == "ag")
+        return {coll::Collective::AllGather, coll::Algorithm::Ring};
+    fatal("coll: unknown collective '", name,
+          "' (ring | rd | hd | tree | alltoall | reduce-scatter | "
+          "all-gather)");
+}
+
+/// Parse `--plan dp=8,tp=4,pp=2,ep=2` (every axis optional,
+/// defaulting to 1, values strictly positive).
+coll::PlanShape
+parsePlanShape(const std::string &text)
+{
+    coll::PlanShape shape;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        const auto eq = item.find('=');
+        if (eq == std::string::npos)
+            fatal("coll: --plan entries look like dp=8, got '", item,
+                  "'");
+        const std::string axis = item.substr(0, eq);
+        const int v = static_cast<int>(util::parsePositiveInt(
+            item.substr(eq + 1), ("--plan " + axis).c_str(), 1 << 20));
+        if (axis == "dp")
+            shape.dp = v;
+        else if (axis == "tp")
+            shape.tp = v;
+        else if (axis == "pp")
+            shape.pp = v;
+        else if (axis == "ep")
+            shape.ep = v;
+        else
+            fatal("coll: unknown --plan axis '", axis,
+                  "' (dp | tp | pp | ep)");
+    }
+    const std::string err = shape.validate();
+    if (!err.empty())
+        fatal("coll: invalid --plan: ", err);
+    return shape;
+}
+
+int
+cmdColl(const Args &args)
+{
+    if (args.has("help")) {
+        std::cout <<
+            "usage: wss coll [--flags]\n"
+            "\n"
+            "Collective-communication comparison: schedule allreduce /\n"
+            "all-to-all algorithms as deterministic step-ordered\n"
+            "message lists, execute them flow-level on a solver-sized\n"
+            "waferscale switch network and a conventional baseline,\n"
+            "and cross-check every cell against the closed-form\n"
+            "alpha-beta cost model.\n"
+            "\n"
+            "  --ranks 64           participating ranks (one per host;\n"
+            "                       hd/tree need a power of two)\n"
+            "  --collectives ring,hd,tree,alltoall\n"
+            "                       (also: rd, reduce-scatter,\n"
+            "                       all-gather)\n"
+            "  --payloads 1048576   per-rank payload bytes, comma list\n"
+            "  --dcn-topology fat-tree | dragonfly\n"
+            "  --kill-step N        kill a switch/trunk just before\n"
+            "                       step N of every collective\n"
+            "  --kill-trunk         kill a trunk instead of a switch\n"
+            "  --kill-id 0          which switch/trunk dies\n"
+            "  --fabric             also replay the schedules cycle-\n"
+            "                       accurately on the waferscale\n"
+            "                       internal fabric (crosscheck)\n"
+            "  --fabric-payload 65536  per-rank bytes for the cycle-\n"
+            "                       accurate replay (kept small; the\n"
+            "                       fabric sim is ~1e5x slower)\n"
+            "  --plan dp=8,tp=4,pp=2,ep=2\n"
+            "                       also compose an LLM training\n"
+            "                       iteration's collective mix and\n"
+            "                       price it per design (each group\n"
+            "                       priced on a dedicated network —\n"
+            "                       an overlap-free upper bound)\n"
+            "  --params 7e9 --layers 32 --hidden 4096 --tokens 4096\n"
+            "  --microbatches 8 --moe-layers 0 --moe-capacity 1\n"
+            "                       model geometry for --plan\n"
+            "  --ws-ports 0         waferscale radix (0 = run the\n"
+            "                       radix solver with the solve flags)\n"
+            "  --conv-ports 64      conventional switch radix\n"
+            "  --conv-ssc-radix 32  chiplet radix of the baseline\n"
+            "  --profiles dir       profile cache directory, as in\n"
+            "                       `wss dcn` [--calibrate refreshes]\n"
+            "  --jobs N             worker threads\n"
+            "  --seed 1             recorded in artifacts (the engine\n"
+            "                       itself is deterministic)\n"
+            "  --csv out.csv --json out.json --trace-out run.json\n"
+            "  plus the solve flags (--substrate, --wsi, ...) and the\n"
+            "  sim flags of `wss sim` (--vcs, --warmup, ...)\n";
+        return 0;
+    }
+
+    // Strict by contract (same as WSS_JOBS): a malformed --seed or
+    // --ranks silently coerced would poison every artifact, so
+    // anything but a plain positive decimal integer is fatal.
+    const std::uint64_t seed = static_cast<std::uint64_t>(
+        args.has("seed")
+            ? util::parsePositiveInt(args.str("seed", ""), "--seed")
+            : 1);
+    const int ranks = static_cast<int>(
+        args.has("ranks")
+            ? util::parsePositiveInt(args.str("ranks", ""), "--ranks",
+                                     1 << 20)
+            : 64);
+    const int jobs = static_cast<int>(
+        args.has("jobs")
+            ? util::parsePositiveInt(args.str("jobs", ""), "--jobs",
+                                     4096)
+            : exec::ThreadPool::defaultThreads());
+
+    exec::ThreadPool pool(jobs);
+    obs::TraceEventSink trace;
+    const bool tracing = args.has("trace-out");
+    if (tracing)
+        trace.setProcessName("wss coll");
+    obs::TraceEventSink *sink = tracing ? &trace : nullptr;
+    obs::MetricsRegistry metrics;
+
+    // Waferscale design vs conventional baseline, exactly as in
+    // `wss dcn` (shared profile cache format).
+    core::DesignSpec dspec;
+    dspec.substrate_side = args.num("substrate", 300.0);
+    dspec.wsi = parseWsi(args.str("wsi", "siif2x"));
+    dspec.external_io = parseExternalIo(args.str("ext", "optical"));
+    dspec.ssc = power::tomahawk5(
+        static_cast<int>(args.integer("ssc-config", 1)));
+    const int deradix = static_cast<int>(args.integer("deradix", 1));
+    if (deradix > 1)
+        dspec.ssc = topology::deradixedSsc(dspec.ssc, deradix);
+    dspec.cooling = parseCooling(args.str("cooling", "none"));
+    dspec.topology = core::TopologyKind::Clos;
+    dspec.mapping_restarts =
+        static_cast<int>(args.integer("restarts", 2));
+    dspec.seed = seed;
+
+    std::int64_t ws_ports = args.integer("ws-ports", 0);
+    double ws_power = 0.0;
+    if (ws_ports <= 0) {
+        const auto solved = core::RadixSolver(dspec).solveMaxPorts();
+        if (solved.best.ports == 0)
+            fatal("coll: the radix solver found no feasible "
+                  "waferscale design; pin one with --ws-ports");
+        ws_ports = alignPorts(solved.best.ports, dspec.ssc.radix);
+        ws_power = solved.best.power.total();
+        std::cout << "coll: solver sized the waferscale switch at "
+                  << ws_ports << " ports, "
+                  << Table::num(ws_power / 1000.0, 1) << " kW\n";
+    } else {
+        ws_ports = alignPorts(ws_ports, dspec.ssc.radix);
+        ws_power = estimateSwitchPower(args, ws_ports, dspec.ssc);
+    }
+
+    const std::int64_t conv_ports = args.integer("conv-ports", 64);
+    const power::SscConfig conv_ssc = power::scaledSsc(
+        static_cast<int>(args.integer("conv-ssc-radix", 32)),
+        dspec.ssc.line_rate);
+    const std::int64_t conv_aligned =
+        alignPorts(conv_ports, conv_ssc.radix);
+    const double conv_power =
+        estimateSwitchPower(args, conv_aligned, conv_ssc);
+
+    const flow::SwitchProfile ws_profile = dcnProfile(
+        args, "ws-" + std::to_string(ws_ports), ws_ports, dspec.ssc,
+        ws_power, &pool, sink);
+    const flow::SwitchProfile conv_profile = dcnProfile(
+        args, "conv-" + std::to_string(conv_aligned), conv_aligned,
+        conv_ssc, conv_power, &pool, sink);
+
+    coll::CollCampaignConfig cfg;
+    cfg.designs = {ws_profile, conv_profile};
+    const std::string kind = args.str("dcn-topology", "fat-tree");
+    if (kind == "fat-tree")
+        cfg.kind = flow::DcnKind::FatTree;
+    else if (kind == "dragonfly")
+        cfg.kind = flow::DcnKind::Dragonfly;
+    else
+        fatal("coll: unknown --dcn-topology '", kind,
+              "' (fat-tree | dragonfly)");
+    cfg.ranks = ranks;
+    cfg.collectives.clear();
+    for (const auto &name :
+         listFromArgs(args, "collectives", "ring,hd,tree,alltoall"))
+        cfg.collectives.push_back(parseCollSpec(name));
+    cfg.payload_bytes.clear();
+    for (const auto &item : listFromArgs(args, "payloads", "1048576"))
+        cfg.payload_bytes.push_back(std::stod(item));
+    if (args.has("kill-step")) {
+        cfg.fault.at_step =
+            static_cast<int>(args.integer("kill-step", -1));
+        cfg.fault.kill_switch = !args.has("kill-trunk");
+        cfg.fault.id = static_cast<int>(args.integer("kill-id", 0));
+    }
+    cfg.seed = seed;
+
+    const coll::CollResult result =
+        coll::CollCampaign(cfg).run(&pool, sink);
+
+    Table table("wss coll — " + Table::num(cfg.ranks) +
+                    " ranks, seed " + Table::num(cfg.seed),
+                {"design", "collective", "payload", "hops", "steps",
+                 "flow us", "flow busbw", "model us", "model busbw",
+                 "flow/model", "failed"});
+    for (const auto &cell : result.cells) {
+        const double ratio = cell.model.seconds > 0.0
+                                 ? cell.flow.seconds / cell.model.seconds
+                                 : 0.0;
+        table.addRow(
+            {cell.design, cell.collective,
+             Table::num(cell.payload_bytes, 0), Table::num(cell.hops),
+             Table::num(cell.flow.steps),
+             Table::num(cell.flow.seconds * 1e6, 1),
+             Table::num(cell.flow.busbw_gbps, 1),
+             Table::num(cell.model.seconds * 1e6, 1),
+             Table::num(cell.model.busbw_gbps, 1),
+             Table::num(ratio, 3),
+             Table::num(cell.flow.failed_messages)});
+    }
+    table.print(std::cout);
+    std::cout << "campaign: " << result.cells.size() << " cells on "
+              << result.threads << " threads, wall "
+              << Table::num(result.wall_seconds, 2) << " s\n";
+
+    // Optional cycle-accurate crosscheck: replay each schedule on
+    // the waferscale switch's own internal chiplet fabric.
+    if (args.has("fabric")) {
+        const double fab_payload = args.num("fabric-payload", 65536.0);
+        const std::int64_t half = dspec.ssc.radix / 2;
+        const std::int64_t fab_ports =
+            std::max<std::int64_t>((ranks + half - 1) / half, 1) * half;
+        const topology::LogicalTopology fab = topology::buildFoldedClos(
+            {fab_ports, dspec.ssc,
+             static_cast<int>(args.integer("leaf-split", 1))});
+        const sim::NetworkSpec net_spec = fabricSpecFromArgs(args);
+        Table fab_table(
+            "wss coll — cycle-accurate on '" + fab.name() + "'",
+            {"collective", "fabric us", "fabric busbw", "model us",
+             "fabric/model"});
+        for (const auto &spec : cfg.collectives) {
+            const coll::Schedule schedule =
+                coll::buildSchedule(spec, ranks);
+            coll::CollExecConfig exec_cfg;
+            exec_cfg.metrics = &metrics;
+            exec_cfg.trace = sink;
+            exec_cfg.trace_label = "fabric";
+            const coll::CollExecResult fr = coll::executeOnFabric(
+                schedule, fab_payload, fab, net_spec,
+                ws_profile.cycle_seconds, 64.0, exec_cfg);
+            const coll::CollExecResult mr = coll::executeAlphaBeta(
+                schedule, fab_payload,
+                coll::alphaBetaOf(ws_profile,
+                                  ws_profile.line_rate_gbps, 1));
+            fab_table.addRow(
+                {schedule.name(), Table::num(fr.seconds * 1e6, 2),
+                 Table::num(fr.busbw_gbps, 1),
+                 Table::num(mr.seconds * 1e6, 2),
+                 Table::num(mr.seconds > 0.0 ? fr.seconds / mr.seconds
+                                             : 0.0,
+                            3)});
+        }
+        fab_table.print(std::cout);
+    }
+
+    // Optional LLM parallelism plan: what one training iteration's
+    // collective mix costs on each design.
+    if (args.has("plan")) {
+        const coll::PlanShape shape =
+            parsePlanShape(args.str("plan", ""));
+        coll::ModelSpec model;
+        model.parameters = args.num("params", 7e9);
+        model.layers = static_cast<int>(args.integer("layers", 32));
+        model.hidden = static_cast<int>(args.integer("hidden", 4096));
+        model.tokens_per_microbatch =
+            static_cast<int>(args.integer("tokens", 4096));
+        model.microbatches =
+            static_cast<int>(args.integer("microbatches", 8));
+        model.moe_layers =
+            static_cast<int>(args.integer("moe-layers", 0));
+        model.moe_capacity = args.num("moe-capacity", 1.0);
+        const std::vector<coll::PlannedCollective> plan =
+            coll::composeTrainingStep(shape, model);
+
+        Table plan_table(
+            "wss coll plan — dp=" + Table::num(shape.dp) + " tp=" +
+                Table::num(shape.tp) + " pp=" + Table::num(shape.pp) +
+                " ep=" + Table::num(shape.ep) + " (" +
+                Table::num(shape.totalRanks()) + " ranks)",
+            {"design", "collective", "group", "payload", "calls",
+             "us/call", "total ms", "share"});
+        std::vector<std::string> summaries;
+        for (const auto &profile : cfg.designs) {
+            double iter_s = 0.0;
+            std::vector<double> entry_s;
+            for (const auto &e : plan) {
+                const coll::Schedule schedule = coll::buildSchedule(
+                    {e.collective, e.algorithm}, e.group_ranks);
+                flow::DcnTopology topo =
+                    cfg.kind == flow::DcnKind::FatTree
+                        ? flow::DcnTopology::buildFatTree(
+                              e.group_ranks,
+                              static_cast<int>(profile.radix),
+                              profile.line_rate_gbps)
+                        : flow::DcnTopology::buildDragonfly(
+                              e.group_ranks,
+                              static_cast<int>(profile.radix),
+                              profile.line_rate_gbps);
+                coll::CollExecConfig exec_cfg;
+                exec_cfg.metrics = &metrics;
+                const coll::CollExecResult r = coll::executeOnDcn(
+                    schedule, e.payload_bytes, topo, profile, exec_cfg);
+                entry_s.push_back(r.seconds);
+                iter_s += r.seconds * static_cast<double>(e.invocations);
+            }
+            for (std::size_t i = 0; i < plan.size(); ++i) {
+                const auto &e = plan[i];
+                const double total =
+                    entry_s[i] * static_cast<double>(e.invocations);
+                plan_table.addRow(
+                    {profile.name, e.label,
+                     Table::num(e.group_ranks) + "x" +
+                         Table::num(e.concurrent_groups),
+                     Table::num(e.payload_bytes, 0),
+                     Table::num(e.invocations),
+                     Table::num(entry_s[i] * 1e6, 1),
+                     Table::num(total * 1e3, 2),
+                     Table::num(iter_s > 0.0 ? total / iter_s * 100.0
+                                             : 0.0,
+                                1) +
+                         "%"});
+            }
+            // Network energy ceiling for the iteration: every switch
+            // of a fabric covering all ranks burning its plate power
+            // for the whole (overlap-free) collective time.
+            flow::DcnTopology full =
+                cfg.kind == flow::DcnKind::FatTree
+                    ? flow::DcnTopology::buildFatTree(
+                          shape.totalRanks(),
+                          static_cast<int>(profile.radix),
+                          profile.line_rate_gbps)
+                    : flow::DcnTopology::buildDragonfly(
+                          shape.totalRanks(),
+                          static_cast<int>(profile.radix),
+                          profile.line_rate_gbps);
+            summaries.push_back(
+                profile.name + ": comm " +
+                Table::num(iter_s * 1e3, 2) + " ms/iter, " +
+                Table::num(full.switchCount()) +
+                " switches, network " +
+                Table::num(full.switchCount() * profile.power_watts *
+                               iter_s / 1e3,
+                           2) +
+                " kJ/iter");
+        }
+        plan_table.print(std::cout);
+        for (const auto &line : summaries)
+            std::cout << line << "\n";
+    }
+
+    if (args.has("csv")) {
+        const std::string path = args.str("csv", "");
+        result.writeCsvFile(path);
+        std::cout << "CSV written to " << path << "\n";
+    }
+    if (args.has("json")) {
+        const std::string path = args.str("json", "");
+        result.writeJsonFile(path);
+        std::cout << "JSON written to " << path << "\n";
+    }
+    if (tracing) {
+        const std::string path = args.str("trace-out", "");
+        if (path.empty())
+            fatal("coll: --trace-out needs a file path");
+        trace.writeFile(path);
+        std::cout << "trace written to " << path << " ("
+                  << trace.size()
+                  << " events; open in Perfetto / chrome://tracing)\n";
+    }
+    return 0;
+}
+
 int
 cmdPlan(const Args &args)
 {
@@ -953,6 +1360,11 @@ usage()
         "          fat-tree --jobs 8 [--calibrate --profiles dir]\n"
         "          [--csv out.csv --json out.json]\n"
         "          (run `wss dcn --help` for all flags)\n"
+        "  coll    --ranks 64 --collectives ring,hd,tree,alltoall\n"
+        "          --payloads 1048576 [--fabric]\n"
+        "          [--plan dp=8,tp=4,pp=2,ep=2] --jobs 8\n"
+        "          [--csv out.csv --json out.json]\n"
+        "          (run `wss coll --help` for all flags)\n"
         "  plan    (solve flags) -> power delivery/cooling/enclosure\n";
 }
 
@@ -981,6 +1393,8 @@ main(int argc, char **argv)
         return cmdResilience(args);
     if (cmd == "dcn")
         return cmdDcn(args);
+    if (cmd == "coll")
+        return cmdColl(args);
     if (cmd == "plan")
         return cmdPlan(args);
     usage();
