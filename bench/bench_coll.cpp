@@ -30,6 +30,7 @@
 #include "bench_common.hpp"
 #include "coll/campaign.hpp"
 #include "core/radix_solver.hpp"
+#include "obs/run_manifest.hpp"
 #include "topology/clos.hpp"
 
 namespace {
@@ -178,6 +179,26 @@ main(int argc, char **argv)
         if (!os.flush())
             fatal("short write to '", json_path, "'");
         inform("Collectives JSON written to ", json_path);
+
+        // Provenance sibling: bench_compare.py refuses to diff two
+        // reports whose manifests disagree on configuration.
+        obs::RunManifest manifest("bench_coll");
+        manifest.setConfig("smoke", smoke ? "true" : "false");
+        manifest.setConfig("ranks",
+                           static_cast<std::int64_t>(cfg.ranks));
+        manifest.setConfig("ws_design", ws.name);
+        manifest.setConfig("conv_design", conv.name);
+        manifest.setConfig(
+            "payloads",
+            static_cast<std::int64_t>(cfg.payload_bytes.size()));
+        manifest.setSeed(cfg.seed);
+        manifest.setJobs(result.threads);
+        manifest.addArtifact(json_path, "bench-json");
+        manifest.addPhaseSeconds("campaign", result.wall_seconds);
+        const std::string manifest_path =
+            std::string(json_path) + ".manifest.json";
+        manifest.writeJsonFile(manifest_path);
+        inform("Collectives manifest written to ", manifest_path);
     }
 
     std::cout << "\n[campaign] " << result.cells.size()

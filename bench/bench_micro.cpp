@@ -11,6 +11,7 @@
 
 #include "mapping/pairwise_exchange.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "power/ssc.hpp"
 #include "sim/simulator.hpp"
 #include "topology/clos.hpp"
@@ -262,6 +263,32 @@ BM_CounterHandleEnabled(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CounterHandleEnabled);
+
+void
+BM_ProfilerScopeDisabled(benchmark::State &state)
+{
+    // Same contract as the detached counter: a ScopedPhase on a null
+    // profiler must cost one predicted branch each way, so hot loops
+    // can stay instrumented unconditionally.
+    for (auto _ : state) {
+        obs::ScopedPhase phase(nullptr, "bench");
+        benchmark::DoNotOptimize(&phase);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerScopeDisabled);
+
+void
+BM_ProfilerScopeEnabled(benchmark::State &state)
+{
+    obs::Profiler profiler;
+    for (auto _ : state) {
+        obs::ScopedPhase phase(&profiler, "bench");
+        benchmark::DoNotOptimize(&phase);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerScopeEnabled);
 
 } // namespace
 

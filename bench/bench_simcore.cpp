@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/run_manifest.hpp"
 #include "sim/simulator.hpp"
 #include "topology/clos.hpp"
 #include "topology/mesh.hpp"
@@ -278,5 +279,22 @@ main(int argc, char **argv)
                  "tools/bench_compare.py).\n";
 
     writeJson(json_path, runs, smoke);
+
+    // Provenance sibling: bench_compare.py refuses to diff two
+    // reports whose manifests disagree on configuration.
+    obs::RunManifest manifest("bench_simcore");
+    manifest.setConfig("smoke", smoke ? "true" : "false");
+    manifest.setConfig("only", only);
+    manifest.setConfig("reps", static_cast<std::int64_t>(reps));
+    manifest.setConfig("points",
+                       static_cast<std::int64_t>(runs.size()));
+    manifest.setSeed(seed);
+    manifest.setJobs(1);
+    manifest.addArtifact(json_path, "bench-json");
+    for (const Measurement &m : runs)
+        manifest.addPhaseSeconds(m.name, m.wall_seconds);
+    const std::string manifest_path = json_path + ".manifest.json";
+    manifest.writeJsonFile(manifest_path);
+    inform("simcore manifest written to ", manifest_path);
     return 0;
 }

@@ -99,8 +99,8 @@ CollCampaign::CollCampaign(CollCampaignConfig config)
 }
 
 CollResult
-CollCampaign::run(exec::ThreadPool *pool,
-                  obs::TraceEventSink *trace) const
+CollCampaign::run(exec::ThreadPool *pool, obs::TraceEventSink *trace,
+                  obs::Profiler *profiler) const
 {
     const auto &cfg = config_;
     const std::size_t n_d = cfg.designs.size();
@@ -127,7 +127,7 @@ CollCampaign::run(exec::ThreadPool *pool,
             }
 
     const exec::CampaignResult campaign_result =
-        campaign.run(pool, trace);
+        campaign.run(pool, trace, profiler);
     result.wall_seconds = campaign_result.wall_seconds;
     result.threads = campaign_result.threads;
     for (std::size_t i = 0; i < result.cells.size(); ++i)

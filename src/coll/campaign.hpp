@@ -23,6 +23,7 @@
 #include "coll/execute.hpp"
 #include "exec/thread_pool.hpp"
 #include "flow/switch_profile.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_event.hpp"
 
 namespace wss::coll {
@@ -109,9 +110,12 @@ class CollCampaign
     explicit CollCampaign(CollCampaignConfig config);
 
     /// @p pool nullptr runs serially. @p trace records one span per
-    /// cell on per-worker tracks.
+    /// cell on per-worker tracks. @p profiler accumulates one
+    /// "campaign/<cell>" phase per cell (merged across workers after
+    /// the barrier).
     CollResult run(exec::ThreadPool *pool = nullptr,
-                   obs::TraceEventSink *trace = nullptr) const;
+                   obs::TraceEventSink *trace = nullptr,
+                   obs::Profiler *profiler = nullptr) const;
 
     const CollCampaignConfig &config() const { return config_; }
 

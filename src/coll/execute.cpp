@@ -1,18 +1,30 @@
 #include "coll/execute.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <ostream>
 #include <vector>
 
 #include "flow/flow_sim.hpp"
 #include "sim/simulator.hpp"
 #include "trace/coll_lowering.hpp"
 #include "trace/trace_workload.hpp"
+#include "util/artifact.hpp"
 #include "util/logging.hpp"
 
 namespace wss::coll {
 
 namespace {
+
+/// Shortest round-trip decimal form (SimObservation::dumpCsv idiom).
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
 
 /// Shared result assembly: bandwidth figures from (schedule,
 /// payload, completion time).
@@ -61,6 +73,75 @@ countCollective(const CollExecConfig &cfg, const Schedule &schedule,
 
 } // namespace
 
+std::int64_t
+CollTelemetry::totalMessages() const
+{
+    std::int64_t total = 0;
+    for (const Step &s : steps)
+        total += s.messages;
+    return total;
+}
+
+std::int64_t
+CollTelemetry::totalFailed() const
+{
+    std::int64_t total = 0;
+    for (const Step &s : steps)
+        total += s.failed;
+    return total;
+}
+
+double
+CollTelemetry::totalBytes() const
+{
+    // Step order, like executeOnDcn's bytes_on_wire accumulation —
+    // identical addition sequence, identical double.
+    double total = 0.0;
+    for (const Step &s : steps)
+        total += s.bytes;
+    return total;
+}
+
+void
+CollTelemetry::dumpCsv(std::ostream &os) const
+{
+    os << "# wss coll telemetry\n";
+    os << "# steps=" << steps.size() << " ranks=" << ranks << "\n";
+    os << "record,step,scope,metric,value\n";
+
+    for (const Step &s : steps) {
+        os << "step," << s.step << ",-,start_s,"
+           << formatDouble(s.start_s) << "\n";
+        os << "step," << s.step << ",-,seconds,"
+           << formatDouble(s.seconds) << "\n";
+        os << "step," << s.step << ",-,messages," << s.messages
+           << "\n";
+        os << "step," << s.step << ",-,failed," << s.failed << "\n";
+        os << "step," << s.step << ",-,bytes," << formatDouble(s.bytes)
+           << "\n";
+    }
+
+    for (const Step &s : steps)
+        for (std::size_t r = 0; r < s.rank_busy_s.size(); ++r)
+            if (s.rank_busy_s[r] > 0.0 || s.rank_bytes[r] > 0.0) {
+                os << "rank," << s.step << ",r" << r << ",busy_s,"
+                   << formatDouble(s.rank_busy_s[r]) << "\n";
+                os << "rank," << s.step << ",r" << r << ",bytes,"
+                   << formatDouble(s.rank_bytes[r]) << "\n";
+            }
+
+    os << "total,run,-,messages," << totalMessages() << "\n";
+    os << "total,run,-,failed," << totalFailed() << "\n";
+    os << "total,run,-,bytes," << formatDouble(totalBytes()) << "\n";
+}
+
+void
+CollTelemetry::dumpCsvFile(const std::string &path) const
+{
+    util::writeArtifactFile(path, "CollTelemetry",
+                            [this](std::ostream &os) { dumpCsv(os); });
+}
+
 CollExecResult
 executeAlphaBeta(const Schedule &schedule, double payload_bytes,
                  const AlphaBeta &cost)
@@ -97,6 +178,8 @@ executeOnDcn(const Schedule &schedule, double payload_bytes,
               schedule.name(), " needs ", schedule.ranks,
               " hosts but the topology has ", topo.hostCount());
 
+    obs::ScopedPhase exec_phase(cfg.profiler, "coll-dcn");
+
     double seconds = 0.0;
     double bytes_on_wire = 0.0;
     std::int64_t failed = 0;
@@ -104,7 +187,15 @@ executeOnDcn(const Schedule &schedule, double payload_bytes,
     std::size_t mi = 0;
     std::uint64_t flow_id = 1;
 
+    std::shared_ptr<CollTelemetry> telemetry;
+    std::vector<flow::FlowRecord> records;
+    if (cfg.telemetry) {
+        telemetry = std::make_shared<CollTelemetry>();
+        telemetry->ranks = schedule.ranks;
+    }
+
     for (int step = 0; step < schedule.steps; ++step) {
+        obs::ScopedPhase step_phase(cfg.profiler, "step");
         if (cfg.fault.at_step == step) {
             if (cfg.fault.kill_switch)
                 topo.setSwitchAlive(cfg.fault.id, false);
@@ -134,8 +225,14 @@ executeOnDcn(const Schedule &schedule, double payload_bytes,
 
         // Dependency-aware release: the whole batch starts at the
         // step barrier, the barrier's span is its slowest flow.
+        flow::FlowSimConfig step_cfg;
+        step_cfg.profiler = cfg.profiler;
+        if (telemetry) {
+            records.clear();
+            step_cfg.flow_records = &records;
+        }
         const flow::FlowSimResult r =
-            flow::simulateFlows(topo, profile, step_flows);
+            flow::simulateFlows(topo, profile, step_flows, {}, step_cfg);
         const double step_seconds = r.fct_max_s;
         failed += r.failed;
         bytes_on_wire += r.completed_bytes;
@@ -149,6 +246,49 @@ executeOnDcn(const Schedule &schedule, double payload_bytes,
                      static_cast<std::int64_t>(step_flows.size())),
                  obs::TraceArg::num(
                      "failed", static_cast<std::int64_t>(r.failed))});
+
+        if (telemetry) {
+            CollTelemetry::Step ts;
+            ts.step = step;
+            ts.start_s = seconds;
+            ts.seconds = step_seconds;
+            ts.messages =
+                static_cast<std::int64_t>(step_flows.size());
+            ts.failed = r.failed;
+            ts.bytes = r.completed_bytes;
+            const auto ranks =
+                static_cast<std::size_t>(schedule.ranks);
+            ts.rank_busy_s.assign(ranks, 0.0);
+            ts.rank_bytes.assign(ranks, 0.0);
+            for (const flow::FlowRecord &rec : records) {
+                if (rec.failed)
+                    continue;
+                const auto src = static_cast<std::size_t>(rec.src);
+                ts.rank_busy_s[src] =
+                    std::max(ts.rank_busy_s[src], rec.fct_s);
+                ts.rank_bytes[src] += rec.bytes;
+            }
+            if (cfg.trace)
+                // The Gantt view: one span per sending rank, on a
+                // per-rank track owned by the sink (so coll ranks
+                // never collide with flow or campaign tracks).
+                for (std::size_t rk = 0; rk < ranks; ++rk) {
+                    if (ts.rank_busy_s[rk] <= 0.0)
+                        continue;
+                    const int tid = cfg.trace->allocateTrack(
+                        cfg.trace_label + "/rank " +
+                        std::to_string(rk));
+                    cfg.trace->complete(
+                        "step " + std::to_string(step),
+                        cfg.trace_label, tid,
+                        static_cast<std::int64_t>(seconds * 1e6),
+                        static_cast<std::int64_t>(ts.rank_busy_s[rk] *
+                                                  1e6),
+                        {obs::TraceArg::num("bytes",
+                                            ts.rank_bytes[rk])});
+                }
+            telemetry->steps.push_back(std::move(ts));
+        }
         seconds += step_seconds;
     }
 
@@ -156,6 +296,7 @@ executeOnDcn(const Schedule &schedule, double payload_bytes,
     CollExecResult result =
         finalize(schedule, payload_bytes, seconds, bytes_on_wire);
     result.failed_messages = failed;
+    result.telemetry = telemetry;
     return result;
 }
 
@@ -166,6 +307,7 @@ executeOnFabric(const Schedule &schedule, double payload_bytes,
                 double flit_bytes, const CollExecConfig &cfg)
 {
     requireValid(schedule, payload_bytes, "executeOnFabric");
+    obs::ScopedPhase exec_phase(cfg.profiler, "coll-fabric");
     if (cycle_seconds <= 0.0 || flit_bytes <= 0.0)
         fatal("executeOnFabric: cycle_seconds and flit_bytes must be "
               "positive");

@@ -25,17 +25,66 @@
 #define WSS_COLL_EXECUTE_HPP
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "coll/schedule.hpp"
 #include "flow/dcn_topology.hpp"
 #include "flow/switch_profile.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_event.hpp"
 #include "sim/network.hpp"
 #include "topology/logical_topology.hpp"
 
 namespace wss::coll {
+
+/**
+ * Per-step, per-rank time-resolved telemetry of one executeOnDcn()
+ * run (enabled by CollExecConfig::telemetry): when each step's
+ * barrier released, how long it ran, and how long each rank's
+ * slowest outgoing message took inside it — the collective's Gantt
+ * chart. Integer totals reconcile exactly with the run's counters
+ * and totalBytes() is bit-identical to bytes_on_wire (both
+ * ctest-asserted).
+ */
+struct CollTelemetry
+{
+    int ranks = 0;
+    struct Step
+    {
+        int step = 0;
+        /// Barrier instant the step released at (seconds).
+        double start_s = 0.0;
+        /// Step span: its slowest flow (seconds).
+        double seconds = 0.0;
+        std::int64_t messages = 0;
+        std::int64_t failed = 0;
+        /// Bytes the step's completed flows delivered.
+        double bytes = 0.0;
+        /// Per-rank busy time: the slowest completed flow sourced at
+        /// that rank (0 when the rank sent nothing this step).
+        std::vector<double> rank_busy_s;
+        /// Bytes each rank sourced via completed flows.
+        std::vector<double> rank_bytes;
+    };
+    std::vector<Step> steps;
+
+    std::int64_t totalMessages() const;
+    std::int64_t totalFailed() const;
+    /// Per-step bytes summed in step order — the same accumulation
+    /// executeOnDcn uses for bytes_on_wire, so the two are
+    /// bit-identical.
+    double totalBytes() const;
+
+    /// Long-format CSV (`record,step,scope,metric,value` with record
+    /// ∈ {step, rank, total}); rank rows only where the rank sent.
+    void dumpCsv(std::ostream &os) const;
+    /// Flush-checked file counterpart (util::writeArtifactFile).
+    void dumpCsvFile(const std::string &path) const;
+};
 
 /// What one collective execution produced, at any fidelity.
 struct CollExecResult
@@ -56,6 +105,9 @@ struct CollExecResult
     /// mid-collective fault). Nonzero means the collective would
     /// hang; seconds then covers only the delivered messages.
     std::int64_t failed_messages = 0;
+    /// Per-step per-rank Gantt data; null unless
+    /// CollExecConfig::telemetry (flow fidelity only).
+    std::shared_ptr<CollTelemetry> telemetry;
 };
 
 /// Optional mid-collective fault, applied just before the given step
@@ -80,6 +132,14 @@ struct CollExecConfig
     int trace_tid = 0;
     std::string trace_label = "coll";
     CollFaultSpec fault;
+    /// Collect CollExecResult::telemetry in executeOnDcn; with
+    /// `trace` also set, emits one span per (rank, step) on per-rank
+    /// tracks from TraceEventSink::allocateTrack. Purely additive:
+    /// behavioural results are bit-identical on/off.
+    bool telemetry = false;
+    /// Scoped phase timers when set ("coll-dcn" with "step" and the
+    /// flow simulator's own phases nested).
+    obs::Profiler *profiler = nullptr;
 };
 
 /// Price @p schedule with the closed-form model (same result shape

@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <limits>
 #include <ostream>
+#include <string_view>
 #include <utility>
 
 #include "util/artifact.hpp"
@@ -78,7 +79,8 @@ Campaign::addTask(std::string name, std::function<void()> fn)
 }
 
 CampaignResult
-Campaign::run(ThreadPool *pool, obs::TraceEventSink *trace) const
+Campaign::run(ThreadPool *pool, obs::TraceEventSink *trace,
+              obs::Profiler *profiler) const
 {
     const auto start = std::chrono::steady_clock::now();
 
@@ -120,10 +122,33 @@ Campaign::run(ThreadPool *pool, obs::TraceEventSink *trace) const
         buffer.cell_seconds_q.resize(entries_.size());
     }
 
+    // One profiler phase per job; job names may contain '/' (which
+    // the profiler reserves for nesting), so sanitize them once.
+    std::vector<obs::Profiler> worker_prof(
+        profiler ? static_cast<std::size_t>(buffers) : 0);
+    std::vector<std::string> phase_names;
+    if (profiler) {
+        phase_names.reserve(entries_.size());
+        for (const Entry &entry : entries_) {
+            std::string name = entry.name;
+            for (char &c : name)
+                if (c == '/')
+                    c = ':';
+            phase_names.push_back(std::move(name));
+        }
+    }
+
     const auto runCell = [&](std::int64_t index) {
         const Cell &cell = cells[static_cast<std::size_t>(index)];
         const Entry &entry =
             entries_[static_cast<std::size_t>(cell.job)];
+        const int prof_slot = pool ? pool->workerSlot() : 0;
+        obs::ScopedPhase cell_phase(
+            profiler
+                ? &worker_prof[static_cast<std::size_t>(prof_slot)]
+                : nullptr,
+            profiler ? phase_names[static_cast<std::size_t>(cell.job)]
+                     : std::string_view());
         const std::int64_t ts = trace ? trace->nowMicros() : 0;
         PointOutcome outcome;
         if (entry.is_sweep) {
@@ -175,6 +200,9 @@ Campaign::run(ThreadPool *pool, obs::TraceEventSink *trace) const
             runCell(i);
 
     // Barrier passed: merge the per-worker buffers and finalize.
+    if (profiler)
+        for (const obs::Profiler &wp : worker_prof)
+            profiler->merge(wp, "campaign");
     if (trace) {
         const int workers = pool ? pool->size() : 0;
         for (int w = 0; w < workers; ++w)

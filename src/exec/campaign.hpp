@@ -27,6 +27,7 @@
 
 #include "exec/sweep_runner.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_event.hpp"
 
 namespace wss::exec {
@@ -93,10 +94,14 @@ class Campaign
      * the calling thread. @p trace, when given, records one span per
      * cell on per-worker tracks (args: job, kind, and for sweep
      * cells repetition/rate_index/rate) plus thread-name metadata —
-     * deterministic in content at any pool size.
+     * deterministic in content at any pool size. @p profiler, when
+     * given, accumulates one "campaign/<job>" phase per cell (job
+     * names are '/'-sanitized): workers time into per-worker
+     * profilers merged into @p profiler after the barrier.
      */
     CampaignResult run(ThreadPool *pool = nullptr,
-                       obs::TraceEventSink *trace = nullptr) const;
+                       obs::TraceEventSink *trace = nullptr,
+                       obs::Profiler *profiler = nullptr) const;
 
   private:
     struct Entry

@@ -54,7 +54,8 @@ SweepRunner::runPoint(int repetition, int rate_index) const
 }
 
 SweepRunOutput
-SweepRunner::run(ThreadPool *pool, obs::TraceEventSink *trace) const
+SweepRunner::run(ThreadPool *pool, obs::TraceEventSink *trace,
+                 obs::Profiler *profiler) const
 {
     const auto start = std::chrono::steady_clock::now();
     const auto reps = static_cast<std::int64_t>(job_.repetitions);
@@ -62,15 +63,25 @@ SweepRunner::run(ThreadPool *pool, obs::TraceEventSink *trace) const
 
     std::vector<PointOutcome> outcomes(
         static_cast<std::size_t>(reps * rates));
+    // Workers time into their own profiler (slot pool->size() is the
+    // calling thread), merged into @p profiler after the barrier —
+    // the same per-worker-buffer pattern Campaign uses for timing.
+    std::vector<obs::Profiler> worker_prof(
+        profiler ? static_cast<std::size_t>(pool ? pool->size() + 1 : 1)
+                 : 0);
     const auto runCell = [&](std::int64_t index) {
         const int rep = static_cast<int>(index / rates);
         const int ri = static_cast<int>(index % rates);
+        const int slot = pool ? pool->workerSlot() : 0;
         const std::int64_t ts = trace ? trace->nowMicros() : 0;
+        obs::ScopedPhase cell_phase(
+            profiler ? &worker_prof[static_cast<std::size_t>(slot)]
+                     : nullptr,
+            "point");
         outcomes[static_cast<std::size_t>(index)] = runPoint(rep, ri);
         if (trace)
             trace->complete(
-                "sweep point", "sweep",
-                pool ? pool->workerSlot() : 0, ts,
+                "sweep point", "sweep", slot, ts,
                 trace->nowMicros() - ts,
                 {obs::TraceArg::num("repetition",
                                     static_cast<std::int64_t>(rep)),
@@ -85,6 +96,10 @@ SweepRunner::run(ThreadPool *pool, obs::TraceEventSink *trace) const
     else
         for (std::int64_t i = 0; i < reps * rates; ++i)
             runCell(i);
+
+    if (profiler)
+        for (const obs::Profiler &wp : worker_prof)
+            profiler->merge(wp, "sweep");
 
     return finalizeSweepRun(job_, std::move(outcomes),
                             elapsedSeconds(start));

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_event.hpp"
 #include "sim/load_sweep.hpp"
 #include "util/seed.hpp"
@@ -95,8 +96,12 @@ class SweepRunner
     /// one span per cell on per-worker tracks (args: repetition,
     /// rate_index, rate) — the span *content* is deterministic at any
     /// pool size, only timestamps and track assignment vary.
+    /// @p profiler, when given, accumulates one "sweep/point" phase
+    /// per cell: workers time into per-worker profilers (no lock on
+    /// the hot path) that merge into @p profiler after the barrier.
     SweepRunOutput run(ThreadPool *pool = nullptr,
-                       obs::TraceEventSink *trace = nullptr) const;
+                       obs::TraceEventSink *trace = nullptr,
+                       obs::Profiler *profiler = nullptr) const;
 
     /// Execute a single cell (the unit the pool schedules).
     PointOutcome runPoint(int repetition, int rate_index) const;

@@ -93,7 +93,8 @@ ResilienceCampaign::ResilienceCampaign(ResilienceConfig config)
 
 ResilienceResult
 ResilienceCampaign::run(exec::ThreadPool *pool,
-                        obs::TraceEventSink *trace) const
+                        obs::TraceEventSink *trace,
+                        obs::Profiler *profiler) const
 {
     const auto &cfg = config_;
     const std::size_t n_r = cfg.radices.size();
@@ -132,7 +133,7 @@ ResilienceCampaign::run(exec::ThreadPool *pool,
     }
 
     const exec::CampaignResult campaign_result =
-        campaign.run(pool, trace);
+        campaign.run(pool, trace, profiler);
     result.wall_seconds = campaign_result.wall_seconds;
     result.threads = campaign_result.threads;
     for (std::size_t i = 0; i < result.cells.size(); ++i)

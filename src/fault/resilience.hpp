@@ -32,6 +32,7 @@
 #include "exec/thread_pool.hpp"
 #include "fault/defect.hpp"
 #include "fault/degrade.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_event.hpp"
 #include "power/ssc.hpp"
 #include "sim/simulator.hpp"
@@ -150,8 +151,10 @@ class ResilienceCampaign
 
     /// @p trace, when given, records one span per grid cell on
     /// per-worker tracks (design-point labels in the args).
+    /// @p profiler accumulates one "campaign/<cell>" phase per cell.
     ResilienceResult run(exec::ThreadPool *pool = nullptr,
-                         obs::TraceEventSink *trace = nullptr) const;
+                         obs::TraceEventSink *trace = nullptr,
+                         obs::Profiler *profiler = nullptr) const;
 
     const ResilienceConfig &config() const { return config_; }
 

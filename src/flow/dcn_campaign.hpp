@@ -31,6 +31,7 @@
 #include "flow/flow_sim.hpp"
 #include "flow/switch_profile.hpp"
 #include "flow/workload.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_event.hpp"
 
 namespace wss::flow {
@@ -108,9 +109,12 @@ class DcnCampaign
     explicit DcnCampaign(DcnCampaignConfig config);
 
     /// @p pool nullptr runs serially. @p trace records one span per
-    /// cell on per-worker tracks.
+    /// cell on per-worker tracks. @p profiler accumulates one
+    /// "campaign/<cell>" phase per cell (merged across workers after
+    /// the barrier).
     DcnResult run(exec::ThreadPool *pool = nullptr,
-                  obs::TraceEventSink *trace = nullptr) const;
+                  obs::TraceEventSink *trace = nullptr,
+                  obs::Profiler *profiler = nullptr) const;
 
     const DcnCampaignConfig &config() const { return config_; }
 

@@ -1,10 +1,13 @@
 #include "flow/flow_sim.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <limits>
+#include <ostream>
 #include <utility>
 
+#include "util/artifact.hpp"
 #include "util/logging.hpp"
 #include "util/stats_accumulator.hpp"
 
@@ -13,6 +16,17 @@ namespace wss::flow {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Shortest round-trip decimal form (same idiom as
+/// SimObservation::dumpCsv), so telemetry CSVs are bit-identical
+/// across runs and lossless to parse back.
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
 /// Residual bytes below which a transfer counts as delivered —
 /// far under one byte yet far above the fp error of advancing a
 /// multi-megabyte flow to its own completion instant.
@@ -51,12 +65,109 @@ verifyFlowConservation(std::int64_t started, std::int64_t completed,
               " + in-flight=", in_flight);
 }
 
+std::int64_t
+FlowTelemetry::totalStarted() const
+{
+    std::int64_t total = 0;
+    for (const Window &w : windows)
+        total += w.started;
+    return total;
+}
+
+std::int64_t
+FlowTelemetry::totalCompleted() const
+{
+    std::int64_t total = 0;
+    for (const Window &w : windows)
+        total += w.completed;
+    return total;
+}
+
+std::int64_t
+FlowTelemetry::totalFailed() const
+{
+    std::int64_t total = 0;
+    for (const Window &w : windows)
+        total += w.failed;
+    return total;
+}
+
+double
+FlowTelemetry::linkUtilization(std::size_t w, std::size_t link) const
+{
+    if (w >= windows.size() || link >= link_capacity_bps.size())
+        panic("FlowTelemetry::linkUtilization: window ", w, "/link ",
+              link, " out of range (", windows.size(), " windows, ",
+              link_capacity_bps.size(), " links)");
+    const double cap = link_capacity_bps[link];
+    if (cap <= 0.0 || window_s <= 0.0)
+        return 0.0;
+    const auto &bytes = windows[w].link_bytes;
+    return (link < bytes.size() ? bytes[link] : 0.0) /
+           (cap * window_s);
+}
+
+void
+FlowTelemetry::dumpCsv(std::ostream &os) const
+{
+    os << "# wss flow telemetry\n";
+    os << "# windows=" << windows.size() << " window_s="
+       << formatDouble(window_s) << " links="
+       << link_capacity_bps.size() << "\n";
+    os << "record,window,scope,metric,value\n";
+
+    for (std::size_t l = 0; l < link_capacity_bps.size(); ++l)
+        os << "capacity,run,t" << l << ",bytes_per_s,"
+           << formatDouble(link_capacity_bps[l]) << "\n";
+
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+        const Window &win = windows[w];
+        os << "window," << w << ",-,started," << win.started << "\n";
+        os << "window," << w << ",-,completed," << win.completed
+           << "\n";
+        os << "window," << w << ",-,failed," << win.failed << "\n";
+        os << "window," << w << ",-,in_flight_end,"
+           << win.in_flight_end << "\n";
+        os << "window," << w << ",-,completed_bytes,"
+           << formatDouble(win.completed_bytes) << "\n";
+    }
+
+    // Only trunks that carried bytes: quiet links would dominate the
+    // file without informing the congestion picture.
+    for (std::size_t w = 0; w < windows.size(); ++w)
+        for (std::size_t l = 0; l < windows[w].link_bytes.size(); ++l)
+            if (windows[w].link_bytes[l] > 0.0) {
+                os << "link," << w << ",t" << l << ",bytes,"
+                   << formatDouble(windows[w].link_bytes[l]) << "\n";
+                os << "link," << w << ",t" << l << ",utilization,"
+                   << formatDouble(linkUtilization(w, l)) << "\n";
+            }
+
+    double total_bytes = 0.0;
+    for (const Window &w : windows)
+        total_bytes += w.completed_bytes;
+    os << "total,run,-,started," << totalStarted() << "\n";
+    os << "total,run,-,completed," << totalCompleted() << "\n";
+    os << "total,run,-,failed," << totalFailed() << "\n";
+    os << "total,run,-,completed_bytes," << formatDouble(total_bytes)
+       << "\n";
+}
+
+void
+FlowTelemetry::dumpCsvFile(const std::string &path) const
+{
+    util::writeArtifactFile(path, "FlowTelemetry",
+                            [this](std::ostream &os) { dumpCsv(os); });
+}
+
 FlowSimResult
 simulateFlows(DcnTopology &topo, const SwitchProfile &profile,
               const std::vector<FlowArrival> &flows,
               const fault::DcnFaultSchedule &faults,
               const FlowSimConfig &cfg)
 {
+    obs::ScopedPhase run_phase(cfg.profiler, "flow-sim");
+
     const std::int64_t hosts = topo.hostCount();
     if (hosts < 1)
         fatal("simulateFlows: topology has no hosts");
@@ -110,6 +221,35 @@ simulateFlows(DcnTopology &topo, const SwitchProfile &profile,
     fct_q.reserve(flows.size());
     slow_q.reserve(flows.size());
 
+    // --- telemetry (pure observation: nothing below feeds back into
+    // the event sequence, so results are bit-identical on/off) ------
+    std::shared_ptr<FlowTelemetry> telemetry;
+    if (cfg.telemetry_window_s > 0.0) {
+        telemetry = std::make_shared<FlowTelemetry>();
+        telemetry->window_s = cfg.telemetry_window_s;
+        telemetry->link_capacity_bps.resize(topo.links().size());
+        for (std::size_t l = 0; l < topo.links().size(); ++l)
+            telemetry->link_capacity_bps[l] =
+                topo.links()[l].gbps * 1e9 / 8.0 * sat;
+    }
+    const auto windowAt = [&](double t) -> FlowTelemetry::Window & {
+        const auto w = static_cast<std::size_t>(
+            std::max(t, 0.0) / telemetry->window_s);
+        while (telemetry->windows.size() <= w) {
+            telemetry->windows.emplace_back();
+            telemetry->windows.back().link_bytes.resize(
+                topo.links().size(), 0.0);
+        }
+        return telemetry->windows[w];
+    };
+    const auto recordFlow = [&](std::uint64_t id, std::int64_t src,
+                                std::int64_t dst, double bytes,
+                                double fct, bool failed_flow) {
+        if (cfg.flow_records)
+            cfg.flow_records->push_back(
+                {id, src, dst, bytes, fct, failed_flow});
+    };
+
     // --- engine state --------------------------------------------
     std::vector<ActiveFlow> active;
     std::vector<std::vector<int>> users(n_res);
@@ -146,6 +286,7 @@ simulateFlows(DcnTopology &topo, const SwitchProfile &profile,
     // at its fair share, deduct, repeat — textbook max-min. Only
     // resources touched by active flows are visited.
     const auto recompute = [&]() {
+        obs::ScopedPhase phase(cfg.profiler, "waterfill");
         const int n = static_cast<int>(active.size());
         for (int f = 0; f < n; ++f)
             for (int r : active[static_cast<std::size_t>(f)].res) {
@@ -233,6 +374,11 @@ simulateFlows(DcnTopology &topo, const SwitchProfile &profile,
         ++completed;
         c_completed.inc();
         last_completion = std::max(last_completion, finish_s);
+        if (telemetry) {
+            FlowTelemetry::Window &w = windowAt(finish_s);
+            ++w.completed;
+            w.completed_bytes += bytes;
+        }
     };
 
     const auto idealSeconds = [&](double bytes, std::size_t hops) {
@@ -245,6 +391,7 @@ simulateFlows(DcnTopology &topo, const SwitchProfile &profile,
         const double fct = (now - f.arrival_s) + f.latency_s;
         recordCompletion(fct, idealSeconds(f.bytes, f.switches.size()),
                          f.bytes, now);
+        recordFlow(f.id, f.src, f.dst, f.bytes, fct, false);
     };
 
     const auto applyFault = [&](const fault::DcnFaultEvent &ev) {
@@ -298,9 +445,35 @@ simulateFlows(DcnTopology &topo, const SwitchProfile &profile,
         t_next = std::max(t_next, now);
 
         const double dt = t_next - now;
-        if (dt > 0.0)
+        if (dt > 0.0) {
             for (auto &f : active)
                 f.remaining -= f.rate * dt;
+            if (telemetry)
+                // Attribute each flow's bytes to its trunks, split at
+                // window boundaries so per-window link totals are
+                // exact.
+                for (const auto &f : active) {
+                    if (f.rate <= 0.0)
+                        continue;
+                    double a = now;
+                    while (a < t_next) {
+                        FlowTelemetry::Window &w = windowAt(a);
+                        double b = std::min(
+                            t_next,
+                            (std::floor(a / telemetry->window_s) +
+                             1.0) *
+                                telemetry->window_s);
+                        // fp guard: a window boundary that fails to
+                        // advance past `a` would loop forever.
+                        if (b <= a)
+                            b = t_next;
+                        for (int l : f.links)
+                            w.link_bytes[static_cast<std::size_t>(
+                                l)] += f.rate * (b - a);
+                        a = b;
+                    }
+                }
+        }
         now = t_next;
 
         bool membership_changed = false;
@@ -358,6 +531,10 @@ simulateFlows(DcnTopology &topo, const SwitchProfile &profile,
                 } else {
                     ++failed;
                     c_failed.inc();
+                    if (telemetry)
+                        ++windowAt(now).failed;
+                    recordFlow(f.id, f.src, f.dst, f.bytes,
+                               now - f.arrival_s, true);
                     active[i] = std::move(active.back());
                     active.pop_back();
                 }
@@ -370,6 +547,8 @@ simulateFlows(DcnTopology &topo, const SwitchProfile &profile,
             const auto &a = flows[i_arr++];
             ++started;
             c_started.inc();
+            if (telemetry)
+                ++windowAt(now).started;
             if (a.src_host == a.dst_host) {
                 // Host loopback: the bytes never cross a NIC, trunk
                 // or switch — complete at line rate, zero hops,
@@ -378,11 +557,17 @@ simulateFlows(DcnTopology &topo, const SwitchProfile &profile,
                 hops_acc.add(0.0);
                 recordCompletion((now - a.arrival_s) + xfer, xfer,
                                  a.bytes, now + xfer);
+                recordFlow(a.id, a.src_host, a.dst_host, a.bytes,
+                           (now - a.arrival_s) + xfer, false);
                 continue;
             }
             if (!topo.route(a.src_host, a.dst_host, a.id, &path)) {
                 ++failed;
                 c_failed.inc();
+                if (telemetry)
+                    ++windowAt(now).failed;
+                recordFlow(a.id, a.src_host, a.dst_host, a.bytes,
+                           0.0, true);
                 continue;
             }
             ActiveFlow f;
@@ -403,6 +588,8 @@ simulateFlows(DcnTopology &topo, const SwitchProfile &profile,
                                  idealSeconds(a.bytes,
                                               f.switches.size()),
                                  a.bytes, now);
+                recordFlow(a.id, a.src_host, a.dst_host, a.bytes,
+                           (now - a.arrival_s) + f.latency_s, false);
                 continue;
             }
             active.push_back(std::move(f));
@@ -411,6 +598,11 @@ simulateFlows(DcnTopology &topo, const SwitchProfile &profile,
 
         if (membership_changed)
             recompute();
+        if (telemetry)
+            // Gauge semantics: the last event batch of each window
+            // leaves its in-flight count behind.
+            windowAt(now).in_flight_end =
+                static_cast<std::int64_t>(active.size());
         verifyFlowConservation(started, completed, failed,
                                static_cast<std::int64_t>(active.size()));
     }
@@ -439,6 +631,31 @@ simulateFlows(DcnTopology &topo, const SwitchProfile &profile,
         result.slowdown_p50 = slow_q.quantile(0.50);
         result.slowdown_p99 = slow_q.quantile(0.99);
         result.slowdown_p999 = slow_q.quantile(0.999);
+    }
+    result.telemetry = telemetry;
+
+    if (cfg.trace && telemetry) {
+        // Counter samples at window-close instants: Perfetto renders
+        // the in-flight gauge and the busiest-link utilization as
+        // time series on their own allocated track.
+        const int tel_tid =
+            cfg.trace->allocateTrack(cfg.trace_label + "/telemetry");
+        for (std::size_t w = 0; w < telemetry->windows.size(); ++w) {
+            const auto ts = static_cast<std::int64_t>(
+                (static_cast<double>(w) + 1.0) *
+                telemetry->window_s * 1e6);
+            cfg.trace->counter(
+                "in_flight", "flow", tel_tid, ts,
+                static_cast<double>(
+                    telemetry->windows[w].in_flight_end));
+            double max_util = 0.0;
+            for (std::size_t l = 0;
+                 l < telemetry->windows[w].link_bytes.size(); ++l)
+                max_util =
+                    std::max(max_util, telemetry->linkUtilization(w, l));
+            cfg.trace->counter("max_link_utilization", "flow",
+                               tel_tid, ts, max_util);
+        }
     }
 
     if (cfg.trace) {

@@ -24,6 +24,8 @@
 #define WSS_FLOW_FLOW_SIM_HPP
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,9 +34,25 @@
 #include "flow/switch_profile.hpp"
 #include "flow/workload.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_event.hpp"
 
 namespace wss::flow {
+
+/// One terminal flow outcome, appended to
+/// FlowSimConfig::flow_records when that is set. coll:: turns these
+/// into per-rank Gantt spans.
+struct FlowRecord
+{
+    std::uint64_t id = 0;
+    std::int64_t src = 0;
+    std::int64_t dst = 0;
+    double bytes = 0.0;
+    /// Completion time (transfer + calibrated latency) for completed
+    /// flows; time spent in flight before failing otherwise.
+    double fct_s = 0.0;
+    bool failed = false;
+};
 
 /// Optional instrumentation of one simulateFlows() run.
 struct FlowSimConfig
@@ -50,6 +68,63 @@ struct FlowSimConfig
     std::string trace_label = "flow-sim";
     /// Trace track id to record on.
     int trace_tid = 0;
+    /// Scoped phase timers ("flow-sim" with "waterfill" nested) when
+    /// set. Like metrics: nullptr costs one predicted branch.
+    obs::Profiler *profiler = nullptr;
+    /// > 0 collects windowed time-resolved telemetry
+    /// (FlowSimResult::telemetry) with this window length in
+    /// simulated seconds; 0 (default) disables it. Purely additive:
+    /// the behavioural results are bit-identical either way.
+    double telemetry_window_s = 0.0;
+    /// When set, every terminal flow outcome (completed or failed)
+    /// appends one FlowRecord here, in event order.
+    std::vector<FlowRecord> *flow_records = nullptr;
+};
+
+/**
+ * Windowed time series of one simulateFlows() run: where congestion
+ * lives, and when. Per window: flow start/completion/failure counts,
+ * the in-flight gauge at window close, delivered bytes, and bytes
+ * carried per trunk (so per-link utilization over time falls out).
+ * Integer totals reconcile exactly with the run's counters
+ * (ctest-asserted) — every event lands in exactly one window.
+ */
+struct FlowTelemetry
+{
+    /// Window length (simulated seconds).
+    double window_s = 0.0;
+    /// Derated capacity (bytes/s) per trunk, for utilization.
+    std::vector<double> link_capacity_bps;
+    struct Window
+    {
+        std::int64_t started = 0;
+        std::int64_t completed = 0;
+        std::int64_t failed = 0;
+        /// Active flows when the window's last event batch ended.
+        std::int64_t in_flight_end = 0;
+        /// Bytes delivered by flows completing in this window.
+        double completed_bytes = 0.0;
+        /// Bytes carried per trunk during this window.
+        std::vector<double> link_bytes;
+    };
+    /// Window k covers [k*window_s, (k+1)*window_s).
+    std::vector<Window> windows;
+
+    std::int64_t totalStarted() const;
+    std::int64_t totalCompleted() const;
+    std::int64_t totalFailed() const;
+
+    /// Mean utilization of @p link during window @p w (0 when the
+    /// trunk has no capacity).
+    double linkUtilization(std::size_t w, std::size_t link) const;
+
+    /// Long-format CSV, same shape as SimObservation::dumpCsv:
+    /// `record,window,scope,metric,value` with record ∈ {capacity,
+    /// window, link, total}. Link rows are emitted only for trunks
+    /// that carried bytes in that window.
+    void dumpCsv(std::ostream &os) const;
+    /// Flush-checked file counterpart (util::writeArtifactFile).
+    void dumpCsvFile(const std::string &path) const;
 };
 
 /// What one flow-level run produced.
@@ -87,6 +162,9 @@ struct FlowSimResult
     double slowdown_p999 = 0.0;
     /// Mean switches traversed per started flow.
     double avg_hops = 0.0;
+    /// Windowed time series; null unless
+    /// FlowSimConfig::telemetry_window_s > 0.
+    std::shared_ptr<FlowTelemetry> telemetry;
 };
 
 /**

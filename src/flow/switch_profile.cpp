@@ -361,8 +361,10 @@ SwitchProfile::loadJsonFile(const std::string &path)
 SwitchProfile
 calibrateSwitchProfile(const CalibrationSpec &spec,
                        exec::ThreadPool *pool,
-                       obs::TraceEventSink *trace)
+                       obs::TraceEventSink *trace,
+                       obs::Profiler *profiler)
 {
+    obs::ScopedPhase calibrate_phase(profiler, "calibrate");
     if (spec.ports <= 0)
         fatal("calibrateSwitchProfile: need a positive port count");
     if (spec.ssc.radix <= 0)
@@ -387,7 +389,8 @@ calibrateSwitchProfile(const CalibrationSpec &spec,
     job.cfg = spec.sim_cfg;
     job.repetitions = 1;
 
-    const auto output = exec::SweepRunner(std::move(job)).run(pool, trace);
+    const auto output =
+        exec::SweepRunner(std::move(job)).run(pool, trace, profiler);
     const sim::SweepResult &sweep = output.combined;
 
     SwitchProfile profile;

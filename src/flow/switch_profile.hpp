@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_event.hpp"
 #include "power/ssc.hpp"
 #include "sim/simulator.hpp"
@@ -134,10 +135,13 @@ struct CalibrationSpec
  * pool parallelizes the sweep while the profile stays bit-identical
  * to the serial run. Unstable (saturated) points contribute to the
  * saturation estimate but are excluded from the latency curve.
+ * @p profiler, when given, times the whole calibration as a
+ * "calibrate" phase with the sweep's per-point phases nested below.
  */
 SwitchProfile calibrateSwitchProfile(const CalibrationSpec &spec,
                                      exec::ThreadPool *pool = nullptr,
-                                     obs::TraceEventSink *trace = nullptr);
+                                     obs::TraceEventSink *trace = nullptr,
+                                     obs::Profiler *profiler = nullptr);
 
 } // namespace wss::flow
 

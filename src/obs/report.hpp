@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Post-run reporting: one manifest in, one human-readable story out.
+ *
+ * `wss report` points this engine at a RunManifest. It resolves the
+ * manifest's artifact inventory (paths as recorded, else relative to
+ * the manifest's own directory), re-hashes every artifact against the
+ * recorded FNV-1a content hash, parses the long-format telemetry CSVs
+ * (flow windows, collective steps), and renders:
+ *
+ *   - self-contained Markdown: run identity and configuration, the
+ *     top self-time phases from the manifest's timing section, the
+ *     hottest links over time, the per-step collective breakdown,
+ *     and a health-check table (artifact hashes, flow conservation,
+ *     telemetry-vs-counter reconciliation, saturation flags);
+ *   - machine-readable report JSON with the same content for
+ *     dashboards and CI (valid per python3 -m json.tool, checked by
+ *     tools/check.sh).
+ *
+ * The reporter is read-only and deterministic: same manifest and
+ * artifacts, same report bytes (no timestamps).
+ */
+
+#ifndef WSS_OBS_REPORT_HPP
+#define WSS_OBS_REPORT_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wss::obs {
+
+/// One pass/fail line of the report's health section.
+struct ReportCheck
+{
+    std::string name;
+    bool ok = false;
+    std::string detail;
+};
+
+/// What to report on, and how much of it.
+struct ReportOptions
+{
+    /// Manifest to load (required).
+    std::string manifest_path;
+    /// Rows in the self-time phase table.
+    std::size_t top_phases = 12;
+    /// Rows in the hottest-links table.
+    std::size_t top_links = 10;
+    /// Utilization above this flags a link-window as saturated.
+    double saturation_threshold = 0.95;
+};
+
+/// A fully rendered report.
+struct RunReport
+{
+    /// Self-contained Markdown document.
+    std::string markdown;
+    /// Machine-readable counterpart ("wss_run_report" marker).
+    std::string json;
+    /// The health checks, in render order.
+    std::vector<ReportCheck> checks;
+
+    /// True when every health check passed.
+    bool ok() const;
+
+    /// Write markdown/json to @p path through a flush-checked stream.
+    void writeMarkdownFile(const std::string &path) const;
+    void writeJsonFile(const std::string &path) const;
+};
+
+/**
+ * Load @p opts.manifest_path, resolve and verify its artifacts, and
+ * render the report. fatal() only when the manifest itself is
+ * missing or malformed; a missing or corrupt *artifact* degrades to
+ * a failed health check so one lost file cannot hide the rest of
+ * the story.
+ */
+RunReport buildRunReport(const ReportOptions &opts);
+
+} // namespace wss::obs
+
+#endif // WSS_OBS_REPORT_HPP

@@ -132,6 +132,43 @@ TraceEventSink::instant(std::string name, std::string category,
 }
 
 void
+TraceEventSink::counter(std::string name, std::string category,
+                        int tid, std::int64_t ts_us, double value)
+{
+    Event event;
+    event.phase = 'C';
+    event.name = std::move(name);
+    event.category = std::move(category);
+    event.tid = tid;
+    event.ts = ts_us;
+    event.args.push_back(TraceArg::num("value", value));
+    push(std::move(event));
+}
+
+int
+TraceEventSink::allocateTrack(const std::string &name)
+{
+    // The metadata event is appended inline rather than via push():
+    // the track id and its thread_name must land under one lock so
+    // two racing allocations of different names cannot interleave.
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = tracks_.find(name);
+    if (it != tracks_.end())
+        return it->second;
+    const int tid =
+        kFirstAllocatedTrack + static_cast<int>(tracks_.size());
+    tracks_.emplace(name, tid);
+    Event event;
+    event.phase = 'M';
+    event.name = "thread_name";
+    event.tid = tid;
+    event.args.push_back(TraceArg::str("name", name));
+    event.seq = next_seq_++;
+    events_.push_back(std::move(event));
+    return tid;
+}
+
+void
 TraceEventSink::setProcessName(std::string name)
 {
     Event event;

@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -63,6 +64,28 @@ class TraceEventSink
     void instant(std::string name, std::string category, int tid,
                  std::int64_t ts_us, std::vector<TraceArg> args = {});
 
+    /// A counter sample ("C"): Perfetto renders successive samples of
+    /// the same @p name as a time series — used for the flow
+    /// simulator's in-flight gauge and link-utilization telemetry.
+    void counter(std::string name, std::string category, int tid,
+                 std::int64_t ts_us, double value);
+
+    /// Track ids handed out by allocateTrack() start here; the ids
+    /// below are the callers' own (exec::Campaign uses worker slots
+    /// 0..N), so allocated tracks can never collide with them.
+    static constexpr int kFirstAllocatedTrack = 1000;
+
+    /**
+     * Sink-owned track allocation: the first call with a given
+     * @p name claims the next free track id (kFirstAllocatedTrack
+     * upward, in first-call order) and emits its thread_name
+     * metadata; later calls with the same name return the same id.
+     * This replaces ad-hoc per-call-site tid constants, which
+     * collided as soon as two subsystems (flow + coll) logged into
+     * one sink. Thread-safe.
+     */
+    int allocateTrack(const std::string &name);
+
     /// Label the process row in the viewer.
     void setProcessName(std::string name);
 
@@ -87,7 +110,8 @@ class TraceEventSink
   private:
     struct Event
     {
-        char phase = 'X'; // X = complete, i = instant, M = metadata
+        // X = complete, i = instant, C = counter, M = metadata
+        char phase = 'X';
         std::string name;
         std::string category;
         int tid = 0;
@@ -102,6 +126,7 @@ class TraceEventSink
     mutable std::mutex mutex_;
     std::vector<Event> events_;
     std::uint64_t next_seq_ = 0;
+    std::map<std::string, int> tracks_;
     std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -6,12 +6,15 @@
  * cross-check (alpha-beta == flow level on an uncongested single
  * switch, cycle-accurate fabric within quantization tolerance), the
  * parallelism-plan composer, and mid-collective fault injection.
+ * Telemetry: the per-step per-rank Gantt reconciles exactly with the
+ * run's counters and never perturbs the results.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -538,6 +541,159 @@ TEST(CollCampaign, UnsupportedSpecDiesLoudly)
     EXPECT_DEATH(
         buildSchedule({Collective::ReduceScatter, Algorithm::Tree}, 8),
         "no");
+}
+
+// --- Telemetry -------------------------------------------------------
+
+TEST(CollTelemetry, StepsReconcileExactlyWithTheResult)
+{
+    const flow::SwitchProfile profile = testProfile("t", 64);
+    flow::DcnTopology topo =
+        flow::DcnTopology::buildFatTree(8, 64, 200.0);
+    const Schedule s = allReduceSchedule(Algorithm::Ring, 8);
+    CollExecConfig cfg;
+    cfg.telemetry = true;
+    const CollExecResult r = executeOnDcn(s, 1 << 20, topo, profile, cfg);
+    ASSERT_NE(r.telemetry, nullptr);
+    const CollTelemetry &t = *r.telemetry;
+
+    EXPECT_EQ(t.ranks, 8);
+    ASSERT_EQ(static_cast<int>(t.steps.size()), r.steps);
+    EXPECT_EQ(t.totalMessages(), r.messages);
+    EXPECT_EQ(t.totalFailed(), r.failed_messages);
+    // Step-order accumulation, so bit-identical — EXPECT_EQ, not
+    // NEAR.
+    EXPECT_EQ(t.totalBytes(), r.bytes_on_wire);
+
+    // The Gantt data is populated and causally ordered: step k+1's
+    // barrier releases when step k's slowest flow is done.
+    double clock = 0.0;
+    for (const CollTelemetry::Step &step : t.steps) {
+        EXPECT_EQ(step.start_s, clock);
+        EXPECT_GT(step.seconds, 0.0);
+        EXPECT_GT(step.messages, 0);
+        ASSERT_EQ(step.rank_busy_s.size(), 8u);
+        ASSERT_EQ(step.rank_bytes.size(), 8u);
+        double busiest = 0.0;
+        for (double busy : step.rank_busy_s) {
+            EXPECT_GE(busy, 0.0);
+            busiest = std::max(busiest, busy);
+        }
+        // The step span is its slowest rank's slowest flow.
+        EXPECT_LE(busiest, step.seconds + 1e-12);
+        clock += step.seconds;
+    }
+    EXPECT_NEAR(clock, r.seconds, 1e-12 * std::max(1.0, r.seconds));
+}
+
+TEST(CollTelemetry, FaultedRunAccountsFailedMessages)
+{
+    const flow::SwitchProfile profile = testProfile("t", 8);
+    flow::DcnTopology topo =
+        flow::DcnTopology::buildFatTree(16, 8, 200.0);
+    const Schedule s = allReduceSchedule(Algorithm::Ring, 16);
+    CollExecConfig cfg;
+    cfg.telemetry = true;
+    cfg.fault.at_step = 1;
+    cfg.fault.kill_switch = true;
+    cfg.fault.id = topo.edgeOf(0);
+    const CollExecResult r = executeOnDcn(s, 1 << 16, topo, profile, cfg);
+    ASSERT_NE(r.telemetry, nullptr);
+    ASSERT_GT(r.failed_messages, 0);
+    EXPECT_EQ(r.telemetry->totalFailed(), r.failed_messages);
+    EXPECT_EQ(r.telemetry->totalMessages(), r.messages);
+    EXPECT_EQ(r.telemetry->totalBytes(), r.bytes_on_wire);
+    // Failures only exist from the faulted step onward.
+    for (const CollTelemetry::Step &step : r.telemetry->steps) {
+        if (step.step < cfg.fault.at_step) {
+            EXPECT_EQ(step.failed, 0) << "step " << step.step;
+        }
+    }
+}
+
+TEST(CollTelemetry, ResultsAreBitIdenticalWithTelemetryOnOrOff)
+{
+    const flow::SwitchProfile profile = testProfile("t", 64);
+    const Schedule s = allToAllSchedule(8);
+
+    flow::DcnTopology topo_off =
+        flow::DcnTopology::buildFatTree(8, 64, 200.0);
+    const CollExecResult off =
+        executeOnDcn(s, 1 << 20, topo_off, profile);
+
+    flow::DcnTopology topo_on =
+        flow::DcnTopology::buildFatTree(8, 64, 200.0);
+    CollExecConfig cfg;
+    cfg.telemetry = true;
+    const CollExecResult on =
+        executeOnDcn(s, 1 << 20, topo_on, profile, cfg);
+
+    EXPECT_EQ(off.telemetry, nullptr);
+    ASSERT_NE(on.telemetry, nullptr);
+    EXPECT_EQ(off.seconds, on.seconds);
+    EXPECT_EQ(off.algbw_gbps, on.algbw_gbps);
+    EXPECT_EQ(off.busbw_gbps, on.busbw_gbps);
+    EXPECT_EQ(off.steps, on.steps);
+    EXPECT_EQ(off.messages, on.messages);
+    EXPECT_EQ(off.bytes_on_wire, on.bytes_on_wire);
+    EXPECT_EQ(off.failed_messages, on.failed_messages);
+}
+
+TEST(CollTelemetry, DumpCsvIsWellFormedLongFormat)
+{
+    const flow::SwitchProfile profile = testProfile("t", 64);
+    flow::DcnTopology topo =
+        flow::DcnTopology::buildFatTree(8, 64, 200.0);
+    const Schedule s = allReduceSchedule(Algorithm::Ring, 8);
+    CollExecConfig cfg;
+    cfg.telemetry = true;
+    const CollExecResult r = executeOnDcn(s, 1 << 20, topo, profile, cfg);
+    ASSERT_NE(r.telemetry, nullptr);
+
+    std::ostringstream os;
+    r.telemetry->dumpCsv(os);
+    std::istringstream in(os.str());
+    std::string line;
+    bool saw_header = false;
+    std::map<std::string, int> kinds;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (line == "record,step,scope,metric,value") {
+            saw_header = true;
+            continue;
+        }
+        EXPECT_EQ(std::count(line.begin(), line.end(), ','), 4)
+            << line;
+        kinds[line.substr(0, line.find(','))]++;
+    }
+    EXPECT_TRUE(saw_header);
+    EXPECT_GT(kinds["step"], 0);
+    EXPECT_GT(kinds["rank"], 0);
+    EXPECT_GT(kinds["total"], 0);
+}
+
+TEST(CollTelemetry, PerRankTraceTracksDoNotCollide)
+{
+    const flow::SwitchProfile profile = testProfile("t", 64);
+    flow::DcnTopology topo =
+        flow::DcnTopology::buildFatTree(8, 64, 200.0);
+    const Schedule s = allReduceSchedule(Algorithm::Ring, 8);
+    obs::TraceEventSink trace;
+    // Claim a track first, as wss coll does for its campaign lanes:
+    // telemetry tracks must allocate around it, never on top of it.
+    const int claimed = trace.allocateTrack("campaign");
+    CollExecConfig cfg;
+    cfg.telemetry = true;
+    cfg.trace = &trace;
+    cfg.trace_label = "coll-observed";
+    executeOnDcn(s, 1 << 20, topo, profile, cfg);
+    EXPECT_GE(trace.size(), 1u);
+    EXPECT_GE(claimed, obs::TraceEventSink::kFirstAllocatedTrack);
+    // The sink still owns the namespace: the claimed track survives
+    // and fresh names land on fresh ids.
+    EXPECT_EQ(trace.allocateTrack("campaign"), claimed);
+    EXPECT_NE(trace.allocateTrack("fresh-after-run"), claimed);
 }
 
 } // namespace

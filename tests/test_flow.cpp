@@ -4,13 +4,16 @@
  * interpolation, fat-tree/dragonfly construction and ECMP routing,
  * workload generation, the flow-conservation invariant, fault-driven
  * reroutes, and campaign determinism (byte-identical CSV at any
- * thread count — the engine's core contract).
+ * thread count — the engine's core contract). Telemetry: windowed
+ * per-link time series reconcile exactly with the run's counters and
+ * never perturb the results.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -631,6 +634,152 @@ TEST(FlowCampaign, EmptyAxesDiesLoudly)
     cfg = smallCampaign();
     cfg.designs[0].radix = 0;
     EXPECT_DEATH(DcnCampaign{cfg}, "calibrated");
+}
+
+// --- Telemetry -------------------------------------------------------
+
+FlowSimResult
+runWithTelemetry(double window_s, std::uint64_t seed = 7,
+                 std::int64_t flow_count = 2000)
+{
+    DcnTopology topo = DcnTopology::buildFatTree(16, 8, 200.0);
+    const SwitchProfile profile = testProfile("t", 8);
+    DcnWorkloadSpec spec = workloadByName("websearch");
+    spec.flow_count = flow_count;
+    spec.load = 0.5;
+    const auto flows = generateFlows(spec, 16, 200.0, seed);
+    FlowSimConfig cfg;
+    cfg.telemetry_window_s = window_s;
+    return simulateFlows(topo, profile, flows, {}, cfg);
+}
+
+TEST(FlowTelemetry, WindowsReconcileExactlyWithTheResult)
+{
+    const FlowSimResult r = runWithTelemetry(1e-5);
+    ASSERT_NE(r.telemetry, nullptr);
+    const FlowTelemetry &t = *r.telemetry;
+    ASSERT_FALSE(t.windows.empty());
+
+    // Integer totals reconcile exactly — every started flow lands in
+    // exactly one window, ditto completions and failures.
+    EXPECT_EQ(t.totalStarted(), r.started);
+    EXPECT_EQ(t.totalCompleted(), r.completed);
+    EXPECT_EQ(t.totalFailed(), r.failed);
+    EXPECT_EQ(r.failed, 0);
+
+    std::int64_t started = 0, completed = 0, failed = 0;
+    double bytes = 0.0;
+    for (const FlowTelemetry::Window &w : t.windows) {
+        started += w.started;
+        completed += w.completed;
+        failed += w.failed;
+        bytes += w.completed_bytes;
+        EXPECT_GE(w.in_flight_end, 0);
+    }
+    EXPECT_EQ(started, r.started);
+    EXPECT_EQ(completed, r.completed);
+    EXPECT_EQ(failed, r.failed);
+    EXPECT_NEAR(bytes, r.completed_bytes,
+                1e-9 * std::max(1.0, r.completed_bytes));
+
+    // The window grid covers the whole run: the last completion is
+    // inside the recorded span.
+    EXPECT_GE(static_cast<double>(t.windows.size()) * t.window_s,
+              r.duration_s);
+
+    // Utilization is a fraction of derated capacity.
+    for (std::size_t w = 0; w < t.windows.size(); ++w)
+        for (std::size_t l = 0; l < t.link_capacity_bps.size(); ++l)
+            EXPECT_GE(t.linkUtilization(w, l), 0.0);
+}
+
+TEST(FlowTelemetry, FaultedRunAccountsFailedFlowsInWindows)
+{
+    DcnTopology topo = DcnTopology::buildFatTree(32, 8, 200.0);
+    const int edge = topo.edgeOf(0);
+    const SwitchProfile profile = testProfile("t", 8);
+    DcnWorkloadSpec spec = workloadByName("websearch");
+    spec.flow_count = 3000;
+    spec.load = 0.7;
+    const auto flows = generateFlows(spec, 32, 200.0, 6);
+
+    fault::DcnFaultSchedule faults;
+    faults.killSwitch(flows[flows.size() / 3].arrival_s, edge);
+
+    FlowSimConfig cfg;
+    cfg.telemetry_window_s = 1e-5;
+    const FlowSimResult r = simulateFlows(topo, profile, flows, faults, cfg);
+    ASSERT_NE(r.telemetry, nullptr);
+    ASSERT_GT(r.failed, 0);
+    // Failures reconcile through the same window accounting as
+    // completions — a faulted run cannot silently leak flows.
+    EXPECT_EQ(r.telemetry->totalStarted(), r.started);
+    EXPECT_EQ(r.telemetry->totalCompleted(), r.completed);
+    EXPECT_EQ(r.telemetry->totalFailed(), r.failed);
+    EXPECT_EQ(r.telemetry->totalCompleted() +
+                  r.telemetry->totalFailed(),
+              r.telemetry->totalStarted());
+}
+
+TEST(FlowTelemetry, ResultsAreBitIdenticalWithTelemetryOnOrOff)
+{
+    // Watching the run must not change it: every behavioural field
+    // compares with EXPECT_EQ, not NEAR.
+    const FlowSimResult off = runWithTelemetry(0.0);
+    const FlowSimResult on = runWithTelemetry(1e-5);
+    EXPECT_EQ(off.telemetry, nullptr);
+    ASSERT_NE(on.telemetry, nullptr);
+
+    EXPECT_EQ(off.started, on.started);
+    EXPECT_EQ(off.completed, on.completed);
+    EXPECT_EQ(off.failed, on.failed);
+    EXPECT_EQ(off.rerouted, on.rerouted);
+    EXPECT_EQ(off.duration_s, on.duration_s);
+    EXPECT_EQ(off.completed_bytes, on.completed_bytes);
+    EXPECT_EQ(off.throughput_gbps, on.throughput_gbps);
+    EXPECT_EQ(off.fct_avg_s, on.fct_avg_s);
+    EXPECT_EQ(off.fct_max_s, on.fct_max_s);
+    EXPECT_EQ(off.fct_p50_s, on.fct_p50_s);
+    EXPECT_EQ(off.fct_p99_s, on.fct_p99_s);
+    EXPECT_EQ(off.fct_p999_s, on.fct_p999_s);
+    EXPECT_EQ(off.slowdown_avg, on.slowdown_avg);
+    EXPECT_EQ(off.slowdown_p99, on.slowdown_p99);
+    EXPECT_EQ(off.avg_hops, on.avg_hops);
+}
+
+TEST(FlowTelemetry, DumpCsvIsWellFormedLongFormat)
+{
+    const FlowSimResult r = runWithTelemetry(1e-5);
+    ASSERT_NE(r.telemetry, nullptr);
+    std::ostringstream os;
+    r.telemetry->dumpCsv(os);
+
+    std::istringstream in(os.str());
+    std::string line;
+    bool saw_header = false;
+    std::map<std::string, int> kinds;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (line == "record,window,scope,metric,value") {
+            saw_header = true;
+            continue;
+        }
+        EXPECT_EQ(std::count(line.begin(), line.end(), ','), 4)
+            << line;
+        kinds[line.substr(0, line.find(','))]++;
+    }
+    EXPECT_TRUE(saw_header);
+    EXPECT_GT(kinds["capacity"], 0);
+    EXPECT_GT(kinds["window"], 0);
+    EXPECT_GT(kinds["link"], 0);
+    EXPECT_GT(kinds["total"], 0);
+}
+
+TEST(FlowTelemetry, NonPositiveWindowMeansNoTelemetry)
+{
+    const FlowSimResult r = runWithTelemetry(0.0);
+    EXPECT_EQ(r.telemetry, nullptr);
 }
 
 } // namespace

@@ -5,13 +5,18 @@
  * cross-thread merge), Chrome-trace JSON well-formedness (parsed back
  * by a minimal in-test JSON reader), trace-content determinism across
  * thread counts, flush-checked artifact writing, and the contract
- * that observability never perturbs simulation results.
+ * that observability never perturbs simulation results. Phase 2
+ * additions: the hierarchical Profiler (nesting, merge re-rooting,
+ * null-handle no-op), RunManifest provenance (round-trip, the
+ * timestamp-free identity hash), sink-owned trace-track allocation,
+ * and the `wss report` engine's health checks.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -29,6 +34,9 @@
 #include "exec/thread_pool.hpp"
 #include "fault/fault_schedule.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/report.hpp"
+#include "obs/run_manifest.hpp"
 #include "obs/sim_observation.hpp"
 #include "obs/trace_event.hpp"
 #include "power/ssc.hpp"
@@ -852,6 +860,445 @@ TEST(SimObservation, PhaseNameDisambiguates)
     EXPECT_STREQ(phaseName(SimPhase::Warmup), "warmup");
     EXPECT_STREQ(phaseName(SimPhase::Measure), "measure");
     EXPECT_STREQ(phaseName(SimPhase::Drain), "drain");
+}
+
+// ---------------------------------------------------------------------
+// Profiler
+// ---------------------------------------------------------------------
+
+/// Busy-wait so a phase accumulates a nonzero, orderable duration.
+void
+spinFor(double seconds)
+{
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::duration<double>(seconds);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+}
+
+TEST(Profiler, NestingProducesSlashJoinedPaths)
+{
+    Profiler p;
+    {
+        ScopedPhase outer(&p, "flow-sim");
+        spinFor(2e-4);
+        for (int i = 0; i < 3; ++i) {
+            ScopedPhase inner(&p, "waterfill");
+            spinFor(1e-4);
+        }
+    }
+    EXPECT_FALSE(p.open());
+    ASSERT_EQ(p.phases().size(), 2u);
+    const auto &outer = p.phases().at("flow-sim");
+    const auto &inner = p.phases().at("flow-sim/waterfill");
+    EXPECT_EQ(outer.calls, 1);
+    EXPECT_EQ(inner.calls, 3);
+    // Single-threaded: a parent's inclusive time covers its children.
+    EXPECT_GE(outer.seconds, inner.seconds);
+    EXPECT_GT(inner.seconds, 0.0);
+}
+
+TEST(Profiler, NullHandleScopesAreNoOps)
+{
+    // The whole point of the null-handle contract: call sites
+    // instrument unconditionally and pay one branch when off.
+    ScopedPhase defaulted;
+    ScopedPhase nulled(nullptr, "anything");
+    Profiler p;
+    {
+        ScopedPhase real(&p, "real");
+    }
+    EXPECT_EQ(p.phases().size(), 1u);
+}
+
+TEST(Profiler, SelfTimeSubtractsDirectChildrenOnly)
+{
+    Profiler p;
+    {
+        ScopedPhase a(&p, "a");
+        spinFor(1e-4);
+        {
+            ScopedPhase b(&p, "b");
+            {
+                ScopedPhase c(&p, "c");
+                spinFor(1e-4);
+            }
+        }
+    }
+    // Self time of "a" subtracts "a/b" (direct child) but not
+    // "a/b/c" — the grandchild is already inside "a/b".
+    EXPECT_DOUBLE_EQ(p.selfSeconds("a"),
+                     p.totalSeconds("a") - p.totalSeconds("a/b"));
+    EXPECT_DOUBLE_EQ(p.selfSeconds("a/b/c"), p.totalSeconds("a/b/c"));
+    EXPECT_DOUBLE_EQ(p.totalSeconds("absent"), 0.0);
+}
+
+TEST(Profiler, MergeSumsPathsAndReRootsUnderPrefix)
+{
+    // Two workers each profile the same phase; the owner folds them
+    // in under a "campaign" prefix, exactly as exec::Campaign does.
+    Profiler w1, w2;
+    {
+        ScopedPhase s(&w1, "cell");
+        spinFor(1e-4);
+    }
+    {
+        ScopedPhase s(&w2, "cell");
+        spinFor(1e-4);
+    }
+    const double sum = w1.phases().at("cell").seconds +
+                       w2.phases().at("cell").seconds;
+
+    Profiler owner;
+    owner.merge(w1, "campaign");
+    owner.merge(w2, "campaign");
+    ASSERT_EQ(owner.phases().count("campaign/cell"), 1u);
+    const auto &merged = owner.phases().at("campaign/cell");
+    EXPECT_EQ(merged.calls, 2);
+    EXPECT_DOUBLE_EQ(merged.seconds, sum);
+}
+
+TEST(Profiler, MergeNestsUnderTheOpenPhase)
+{
+    // calibrateSwitchProfile times "calibrate" and merges the sweep's
+    // worker profilers while that phase is open — their paths must
+    // land below it so the summary reads as one tree.
+    Profiler worker;
+    {
+        ScopedPhase s(&worker, "point");
+        spinFor(1e-4);
+    }
+    Profiler owner;
+    owner.enter("calibrate");
+    owner.merge(worker, "sweep");
+    owner.exit();
+    EXPECT_EQ(owner.phases().count("calibrate/sweep/point"), 1u);
+    EXPECT_EQ(owner.phases().count("sweep/point"), 0u);
+}
+
+TEST(Profiler, MisuseDiesLoudly)
+{
+    EXPECT_DEATH(
+        {
+            Profiler p;
+            p.enter("a/b");
+        },
+        "'/'-free");
+    EXPECT_DEATH(
+        {
+            Profiler p;
+            p.exit();
+        },
+        "without a matching enter");
+    EXPECT_DEATH(
+        {
+            Profiler src;
+            src.enter("open");
+            Profiler dst;
+            dst.merge(src);
+        },
+        "open phases");
+}
+
+TEST(Profiler, SummaryAndTraceExportTheAggregate)
+{
+    Profiler p;
+    {
+        ScopedPhase a(&p, "outer");
+        spinFor(1e-4);
+        ScopedPhase b(&p, "inner");
+        spinFor(1e-4);
+    }
+    std::ostringstream summary;
+    p.writeSummary(summary);
+    EXPECT_NE(summary.str().find("outer"), std::string::npos);
+    EXPECT_NE(summary.str().find("outer/inner"), std::string::npos);
+
+    TraceEventSink sink;
+    p.addToTrace(sink, sink.allocateTrack("profile"));
+    const Json root = parseTrace(sink);
+    std::map<std::string, double> span_us;
+    for (const Json &e : root.find("traceEvents")->array) {
+        if (e.find("ph")->string != "X")
+            continue;
+        span_us[e.find("name")->string] = e.find("dur")->number;
+    }
+    ASSERT_EQ(span_us.count("outer"), 1u);
+    ASSERT_EQ(span_us.count("inner"), 1u);
+    // Synthetic layout preserves the hierarchy's inclusion relation.
+    EXPECT_GE(span_us["outer"], span_us["inner"]);
+}
+
+// ---------------------------------------------------------------------
+// RunManifest
+// ---------------------------------------------------------------------
+
+std::string
+writeTempFile(const std::string &name, const std::string &content)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / name).string();
+    std::ofstream os(path);
+    os << content;
+    os.close();
+    return path;
+}
+
+TEST(RunManifest, RoundTripsThroughJsonFile)
+{
+    const std::string artifact =
+        writeTempFile("wss_manifest_artifact.csv", "a,b\n1,2\n");
+
+    RunManifest manifest("wss test");
+    manifest.setConfig("arg.hosts", static_cast<std::int64_t>(64));
+    manifest.setConfig("arg.load", 0.5);
+    manifest.setConfig("arg.workloads", "websearch");
+    manifest.setSeed(0xdeadbeefull);
+    manifest.setJobs(4);
+    manifest.addArtifact(artifact, "campaign-csv");
+    manifest.addPhaseSeconds("campaign", 1.25, 3);
+
+    const std::string path = (std::filesystem::temp_directory_path() /
+                              "wss_manifest_roundtrip.json")
+                                 .string();
+    manifest.writeJsonFile(path);
+    const RunManifest loaded = RunManifest::loadJsonFile(path);
+
+    EXPECT_EQ(loaded.tool(), "wss test");
+    EXPECT_EQ(loaded.seed(), 0xdeadbeefull);
+    EXPECT_EQ(loaded.jobs(), 4);
+    EXPECT_EQ(loaded.config().at("arg.hosts"), "64");
+    EXPECT_EQ(loaded.config().at("arg.workloads"), "websearch");
+    // The constructor records build provenance automatically.
+    EXPECT_EQ(loaded.config().count("build.compiler"), 1u);
+    ASSERT_EQ(loaded.artifacts().size(), 1u);
+    EXPECT_EQ(loaded.artifacts()[0].kind, "campaign-csv");
+    EXPECT_EQ(loaded.artifacts()[0].bytes, 8u);
+    EXPECT_EQ(loaded.artifacts()[0].hash,
+              RunManifest::hashBytes("a,b\n1,2\n"));
+    ASSERT_EQ(loaded.phases().size(), 1u);
+    EXPECT_EQ(loaded.phases()[0].path, "campaign");
+    EXPECT_EQ(loaded.phases()[0].calls, 3);
+    EXPECT_DOUBLE_EQ(loaded.phases()[0].seconds, 1.25);
+    // Round-tripping preserves the identity bit-for-bit.
+    EXPECT_EQ(loaded.identityJson(), manifest.identityJson());
+    EXPECT_EQ(loaded.identityHash(), manifest.identityHash());
+
+    std::remove(path.c_str());
+    std::remove(artifact.c_str());
+}
+
+TEST(RunManifest, IdentityIgnoresArtifactPathsAndTimings)
+{
+    // The same run in a different directory, with different wall
+    // times, is the same run.
+    const std::string a =
+        writeTempFile("wss_manifest_id_a.csv", "payload\n");
+    const std::string b =
+        writeTempFile("wss_manifest_id_b.csv", "payload\n");
+
+    RunManifest m1("wss test");
+    m1.setConfig("arg.hosts", static_cast<std::int64_t>(64));
+    m1.setSeed(7);
+    m1.setJobs(1);
+    m1.addArtifact(a, "campaign-csv");
+    m1.addPhaseSeconds("campaign", 0.5);
+
+    RunManifest m2("wss test");
+    m2.setConfig("arg.hosts", static_cast<std::int64_t>(64));
+    m2.setSeed(7);
+    m2.setJobs(1);
+    m2.addArtifact(b, "campaign-csv");
+    m2.addPhaseSeconds("campaign", 99.0, 12);
+
+    EXPECT_EQ(m1.identityJson(), m2.identityJson());
+    EXPECT_EQ(m1.identityHash(), m2.identityHash());
+
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+TEST(RunManifest, IdentityTracksConfigSeedAndContent)
+{
+    const std::string base =
+        writeTempFile("wss_manifest_id_c.csv", "payload\n");
+
+    auto make = [&](const std::string &path) {
+        auto m = std::make_unique<RunManifest>("wss test");
+        m->setConfig("arg.hosts", static_cast<std::int64_t>(64));
+        m->setSeed(7);
+        m->setJobs(1);
+        m->addArtifact(path, "campaign-csv");
+        return m;
+    };
+
+    const std::uint64_t baseline = make(base)->identityHash();
+
+    auto differing_config = make(base);
+    differing_config->setConfig("arg.hosts",
+                                static_cast<std::int64_t>(128));
+    EXPECT_NE(differing_config->identityHash(), baseline);
+
+    auto differing_seed = make(base);
+    differing_seed->setSeed(8);
+    EXPECT_NE(differing_seed->identityHash(), baseline);
+
+    const std::string changed =
+        writeTempFile("wss_manifest_id_d.csv", "payload CHANGED\n");
+    EXPECT_NE(make(changed)->identityHash(), baseline);
+
+    std::remove(base.c_str());
+    std::remove(changed.c_str());
+}
+
+TEST(RunManifest, MissingArtifactDiesLoudly)
+{
+    EXPECT_EXIT(
+        {
+            RunManifest m("wss test");
+            m.addArtifact("/nonexistent-dir/missing.csv", "csv");
+        },
+        ::testing::ExitedWithCode(1), "cannot read artifact");
+}
+
+TEST(RunManifest, HashBytesIsFnv1a64)
+{
+    // Published FNV-1a 64 test vectors.
+    EXPECT_EQ(RunManifest::hashBytes(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(RunManifest::hashBytes("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(RunManifest::hashBytes("foobar"),
+              0x85944171f73967e8ull);
+}
+
+TEST(RunManifest, WriteJsonIsParseable)
+{
+    const std::string artifact =
+        writeTempFile("wss_manifest_parse.csv", "x\n");
+    RunManifest manifest("wss test");
+    manifest.setSeed(1);
+    manifest.setJobs(2);
+    manifest.addArtifact(artifact, "campaign-csv");
+
+    std::ostringstream os;
+    manifest.writeJson(os);
+    const Json root = JsonParser(os.str()).parse();
+    ASSERT_NE(root.find("tool"), nullptr);
+    EXPECT_EQ(root.find("tool")->string, "wss test");
+    ASSERT_NE(root.find("artifacts"), nullptr);
+    EXPECT_EQ(root.find("artifacts")->array.size(), 1u);
+    ASSERT_NE(root.find("identity_hash"), nullptr);
+
+    std::remove(artifact.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Trace-track allocation
+// ---------------------------------------------------------------------
+
+TEST(TraceEvent, AllocateTrackIsIdempotentAndCollisionFree)
+{
+    TraceEventSink sink;
+    const int flow = sink.allocateTrack("flow-telemetry");
+    const int coll = sink.allocateTrack("coll-telemetry");
+    const int profile = sink.allocateTrack("profile");
+    EXPECT_GE(flow, TraceEventSink::kFirstAllocatedTrack);
+    EXPECT_NE(flow, coll);
+    EXPECT_NE(coll, profile);
+    EXPECT_NE(flow, profile);
+    // Re-requesting a name returns the same track, not a new one.
+    EXPECT_EQ(sink.allocateTrack("flow-telemetry"), flow);
+    EXPECT_EQ(sink.allocateTrack("coll-telemetry"), coll);
+
+    // Each allocated track carries thread_name metadata so Perfetto
+    // labels it.
+    sink.complete("span", "test", flow, 0, 10, {});
+    const Json root = parseTrace(sink);
+    std::set<std::string> named;
+    for (const Json &e : root.find("traceEvents")->array) {
+        if (e.find("ph")->string != "M" ||
+            e.find("name")->string != "thread_name")
+            continue;
+        if (const Json *args = e.find("args"))
+            if (const Json *name = args->find("name"))
+                named.insert(name->string);
+    }
+    EXPECT_EQ(named.count("flow-telemetry"), 1u);
+    EXPECT_EQ(named.count("coll-telemetry"), 1u);
+    EXPECT_EQ(named.count("profile"), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Run reports
+// ---------------------------------------------------------------------
+
+TEST(Report, SmokeFromFreshManifest)
+{
+    const std::string artifact =
+        writeTempFile("wss_report_smoke.csv", "col\n1\n2\n");
+    RunManifest manifest("wss test");
+    manifest.setConfig("arg.hosts", static_cast<std::int64_t>(64));
+    manifest.setSeed(9);
+    manifest.setJobs(2);
+    manifest.addArtifact(artifact, "campaign-csv");
+    manifest.addPhaseSeconds("campaign", 0.25);
+    const std::string manifest_path =
+        (std::filesystem::temp_directory_path() /
+         "wss_report_smoke.manifest.json")
+            .string();
+    manifest.writeJsonFile(manifest_path);
+
+    ReportOptions opts;
+    opts.manifest_path = manifest_path;
+    const RunReport report = buildRunReport(opts);
+    EXPECT_TRUE(report.ok());
+    ASSERT_FALSE(report.checks.empty());
+    EXPECT_EQ(report.checks[0].name, "artifact-hashes");
+    EXPECT_TRUE(report.checks[0].ok);
+    EXPECT_NE(report.markdown.find("wss test"), std::string::npos);
+    EXPECT_NE(report.markdown.find("campaign-csv"), std::string::npos);
+
+    // The JSON side parses and carries the marker and the checks.
+    const Json root = JsonParser(report.json).parse();
+    ASSERT_NE(root.find("wss_run_report"), nullptr);
+    ASSERT_NE(root.find("checks"), nullptr);
+    EXPECT_EQ(root.find("checks")->array.size(),
+              report.checks.size());
+
+    std::remove(manifest_path.c_str());
+    std::remove(artifact.c_str());
+}
+
+TEST(Report, CorruptArtifactFailsTheHashCheckWithoutDying)
+{
+    const std::string artifact =
+        writeTempFile("wss_report_corrupt.csv", "original\n");
+    RunManifest manifest("wss test");
+    manifest.setSeed(9);
+    manifest.setJobs(1);
+    manifest.addArtifact(artifact, "campaign-csv");
+    const std::string manifest_path =
+        (std::filesystem::temp_directory_path() /
+         "wss_report_corrupt.manifest.json")
+            .string();
+    manifest.writeJsonFile(manifest_path);
+
+    // Tamper after the manifest is sealed: the report must degrade
+    // to a failed health check, not fatal() — one lost file must not
+    // hide the rest of the story.
+    writeTempFile("wss_report_corrupt.csv", "tampered\n");
+
+    ReportOptions opts;
+    opts.manifest_path = manifest_path;
+    const RunReport report = buildRunReport(opts);
+    EXPECT_FALSE(report.ok());
+    ASSERT_FALSE(report.checks.empty());
+    EXPECT_EQ(report.checks[0].name, "artifact-hashes");
+    EXPECT_FALSE(report.checks[0].ok);
+    EXPECT_NE(report.checks[0].detail.find("content differs"),
+              std::string::npos);
+
+    std::remove(manifest_path.c_str());
+    std::remove(artifact.c_str());
 }
 
 } // namespace

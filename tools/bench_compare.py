@@ -25,12 +25,20 @@ Kinds:
            drift as behavioural); identity steps / messages /
            flow_us / model_us / failed
 
+When a provenance manifest sits next to a report (the benches write
+`REPORT.json.manifest.json` siblings), its resolved configuration is
+compared too: two reports whose configs differ were not measuring the
+same thing, and the comparison fails before any ratio is printed.
+Reports without manifests (older baselines) skip the check with a
+note.
+
 Only the standard library is used, so the script runs anywhere the
 repo builds.
 """
 
 import argparse
 import json
+import os
 import sys
 
 # Per-benchmark comparison contract: which field is the higher-is-
@@ -73,6 +81,54 @@ def load_points(path):
                  f"bench_{kind} fields ({err})")
 
 
+def load_manifest(report_path):
+    """Load the report's provenance sibling, or None when absent."""
+    path = report_path + ".manifest.json"
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare: {path} is unreadable ({err})")
+    if "wss_run_manifest" not in doc:
+        sys.exit(f"bench_compare: {path} is not a wss run manifest")
+    return doc
+
+
+def check_manifests(baseline, candidate):
+    """Fail when both sides carry manifests whose configs differ.
+
+    Phase timings and artifact hashes legitimately differ run to run;
+    the resolved configuration must not — a config mismatch means the
+    two reports measured different workloads and every ratio below
+    would be noise.
+    """
+    base = load_manifest(baseline)
+    cand = load_manifest(candidate)
+    if base is None or cand is None:
+        for path, doc in ((baseline, base), (candidate, cand)):
+            if doc is None:
+                print(f"note: no manifest next to {path}, "
+                      "provenance unchecked")
+        return
+    print(f"manifest identity: baseline {base.get('identity_hash')} "
+          f"candidate {cand.get('identity_hash')}")
+    base_cfg = base.get("config", {})
+    cand_cfg = cand.get("config", {})
+    mismatches = [
+        f"  {key}: {base_cfg.get(key, '<absent>')!r} vs "
+        f"{cand_cfg.get(key, '<absent>')!r}"
+        for key in sorted(base_cfg.keys() | cand_cfg.keys())
+        if base_cfg.get(key) != cand_cfg.get(key)
+    ]
+    if mismatches:
+        sys.exit("bench_compare: manifest configs differ — the "
+                 "reports measured different workloads:\n" +
+                 "\n".join(mismatches))
+    print("manifest configs match")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two bench JSON reports.")
@@ -88,6 +144,7 @@ def main():
              "(behavioural bit-identity)")
     args = parser.parse_args()
 
+    check_manifests(args.baseline, args.candidate)
     base_kind, base_smoke, base = load_points(args.baseline)
     cand_kind, cand_smoke, cand = load_points(args.candidate)
     if base_kind != cand_kind:

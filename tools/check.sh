@@ -11,21 +11,29 @@
 #   3. an AddressSanitizer build of the simulator core running the
 #      bit-exact determinism suite (the `asan` preset), so flit-pool
 #      lifetime or ring-buffer indexing bugs introduced by hot-path
-#      work die loudly instead of corrupting results,
+#      work die loudly instead of corrupting results, plus an
+#      end-to-end `wss coll --manifest-out` → `wss report` pipeline
+#      under ASan (the reporter parses untrusted CSV/JSON, so its
+#      string handling runs heap-checked),
 #   4. a release-preset bench_simcore --smoke, proving the optimized
 #      build still runs every bench point to a stable result (the
-#      perf numbers themselves are tracked in bench_results/), and
+#      perf numbers themselves are tracked in bench_results/), and a
+#      profiler-overhead guard: a disabled ScopedPhase must be far
+#      cheaper than an enabled one (the ≤1% hot-loop contract),
 #   5. an observability smoke: a parallel sweep with --trace-out whose
 #      JSON must parse, and a sim run with --stats-out whose counters
 #      must reconcile (the CLI panics if they do not), and
 #   6. a DCN smoke: `wss dcn` calibrates a tiny fat-tree pair and runs
-#      1k flows; its JSON artifact must parse, and
+#      1k flows; its JSON artifact, windowed telemetry and provenance
+#      manifest must parse, and
 #   7. a collectives smoke: `wss coll` runs the allreduce/all-to-all
 #      comparison (flow vs alpha-beta, plus the cycle-accurate fabric
-#      crosscheck and a parallelism plan); its JSON must parse, and
-#      bench_coll --smoke is gated against a fresh re-run with
+#      crosscheck and a parallelism plan); its JSON and manifest must
+#      parse, `wss report` must pass every health check on the run,
+#      and bench_coll --smoke is gated against a fresh re-run with
 #      tools/bench_compare.py --require-identical (the engine is
-#      deterministic, so any drift is a behavioural change).
+#      deterministic, so any drift is a behavioural change; the bench
+#      manifests prove both runs shared one configuration).
 #
 # Usage: tools/check.sh            (from anywhere in the repo)
 #        JOBS=8 tools/check.sh     (override the parallelism)
@@ -59,6 +67,19 @@ echo "== asan: heap-checked determinism suite =="
 # interposes the allocator, which defeats the counting hook.
 ctest --preset asan
 
+echo "== asan: wss report end to end =="
+ASAN_TMP="$(mktemp -d)"
+build-asan/tools/wss coll --ws-ports 256 --conv-ports 64 \
+    --cal-ports 64 --points 2 --ranks 8 --payloads 65536 \
+    --warmup 200 --measure 500 --drain 3000 --jobs 2 \
+    --csv "$ASAN_TMP/coll.csv" --stats-out "$ASAN_TMP/coll_steps.csv" \
+    --manifest-out "$ASAN_TMP/coll.manifest.json"
+build-asan/tools/wss report --manifest "$ASAN_TMP/coll.manifest.json" \
+    --out "$ASAN_TMP/report.md" --json "$ASAN_TMP/report.json"
+python3 -m json.tool "$ASAN_TMP/report.json" > /dev/null
+rm -rf "$ASAN_TMP"
+echo "asan report pipeline green"
+
 echo "== release: bench_simcore smoke =="
 cmake --preset release
 cmake --build --preset release -j "$JOBS"
@@ -66,16 +87,45 @@ BENCH_TMP="$(mktemp -d)"
 build-release/bench/bench_simcore --smoke \
     --json "$BENCH_TMP/BENCH_simcore_smoke.json"
 python3 -m json.tool "$BENCH_TMP/BENCH_simcore_smoke.json" > /dev/null
+python3 -m json.tool \
+    "$BENCH_TMP/BENCH_simcore_smoke.json.manifest.json" > /dev/null
 rm -rf "$BENCH_TMP"
-echo "bench smoke JSON parses"
+echo "bench smoke JSON + manifest parse"
+
+echo "== release: profiler-overhead guard =="
+# The null-handle contract: a ScopedPhase on a null profiler must be
+# at least 10x cheaper than on a live one (in practice ~200x — one
+# predicted branch vs a map walk), or hot loops can no longer stay
+# instrumented unconditionally.
+GUARD_TMP="$(mktemp -d)"
+build-release/bench/bench_micro \
+    --benchmark_filter='BM_ProfilerScope' \
+    --benchmark_min_time=0.2 \
+    --benchmark_format=json > "$GUARD_TMP/profiler.json"
+python3 - "$GUARD_TMP/profiler.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+times = {b["name"]: b["real_time"] for b in doc["benchmarks"]}
+disabled = times["BM_ProfilerScopeDisabled"]
+enabled = times["BM_ProfilerScopeEnabled"]
+print(f"profiler scope: disabled {disabled:.2f} ns, "
+      f"enabled {enabled:.2f} ns")
+if disabled * 10.0 > enabled:
+    sys.exit("FAIL: disabled ScopedPhase is not >=10x cheaper than "
+             "enabled — the null-handle no-op contract regressed")
+EOF
+rm -rf "$GUARD_TMP"
+echo "profiler overhead guard green"
 
 echo "== obs smoke: parallel trace + stats reconciliation =="
 OBS_TMP="$(mktemp -d)"
 trap 'rm -rf "$OBS_TMP"' EXIT
 build/tools/wss sweep --ports 128 --patterns uniform --measure 1000 \
-    --points 3 --jobs 4 --trace-out "$OBS_TMP/sweep_trace.json"
+    --points 3 --jobs 4 --trace-out "$OBS_TMP/sweep_trace.json" \
+    --manifest-out "$OBS_TMP/sweep.manifest.json"
 python3 -m json.tool "$OBS_TMP/sweep_trace.json" > /dev/null
-echo "trace JSON parses"
+python3 -m json.tool "$OBS_TMP/sweep.manifest.json" > /dev/null
+echo "trace JSON + manifest parse"
 build/tools/wss sim --ports 128 --measure 1000 --points 3 --rate 0.4 \
     --stats-out "$OBS_TMP/sim_stats.csv" --obs-sample 200
 test -s "$OBS_TMP/sim_stats.csv"
@@ -84,18 +134,33 @@ echo "== dcn smoke: tiny fat-tree, 1k flows =="
 build/tools/wss dcn --ws-ports 256 --conv-ports 64 --hosts 64 \
     --flows 1000 --workloads websearch --loads 0.5 --cal-ports 64 \
     --points 3 --warmup 200 --measure 500 --drain 3000 --jobs 2 \
-    --profiles "$OBS_TMP/profiles" --json "$OBS_TMP/dcn.json"
+    --profiles "$OBS_TMP/profiles" --json "$OBS_TMP/dcn.json" \
+    --stats-out "$OBS_TMP/dcn_windows.csv" \
+    --manifest-out "$OBS_TMP/dcn.manifest.json"
 python3 -m json.tool "$OBS_TMP/dcn.json" > /dev/null
-echo "dcn JSON parses"
+python3 -m json.tool "$OBS_TMP/dcn.manifest.json" > /dev/null
+test -s "$OBS_TMP/dcn_windows.csv"
+echo "dcn JSON + manifest parse"
 
 echo "== coll smoke: schedules at three fidelities =="
 build/tools/wss coll --ws-ports 256 --conv-ports 64 --cal-ports 64 \
     --points 2 --ranks 8 --payloads 65536,1048576 --fabric \
     --fabric-payload 16384 --plan dp=4,tp=2 --layers 4 \
     --microbatches 2 --warmup 200 --measure 500 --drain 3000 \
-    --jobs 2 --profiles "$OBS_TMP/profiles" --json "$OBS_TMP/coll.json"
+    --jobs 2 --profiles "$OBS_TMP/profiles" \
+    --json "$OBS_TMP/coll.json" \
+    --stats-out "$OBS_TMP/coll_steps.csv" \
+    --manifest-out "$OBS_TMP/coll.manifest.json"
 python3 -m json.tool "$OBS_TMP/coll.json" > /dev/null
-echo "coll JSON parses"
+python3 -m json.tool "$OBS_TMP/coll.manifest.json" > /dev/null
+echo "coll JSON + manifest parse"
+
+echo "== report: health checks on the coll run =="
+build/tools/wss report --manifest "$OBS_TMP/coll.manifest.json" \
+    --out "$OBS_TMP/coll_report.md" --json "$OBS_TMP/coll_report.json"
+python3 -m json.tool "$OBS_TMP/coll_report.json" > /dev/null
+test -s "$OBS_TMP/coll_report.md"
+echo "report Markdown + JSON green"
 
 echo "== coll bench: deterministic against itself =="
 build-release/bench/bench_coll --smoke \

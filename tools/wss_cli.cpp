@@ -14,6 +14,8 @@
  *   coll        collective-communication comparison (allreduce /
  *               all-to-all schedules priced on waferscale vs
  *               conventional, cross-checked against alpha-beta)
+ *   report      render one run's provenance manifest + telemetry
+ *               artifacts as Markdown (+ JSON) with health checks
  *   plan        full system plan (power delivery / cooling / enclosure)
  *
  * Run `wss <subcommand> --help` for the flags of each.
@@ -36,6 +38,9 @@
 #include "exec/campaign.hpp"
 #include "fault/resilience.hpp"
 #include "flow/dcn_campaign.hpp"
+#include "obs/profiler.hpp"
+#include "obs/report.hpp"
+#include "obs/run_manifest.hpp"
 #include "obs/trace_event.hpp"
 #include "power/link_power.hpp"
 #include "power/switch_power.hpp"
@@ -48,6 +53,7 @@
 #include "trace/generators.hpp"
 #include "util/logging.hpp"
 #include "util/parse.hpp"
+#include "util/seed.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -99,9 +105,85 @@ class Args
         return it == values_.end() ? fallback : std::stoll(it->second);
     }
 
+    /// Every flag as given, for provenance manifests.
+    const std::map<std::string, std::string> &
+    all() const
+    {
+        return values_;
+    }
+
   private:
     std::map<std::string, std::string> values_;
 };
+
+/// Artifact bookkeeping for --manifest-out: each file a subcommand
+/// writes is noted (path, kind) so the manifest inventory covers
+/// everything the run produced.
+struct ArtifactLog
+{
+    std::vector<std::pair<std::string, std::string>> entries;
+
+    void
+    note(const std::string &path, const std::string &kind)
+    {
+        entries.emplace_back(path, kind);
+    }
+};
+
+/// True for flags that only say *where* outputs go: they are not
+/// part of a run's identity (the same run pointed at a different
+/// directory must hash identically).
+bool
+isOutputPathFlag(const std::string &key)
+{
+    return key == "csv" || key == "json" || key == "out" ||
+           key == "profiles" ||
+           (key.size() > 4 &&
+            key.compare(key.size() - 4, 4, "-out") == 0);
+}
+
+/// Write the provenance manifest of one subcommand invocation:
+/// every non-output CLI flag verbatim (arg.<key>), the resolved
+/// seed and worker count, the artifact inventory, and the
+/// profiler's phase timings.
+void
+writeManifest(const Args &args, const std::string &tool,
+              std::uint64_t seed, int jobs,
+              const ArtifactLog &artifacts,
+              const obs::Profiler &profiler)
+{
+    const std::string path = args.str("manifest-out", "");
+    if (path.empty())
+        fatal(tool, ": --manifest-out needs a file path");
+    obs::RunManifest manifest(tool);
+    for (const auto &[key, value] : args.all())
+        if (!isOutputPathFlag(key))
+            manifest.setConfig("arg." + key, value);
+    manifest.setSeed(seed);
+    manifest.setJobs(jobs);
+    for (const auto &[artifact_path, kind] : artifacts.entries)
+        manifest.addArtifact(artifact_path, kind);
+    manifest.setProfile(profiler);
+    manifest.writeJsonFile(path);
+    std::ostringstream identity;
+    identity << std::hex << manifest.identityHash();
+    std::cout << "manifest written to " << path << " (identity 0x"
+              << identity.str() << ", " << artifacts.entries.size()
+              << " artifacts)\n";
+}
+
+/// Shared tail of every profiled subcommand: print the self-time
+/// table with --profile, and lay the aggregate out as spans on its
+/// own trace track when tracing.
+void
+finishProfile(const Args &args, obs::Profiler &profiler,
+              obs::TraceEventSink *trace)
+{
+    if (args.has("profile"))
+        profiler.writeSummary(std::cout);
+    if (trace && !profiler.phases().empty())
+        profiler.addToTrace(*trace, trace->allocateTrack("profile"));
+}
 
 tech::WsiTechnology
 parseWsi(const std::string &name)
@@ -276,6 +358,8 @@ cmdSim(const Args &args)
 
     const sim::NetworkSpec spec = fabricSpecFromArgs(args);
     const sim::SimConfig cfg = simConfigFromArgs(args);
+    obs::Profiler profiler;
+    ArtifactLog artifacts;
 
     const auto make_network = [&] {
         return std::make_unique<sim::Network>(topo, spec, cfg.seed);
@@ -286,8 +370,11 @@ cmdSim(const Args &args)
             packet);
     };
 
-    const auto sweep = sim::sweepLoad(make_network, make_workload,
-                                      ratesFromArgs(args), cfg);
+    const auto sweep = [&] {
+        obs::ScopedPhase phase(&profiler, "sweep");
+        return sim::sweepLoad(make_network, make_workload,
+                              ratesFromArgs(args), cfg);
+    }();
 
     Table table("wss sim — " + pattern + " on " + Table::num(ports) +
                     " ports",
@@ -318,9 +405,13 @@ cmdSim(const Args &args)
             args.num("rate", args.num("max-rate", 0.9));
 
         sim::SimResult full;
-        sim::runLoadPoint(make_network, make_workload, rate, obs_cfg,
-                          &full);
+        {
+            obs::ScopedPhase phase(&profiler, "observe");
+            sim::runLoadPoint(make_network, make_workload, rate,
+                              obs_cfg, &full);
+        }
         full.observation->dumpCsvFile(path);
+        artifacts.note(path, "sim-observation");
 
         const std::uint64_t counted =
             full.observation->totalCounter("flits_delivered");
@@ -334,6 +425,10 @@ cmdSim(const Args &args)
                   << full.flits_delivered
                   << " flits delivered, counters reconcile)\n";
     }
+    finishProfile(args, profiler, nullptr);
+    if (args.has("manifest-out"))
+        writeManifest(args, "wss sim", cfg.seed, 1, artifacts,
+                      profiler);
     return 0;
 }
 
@@ -385,11 +480,14 @@ cmdSweep(const Args &args)
     }
 
     exec::ThreadPool pool(jobs);
+    obs::Profiler profiler;
+    ArtifactLog artifacts;
     obs::TraceEventSink trace;
     const bool tracing = args.has("trace-out");
     if (tracing)
         trace.setProcessName("wss sweep");
-    const auto result = campaign.run(&pool, tracing ? &trace : nullptr);
+    const auto result =
+        campaign.run(&pool, tracing ? &trace : nullptr, &profiler);
 
     for (const auto &job : result.jobs) {
         const auto &sweep = job.sweep.combined;
@@ -424,22 +522,29 @@ cmdSweep(const Args &args)
     if (args.has("csv")) {
         const std::string path = args.str("csv", "");
         result.writeCsvFile(path);
+        artifacts.note(path, "campaign-csv");
         std::cout << "CSV written to " << path << "\n";
     }
     if (args.has("json")) {
         const std::string path = args.str("json", "");
         result.writeJsonFile(path);
+        artifacts.note(path, "campaign-json");
         std::cout << "JSON written to " << path << "\n";
     }
+    finishProfile(args, profiler, tracing ? &trace : nullptr);
     if (tracing) {
         const std::string path = args.str("trace-out", "");
         if (path.empty())
             fatal("sweep: --trace-out needs a file path");
         trace.writeFile(path);
+        artifacts.note(path, "trace");
         std::cout << "trace written to " << path << " ("
                   << trace.size()
                   << " events; open in Perfetto / chrome://tracing)\n";
     }
+    if (args.has("manifest-out"))
+        writeManifest(args, "wss sweep", cfg.seed, jobs, artifacts,
+                      profiler);
     return 0;
 }
 
@@ -590,13 +695,15 @@ cmdResilience(const Args &args)
     const int jobs = static_cast<int>(
         args.integer("jobs", exec::ThreadPool::defaultThreads()));
     exec::ThreadPool pool(jobs);
+    obs::Profiler profiler;
+    ArtifactLog artifacts;
     obs::TraceEventSink trace;
     const bool tracing = args.has("trace-out");
     if (tracing)
         trace.setProcessName("wss resilience");
     const fault::ResilienceResult result =
-        fault::ResilienceCampaign(cfg).run(&pool,
-                                           tracing ? &trace : nullptr);
+        fault::ResilienceCampaign(cfg).run(
+            &pool, tracing ? &trace : nullptr, &profiler);
 
     Table table("wss resilience — " + Table::num(cfg.samples) +
                     " maps/cell, seed " + Table::num(cfg.seed),
@@ -622,22 +729,29 @@ cmdResilience(const Args &args)
     if (args.has("csv")) {
         const std::string path = args.str("csv", "");
         result.writeCsvFile(path);
+        artifacts.note(path, "resilience-csv");
         std::cout << "CSV written to " << path << "\n";
     }
     if (args.has("json")) {
         const std::string path = args.str("json", "");
         result.writeJsonFile(path);
+        artifacts.note(path, "resilience-json");
         std::cout << "JSON written to " << path << "\n";
     }
+    finishProfile(args, profiler, tracing ? &trace : nullptr);
     if (tracing) {
         const std::string path = args.str("trace-out", "");
         if (path.empty())
             fatal("resilience: --trace-out needs a file path");
         trace.writeFile(path);
+        artifacts.note(path, "trace");
         std::cout << "trace written to " << path << " ("
                   << trace.size()
                   << " events; open in Perfetto / chrome://tracing)\n";
     }
+    if (args.has("manifest-out"))
+        writeManifest(args, "wss resilience", cfg.seed, jobs,
+                      artifacts, profiler);
     return 0;
 }
 
@@ -676,7 +790,7 @@ flow::SwitchProfile
 dcnProfile(const Args &args, const std::string &name,
            std::int64_t ports, const power::SscConfig &ssc,
            double power_watts, exec::ThreadPool *pool,
-           obs::TraceEventSink *trace)
+           obs::TraceEventSink *trace, obs::Profiler *profiler)
 {
     const std::string dir = args.str("profiles", "");
     const std::string path =
@@ -712,7 +826,7 @@ dcnProfile(const Args &args, const std::string &name,
               << spec.ports << "-port internal fabric, "
               << spec.rates.size() << " load points)\n";
     flow::SwitchProfile profile =
-        flow::calibrateSwitchProfile(spec, pool, trace);
+        flow::calibrateSwitchProfile(spec, pool, trace, profiler);
     profile.radix = ports;
     if (!path.empty()) {
         std::error_code ec;
@@ -757,6 +871,13 @@ cmdDcn(const Args &args)
             "  --seed 1             base seed (same seed + config =>\n"
             "                       bit-identical CSV at any --jobs)\n"
             "  --csv out.csv --json out.json --trace-out run.json\n"
+            "  --stats-out t.csv    re-run the first cell with windowed\n"
+            "                       telemetry on and dump the per-link\n"
+            "                       congestion timeline (long CSV)\n"
+            "  --telemetry-window 0 window length in simulated seconds\n"
+            "                       (0 = duration/24 of that cell)\n"
+            "  --profile            print the phase self-time table\n"
+            "  --manifest-out m.json  provenance manifest of this run\n"
             "  plus the solve flags (--substrate, --wsi, ...) and the\n"
             "  sim flags of `wss sim` (--vcs, --warmup, ...)\n";
         return 0;
@@ -765,6 +886,8 @@ cmdDcn(const Args &args)
     const int jobs = static_cast<int>(
         args.integer("jobs", exec::ThreadPool::defaultThreads()));
     exec::ThreadPool pool(jobs);
+    obs::Profiler profiler;
+    ArtifactLog artifacts;
     obs::TraceEventSink trace;
     const bool tracing = args.has("trace-out");
     if (tracing)
@@ -817,10 +940,10 @@ cmdDcn(const Args &args)
 
     const flow::SwitchProfile ws_profile = dcnProfile(
         args, "ws-" + std::to_string(ws_ports), ws_ports, dspec.ssc,
-        ws_power, &pool, sink);
+        ws_power, &pool, sink, &profiler);
     const flow::SwitchProfile conv_profile = dcnProfile(
         args, "conv-" + std::to_string(conv_aligned), conv_aligned,
-        conv_ssc, conv_power, &pool, sink);
+        conv_ssc, conv_power, &pool, sink, &profiler);
 
     flow::DcnCampaignConfig cfg;
     cfg.designs = {ws_profile, conv_profile};
@@ -845,7 +968,7 @@ cmdDcn(const Args &args)
     cfg.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
 
     const flow::DcnResult result =
-        flow::DcnCampaign(cfg).run(&pool, sink);
+        flow::DcnCampaign(cfg).run(&pool, sink, &profiler);
 
     Table table("wss dcn — " + Table::num(cfg.hosts) + " hosts, " +
                     Table::num(cfg.flows_per_cell) +
@@ -873,22 +996,78 @@ cmdDcn(const Args &args)
     if (args.has("csv")) {
         const std::string path = args.str("csv", "");
         result.writeCsvFile(path);
+        artifacts.note(path, "dcn-csv");
         std::cout << "CSV written to " << path << "\n";
     }
     if (args.has("json")) {
         const std::string path = args.str("json", "");
         result.writeJsonFile(path);
+        artifacts.note(path, "dcn-json");
         std::cout << "JSON written to " << path << "\n";
     }
+
+    // Observed run: re-simulate the campaign's first cell (same
+    // seed-derived flow list, fault-free) with windowed telemetry on
+    // and dump the per-link congestion timeline.
+    if (args.has("stats-out")) {
+        const std::string path = args.str("stats-out", "");
+        if (path.empty())
+            fatal("dcn: --stats-out needs a file path");
+        const flow::SwitchProfile &profile = cfg.designs.front();
+        flow::DcnTopology topo =
+            cfg.kind == flow::DcnKind::FatTree
+                ? flow::DcnTopology::buildFatTree(
+                      cfg.hosts, static_cast<int>(profile.radix),
+                      profile.line_rate_gbps)
+                : flow::DcnTopology::buildDragonfly(
+                      cfg.hosts, static_cast<int>(profile.radix),
+                      profile.line_rate_gbps);
+        flow::DcnWorkloadSpec workload = cfg.workloads.front();
+        workload.load = cfg.loads.front();
+        workload.flow_count = cfg.flows_per_cell;
+        const std::vector<flow::FlowArrival> flows =
+            flow::generateFlows(workload, topo.hostCount(),
+                                profile.line_rate_gbps,
+                                deriveSeed(cfg.seed, 1));
+
+        flow::FlowSimConfig obs_cfg;
+        obs_cfg.profiler = &profiler;
+        obs_cfg.trace = sink;
+        obs_cfg.trace_label = "dcn-observed";
+        // Default window: ~24 buckets over the campaign's own run of
+        // this cell (its duration is already known).
+        const double duration = result.cells.front().sim.duration_s;
+        obs_cfg.telemetry_window_s =
+            args.num("telemetry-window",
+                     duration > 0.0 ? duration / 24.0 : 1e-6);
+        if (obs_cfg.telemetry_window_s <= 0.0)
+            fatal("dcn: --telemetry-window must be positive");
+
+        const flow::FlowSimResult observed =
+            flow::simulateFlows(topo, profile, flows, {}, obs_cfg);
+        observed.telemetry->dumpCsvFile(path);
+        artifacts.note(path, "flow-telemetry");
+        std::cout << "telemetry written to " << path << " ("
+                  << observed.telemetry->windows.size()
+                  << " windows of "
+                  << Table::num(obs_cfg.telemetry_window_s * 1e6, 3)
+                  << " us, " << observed.started << " flows)\n";
+    }
+
+    finishProfile(args, profiler, sink);
     if (tracing) {
         const std::string path = args.str("trace-out", "");
         if (path.empty())
             fatal("dcn: --trace-out needs a file path");
         trace.writeFile(path);
+        artifacts.note(path, "trace");
         std::cout << "trace written to " << path << " ("
                   << trace.size()
                   << " events; open in Perfetto / chrome://tracing)\n";
     }
+    if (args.has("manifest-out"))
+        writeManifest(args, "wss dcn", cfg.seed, jobs, artifacts,
+                      profiler);
     return 0;
 }
 
@@ -1001,6 +1180,11 @@ cmdColl(const Args &args)
             "  --seed 1             recorded in artifacts (the engine\n"
             "                       itself is deterministic)\n"
             "  --csv out.csv --json out.json --trace-out run.json\n"
+            "  --stats-out t.csv    re-run the first cell with per-rank\n"
+            "                       per-step telemetry on and dump the\n"
+            "                       collective's Gantt data (long CSV)\n"
+            "  --profile            print the phase self-time table\n"
+            "  --manifest-out m.json  provenance manifest of this run\n"
             "  plus the solve flags (--substrate, --wsi, ...) and the\n"
             "  sim flags of `wss sim` (--vcs, --warmup, ...)\n";
         return 0;
@@ -1025,6 +1209,8 @@ cmdColl(const Args &args)
             : exec::ThreadPool::defaultThreads());
 
     exec::ThreadPool pool(jobs);
+    obs::Profiler profiler;
+    ArtifactLog artifacts;
     obs::TraceEventSink trace;
     const bool tracing = args.has("trace-out");
     if (tracing)
@@ -1077,10 +1263,10 @@ cmdColl(const Args &args)
 
     const flow::SwitchProfile ws_profile = dcnProfile(
         args, "ws-" + std::to_string(ws_ports), ws_ports, dspec.ssc,
-        ws_power, &pool, sink);
+        ws_power, &pool, sink, &profiler);
     const flow::SwitchProfile conv_profile = dcnProfile(
         args, "conv-" + std::to_string(conv_aligned), conv_aligned,
-        conv_ssc, conv_power, &pool, sink);
+        conv_ssc, conv_power, &pool, sink, &profiler);
 
     coll::CollCampaignConfig cfg;
     cfg.designs = {ws_profile, conv_profile};
@@ -1109,7 +1295,7 @@ cmdColl(const Args &args)
     cfg.seed = seed;
 
     const coll::CollResult result =
-        coll::CollCampaign(cfg).run(&pool, sink);
+        coll::CollCampaign(cfg).run(&pool, sink, &profiler);
 
     Table table("wss coll — " + Table::num(cfg.ranks) +
                     " ranks, seed " + Table::num(cfg.seed),
@@ -1274,23 +1460,127 @@ cmdColl(const Args &args)
     if (args.has("csv")) {
         const std::string path = args.str("csv", "");
         result.writeCsvFile(path);
+        artifacts.note(path, "coll-csv");
         std::cout << "CSV written to " << path << "\n";
     }
     if (args.has("json")) {
         const std::string path = args.str("json", "");
         result.writeJsonFile(path);
+        artifacts.note(path, "coll-json");
         std::cout << "JSON written to " << path << "\n";
     }
+
+    // Observed run: re-execute the campaign's first cell with
+    // per-rank per-step telemetry on and dump the Gantt data.
+    if (args.has("stats-out")) {
+        const std::string path = args.str("stats-out", "");
+        if (path.empty())
+            fatal("coll: --stats-out needs a file path");
+        const flow::SwitchProfile &profile = cfg.designs.front();
+        const coll::Schedule schedule =
+            coll::buildSchedule(cfg.collectives.front(), cfg.ranks);
+        flow::DcnTopology topo =
+            cfg.kind == flow::DcnKind::FatTree
+                ? flow::DcnTopology::buildFatTree(
+                      cfg.ranks, static_cast<int>(profile.radix),
+                      profile.line_rate_gbps)
+                : flow::DcnTopology::buildDragonfly(
+                      cfg.ranks, static_cast<int>(profile.radix),
+                      profile.line_rate_gbps);
+        coll::CollExecConfig exec_cfg;
+        exec_cfg.telemetry = true;
+        exec_cfg.metrics = &metrics;
+        exec_cfg.trace = sink;
+        exec_cfg.trace_label = "coll-observed";
+        exec_cfg.profiler = &profiler;
+        exec_cfg.fault = cfg.fault;
+        const coll::CollExecResult observed = coll::executeOnDcn(
+            schedule, cfg.payload_bytes.front(), topo, profile,
+            exec_cfg);
+        observed.telemetry->dumpCsvFile(path);
+        artifacts.note(path, "coll-telemetry");
+        std::cout << "telemetry written to " << path << " ("
+                  << schedule.name() << ", "
+                  << observed.telemetry->steps.size() << " steps, "
+                  << observed.messages << " messages)\n";
+    }
+
+    finishProfile(args, profiler, sink);
     if (tracing) {
         const std::string path = args.str("trace-out", "");
         if (path.empty())
             fatal("coll: --trace-out needs a file path");
         trace.writeFile(path);
+        artifacts.note(path, "trace");
         std::cout << "trace written to " << path << " ("
                   << trace.size()
                   << " events; open in Perfetto / chrome://tracing)\n";
     }
+    if (args.has("manifest-out"))
+        writeManifest(args, "wss coll", seed, jobs, artifacts,
+                      profiler);
     return 0;
+}
+
+int
+cmdReport(const Args &args)
+{
+    if (args.has("help")) {
+        std::cout <<
+            "usage: wss report --manifest run.manifest.json [--flags]\n"
+            "\n"
+            "Render one run's provenance manifest and telemetry\n"
+            "artifacts as a self-contained Markdown report (plus a\n"
+            "machine-readable JSON twin): run identity, configuration,\n"
+            "top self-time phases, hottest links over time, per-step\n"
+            "collective breakdown, and a health-check table (artifact\n"
+            "hashes, conservation, telemetry reconciliation).\n"
+            "\n"
+            "  --manifest m.json    manifest to report on (required)\n"
+            "  --out report.md      Markdown output path\n"
+            "  --json report.json   also write the JSON twin\n"
+            "  --top-phases 12      rows in the self-time table\n"
+            "  --top-links 10       rows in the hottest-links table\n"
+            "  --saturation 0.95    utilization flagged as saturated\n"
+            "\n"
+            "Exit status 1 when any health check fails.\n";
+        return 0;
+    }
+
+    obs::ReportOptions opts;
+    opts.manifest_path = args.str("manifest", "");
+    if (opts.manifest_path.empty())
+        fatal("report: --manifest needs the manifest JSON path");
+    opts.top_phases =
+        static_cast<std::size_t>(args.integer("top-phases", 12));
+    opts.top_links =
+        static_cast<std::size_t>(args.integer("top-links", 10));
+    opts.saturation_threshold = args.num("saturation", 0.95);
+
+    const obs::RunReport report = obs::buildRunReport(opts);
+
+    const std::string md_path = args.str("out", "report.md");
+    report.writeMarkdownFile(md_path);
+    std::cout << "report written to " << md_path << "\n";
+    if (args.has("json")) {
+        const std::string json_path = args.str("json", "");
+        if (json_path.empty())
+            fatal("report: --json needs a file path");
+        report.writeJsonFile(json_path);
+        std::cout << "JSON written to " << json_path << "\n";
+    }
+
+    std::size_t passed = 0;
+    for (const auto &check : report.checks) {
+        if (check.ok)
+            ++passed;
+        else
+            std::cout << "FAILED " << check.name << ": "
+                      << check.detail << "\n";
+    }
+    std::cout << "health: " << passed << "/" << report.checks.size()
+              << " checks passed\n";
+    return report.ok() ? 0 : 1;
 }
 
 int
@@ -1365,7 +1655,14 @@ usage()
         "          [--plan dp=8,tp=4,pp=2,ep=2] --jobs 8\n"
         "          [--csv out.csv --json out.json]\n"
         "          (run `wss coll --help` for all flags)\n"
-        "  plan    (solve flags) -> power delivery/cooling/enclosure\n";
+        "  report  --manifest run.manifest.json --out report.md\n"
+        "          [--json report.json]\n"
+        "          (run `wss report --help` for all flags)\n"
+        "  plan    (solve flags) -> power delivery/cooling/enclosure\n"
+        "\n"
+        "Most subcommands also take --profile (phase self-time table)\n"
+        "and --manifest-out m.json (provenance manifest, the input to\n"
+        "`wss report`).\n";
 }
 
 } // namespace
@@ -1395,6 +1692,8 @@ main(int argc, char **argv)
         return cmdDcn(args);
     if (cmd == "coll")
         return cmdColl(args);
+    if (cmd == "report")
+        return cmdReport(args);
     if (cmd == "plan")
         return cmdPlan(args);
     usage();
