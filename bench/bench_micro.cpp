@@ -10,6 +10,7 @@
 #include <bit>
 
 #include "mapping/pairwise_exchange.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "power/ssc.hpp"
@@ -289,6 +290,38 @@ BM_ProfilerScopeEnabled(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ProfilerScopeEnabled);
+
+void
+BM_FlightRecorderDisabled(benchmark::State &state)
+{
+    // The recorder's null-handle contract: with no ring attached to
+    // this thread, recordEvent is one predicted branch, so campaign
+    // and simulator call sites stay instrumented unconditionally.
+    // tools/check.sh gates the disabled/enabled ratio at >= 10x.
+    std::int64_t i = 0;
+    for (auto _ : state) {
+        obs::recordEvent(obs::EventKind::SimEpoch, i++, 0);
+        benchmark::DoNotOptimize(i);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorderDisabled);
+
+void
+BM_FlightRecorderEnabled(benchmark::State &state)
+{
+    obs::FlightRecorder::enable();
+    obs::FlightRecorder::attachCurrentThread("bench");
+    std::int64_t i = 0;
+    for (auto _ : state) {
+        obs::recordEvent(obs::EventKind::SimEpoch, i++, 0, "bench");
+        benchmark::DoNotOptimize(i);
+    }
+    state.SetItemsProcessed(state.iterations());
+    obs::FlightRecorder::detachCurrentThread();
+    obs::FlightRecorder::resetForTesting();
+}
+BENCHMARK(BM_FlightRecorderEnabled);
 
 } // namespace
 

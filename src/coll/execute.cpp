@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "flow/flow_sim.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/watchdog.hpp"
 #include "sim/simulator.hpp"
 #include "trace/coll_lowering.hpp"
 #include "trace/trace_workload.hpp"
@@ -196,6 +198,11 @@ executeOnDcn(const Schedule &schedule, double payload_bytes,
 
     for (int step = 0; step < schedule.steps; ++step) {
         obs::ScopedPhase step_phase(cfg.profiler, "step");
+        // Step boundary mark + heartbeat: a collective hung inside a
+        // step names the step in the stall dump. Purely passive.
+        obs::recordEvent(obs::EventKind::SimEpoch, step, schedule.steps,
+                         schedule.name());
+        obs::heartbeat();
         if (cfg.fault.at_step == step) {
             if (cfg.fault.kill_switch)
                 topo.setSwitchAlive(cfg.fault.id, false);
@@ -208,6 +215,10 @@ executeOnDcn(const Schedule &schedule, double payload_bytes,
                     static_cast<std::int64_t>(seconds * 1e6),
                     {obs::TraceArg::num(
                         "id", static_cast<std::int64_t>(cfg.fault.id))});
+            obs::recordEvent(obs::EventKind::FaultInjection, cfg.fault.id,
+                             step,
+                             cfg.fault.kill_switch ? "switch down"
+                                                   : "trunk down");
         }
 
         step_flows.clear();
@@ -343,6 +354,9 @@ executeOnFabric(const Schedule &schedule, double payload_bytes,
             (8 * largest + 4096) +
         100000);
     sim_cfg.drain_limit = 0;
+    obs::recordEvent(obs::EventKind::SimEpoch, schedule.steps,
+                     payload_flits, schedule.name());
+    obs::heartbeat();
     sim::Simulator sim(net, workload, sim_cfg);
     const sim::SimResult r = sim.run();
     if (!r.stable)

@@ -1,8 +1,11 @@
 #include "exec/sweep_runner.hpp"
 
 #include <chrono>
+#include <string>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/watchdog.hpp"
 #include "util/logging.hpp"
 #include "util/stats_accumulator.hpp"
 
@@ -39,6 +42,13 @@ SweepRunner::runPoint(int repetition, int rate_index) const
     cfg.seed = deriveSeed(job_.cfg.seed,
                           static_cast<std::uint64_t>(repetition));
 
+    // Design-point boundary for crash post-mortems; purely passive.
+    obs::recordEvent(
+        obs::EventKind::DesignPoint, repetition, rate_index,
+        "rate " +
+            std::to_string(job_.rates[static_cast<std::size_t>(rate_index)]));
+    obs::heartbeat();
+
     PointOutcome outcome;
     outcome.repetition = repetition;
     outcome.rate_index = rate_index;
@@ -73,6 +83,16 @@ SweepRunner::run(ThreadPool *pool, obs::TraceEventSink *trace,
         const int rep = static_cast<int>(index / rates);
         const int ri = static_cast<int>(index % rates);
         const int slot = pool ? pool->workerSlot() : 0;
+        if (obs::FlightRecorder::enabled() ||
+            obs::Watchdog::heartbeatsEnabled()) {
+            const std::string label =
+                (!pool || slot == pool->size())
+                    ? "caller"
+                    : "worker-" + std::to_string(slot);
+            obs::FlightRecorder::attachCurrentThread(label);
+            obs::Watchdog::registerCurrentThread(label);
+            obs::Watchdog::markThreadActive();
+        }
         const std::int64_t ts = trace ? trace->nowMicros() : 0;
         obs::ScopedPhase cell_phase(
             profiler ? &worker_prof[static_cast<std::size_t>(slot)]
@@ -90,6 +110,7 @@ SweepRunner::run(ThreadPool *pool, obs::TraceEventSink *trace,
                  obs::TraceArg::num(
                      "rate",
                      job_.rates[static_cast<std::size_t>(ri)])});
+        obs::Watchdog::markThreadIdle();
     };
     if (pool)
         pool->parallelFor(reps * rates, runCell);

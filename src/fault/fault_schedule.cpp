@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/flight_recorder.hpp"
 #include "util/logging.hpp"
 
 namespace wss::fault {
@@ -61,6 +62,8 @@ FaultSchedule::hook(obs::TraceEventSink *trace) const
                 "rebuilds every routing table (O(routers^2) BFS) — "
                 "fine per event, costly if scheduled every cycle");
             network.setLinkUp(it->link, it->up);
+            obs::recordEvent(obs::EventKind::FaultInjection, it->link,
+                             now, it->up ? "link up" : "link down");
             if (trace)
                 trace->instant(
                     std::string("link ") + std::to_string(it->link) +

@@ -7,6 +7,8 @@
 #include <ostream>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/watchdog.hpp"
 #include "util/artifact.hpp"
 #include "util/logging.hpp"
 #include "util/stats_accumulator.hpp"
@@ -424,10 +426,25 @@ simulateFlows(DcnTopology &topo, const SwitchProfile &profile,
                 static_cast<std::int64_t>(ev.at_s * 1e6),
                 {obs::TraceArg::num(
                     "id", static_cast<std::int64_t>(ev.id))});
+        obs::recordEvent(obs::EventKind::FaultInjection, ev.id,
+                         static_cast<std::int64_t>(ev.at_s * 1e6),
+                         label);
     };
 
     // --- event loop ----------------------------------------------
+    // Liveness marks: one heartbeat + epoch event every kEpochBatch
+    // event batches (never per flow), so the watchdog can tell a
+    // slow 100k-flow cell from a hung one. Purely passive.
+    constexpr std::uint64_t kEpochBatch = 2048;
+    std::uint64_t batches = 0;
     while (i_arr < flows.size() || !active.empty()) {
+        if (++batches % kEpochBatch == 0) {
+            obs::heartbeat();
+            obs::recordEvent(obs::EventKind::SimEpoch,
+                             static_cast<std::int64_t>(i_arr),
+                             static_cast<std::int64_t>(active.size()),
+                             "flow-sim");
+        }
         const double t_arr =
             i_arr < flows.size() ? flows[i_arr].arrival_s : kInf;
         const double t_fault = i_fault < sorted_faults.size()

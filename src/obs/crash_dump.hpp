@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Structured crash post-mortems: drain the flight recorder into a
+ * `crash.json` when the process dies abnormally.
+ *
+ * Three death paths converge here:
+ *
+ *   - panic() / fatal() (normal context): the util/logging.hpp hook
+ *     installed by FlightRecorder::enable() records the event and
+ *     calls writeNow() with the message before abort()/exit(1);
+ *   - SIGSEGV / SIGABRT / SIGBUS (signal context): install() puts in
+ *     sigaction handlers that call writeNow() and then re-raise the
+ *     signal with its default disposition, so the exit status still
+ *     reports the original signal;
+ *   - the watchdog's stall abort, which goes through panic() and so
+ *     takes the first path with the culprit already named.
+ *
+ * writeNow() is async-signal-safe end to end: open()/write() only,
+ * manual integer/fixed-point formatting into stack buffers, no
+ * allocation, no locks, no iostreams (the rules are documented in
+ * util/logging.hpp). A process writes at most one post-mortem — the
+ * panic path wins over the SIGABRT handler that follows it.
+ *
+ * The report is JSON (always parseable by `python3 -m json.tool`,
+ * ctest-asserted): reason, signal, tool, config identity hash, a
+ * process-wide per-kind event counter snapshot, and per thread the
+ * label, open profiler phase stack, and last-N recorded events.
+ * `wss report --crash crash.json` renders it as a post-mortem
+ * section.
+ */
+
+#ifndef WSS_OBS_CRASH_DUMP_HPP
+#define WSS_OBS_CRASH_DUMP_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wss::obs {
+
+class CrashDump
+{
+  public:
+    /// Route future crashes into @p path: remember the path and
+    /// install the SIGSEGV/SIGABRT/SIGBUS handlers. Idempotent
+    /// (the first path wins until resetForTesting()).
+    static void install(const std::string &path);
+
+    static bool installed();
+
+    /// Label the run ("sweep", "coll", ...) in the report.
+    static void setTool(std::string_view tool);
+
+    /// Config/seed/jobs identity hash (RunManifest::hashBytes over
+    /// the identity JSON, artifacts excluded — at crash time none
+    /// were finalized) echoed in the report so a post-mortem can be
+    /// matched to its configuration.
+    static void setIdentity(std::uint64_t hash);
+
+    /**
+     * Write the post-mortem now. Async-signal-safe. Returns true if
+     * this call wrote the file; false when not installed or when a
+     * report was already written (every later caller loses the race
+     * exactly once, process-wide). @p sig is the delivering signal
+     * number, 0 for the panic()/fatal() path.
+     */
+    static bool writeNow(const char *reason, int sig);
+
+    /// Installed output path ("" when not installed).
+    static const char *path();
+
+    /// Forget the path, restore previous signal dispositions, rearm
+    /// the write-once latch. Test-only.
+    static void resetForTesting();
+};
+
+} // namespace wss::obs
+
+#endif // WSS_OBS_CRASH_DUMP_HPP

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/trace_event.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
@@ -62,6 +63,7 @@ Profiler::enter(std::string_view name)
         path += name;
     }
     stack_.push_back({std::move(path), std::chrono::steady_clock::now()});
+    recordPhaseEnter(name);
 }
 
 void
@@ -78,6 +80,7 @@ Profiler::exit()
     stats.calls += 1;
     stats.seconds += elapsed;
     stack_.pop_back();
+    recordPhaseExit();
 }
 
 double

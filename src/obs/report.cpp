@@ -10,6 +10,7 @@
 
 #include "obs/run_manifest.hpp"
 #include "util/artifact.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 
 namespace wss::obs {
@@ -214,6 +215,93 @@ keyIndex(const std::string &key)
     }
 }
 
+/// Everything the report keeps from one crash.json post-mortem.
+struct CrashThreadView
+{
+    std::string label;
+    double events_recorded = 0;
+    long open_phase_depth = 0;
+    std::vector<std::string> open_phases;
+    struct Event
+    {
+        double t_s = 0;
+        std::string kind;
+        double a = 0, b = 0;
+        std::string tag;
+    };
+    std::vector<Event> events;
+};
+
+struct CrashView
+{
+    bool present = false;
+    /// Structurally sound (every expected member present and typed).
+    bool well_formed = false;
+    std::string problem;
+    std::string reason, signal_name, tool, identity_hash;
+    double signal = 0, uptime_s = 0;
+    std::vector<std::pair<std::string, double>> counters;
+    std::vector<CrashThreadView> threads;
+};
+
+/// Parse an obs::CrashDump crash.json. fatal() on unreadable or
+/// non-JSON input (the path was explicitly requested); structural
+/// surprises inside valid JSON degrade to well_formed = false so the
+/// crash-post-mortem health check can report them.
+CrashView
+parseCrashReport(const std::string &path)
+{
+    CrashView view;
+    view.present = true;
+    const util::JsonValue doc =
+        util::JsonValue::parseFile(path, "crash report");
+    if (doc.find("wss_crash_report") == nullptr) {
+        view.problem = "missing wss_crash_report marker";
+        return view;
+    }
+    view.reason = doc.stringOr("reason", "");
+    view.signal = doc.numberOr("signal", 0);
+    view.signal_name = doc.stringOr("signal_name", "");
+    view.tool = doc.stringOr("tool", "");
+    view.identity_hash = doc.stringOr("identity_hash", "");
+    view.uptime_s = doc.numberOr("uptime_s", 0.0);
+    if (const util::JsonValue *counters = doc.find("counters"))
+        for (const auto &[name, value] :
+             counters->asObject("crash counters"))
+            view.counters.emplace_back(
+                name, value.asNumber("crash counter " + name));
+    const util::JsonValue *threads = doc.find("threads");
+    if (threads == nullptr) {
+        view.problem = "missing threads array";
+        return view;
+    }
+    for (const util::JsonValue &t : threads->asArray("crash threads")) {
+        CrashThreadView tv;
+        tv.label = t.stringOr("label", "?");
+        tv.events_recorded = t.numberOr("events_recorded", 0);
+        tv.open_phase_depth = static_cast<long>(
+            t.numberOr("open_phase_depth", 0));
+        if (const util::JsonValue *phases = t.find("open_phases"))
+            for (const util::JsonValue &p :
+                 phases->asArray("crash open_phases"))
+                tv.open_phases.push_back(p.asString("crash phase"));
+        if (const util::JsonValue *events = t.find("events"))
+            for (const util::JsonValue &e :
+                 events->asArray("crash events")) {
+                CrashThreadView::Event ev;
+                ev.t_s = e.numberOr("t_s", 0.0);
+                ev.kind = e.stringOr("kind", "?");
+                ev.a = e.numberOr("a", 0);
+                ev.b = e.numberOr("b", 0);
+                ev.tag = e.stringOr("tag", "");
+                tv.events.push_back(std::move(ev));
+            }
+        view.threads.push_back(std::move(tv));
+    }
+    view.well_formed = true;
+    return view;
+}
+
 } // namespace
 
 bool
@@ -242,11 +330,19 @@ RunReport::writeJsonFile(const std::string &path) const
 RunReport
 buildRunReport(const ReportOptions &opts)
 {
-    if (opts.manifest_path.empty())
-        fatal("wss report: need a manifest path");
-    const RunManifest manifest =
-        RunManifest::loadJsonFile(opts.manifest_path);
+    if (opts.manifest_path.empty() && opts.crash_path.empty())
+        fatal("wss report: need a manifest path (or --crash)");
+    // A crashed run usually never wrote its manifest, so a
+    // crash-only report is legal: manifest-backed sections collapse
+    // to their empty forms and every applicable check still runs.
+    RunManifest manifest{std::string()};
+    if (!opts.manifest_path.empty())
+        manifest = RunManifest::loadJsonFile(opts.manifest_path);
     const std::string manifest_dir = dirName(opts.manifest_path);
+
+    CrashView crash;
+    if (!opts.crash_path.empty())
+        crash = parseCrashReport(opts.crash_path);
 
     RunReport report;
 
@@ -433,6 +529,25 @@ buildRunReport(const ReportOptions &opts)
         report.checks.push_back(std::move(check));
     }
 
+    // The crash report validates as a report artifact: the check
+    // passes when the post-mortem was structurally sound. The crash
+    // itself is the *content* of the post-mortem section, not a
+    // health failure of this report.
+    if (crash.present) {
+        ReportCheck check;
+        check.name = "crash-post-mortem";
+        check.ok = crash.well_formed;
+        std::ostringstream detail;
+        if (crash.well_formed)
+            detail << "reason '" << crash.reason << "', "
+                   << crash.threads.size() << " thread(s) captured";
+        else
+            detail << "malformed crash report (" << crash.problem
+                   << ")";
+        check.detail = detail.str();
+        report.checks.push_back(std::move(check));
+    }
+
     // ---- self-time phases from the manifest timing --------------
     struct PhaseRow
     {
@@ -478,32 +593,42 @@ buildRunReport(const ReportOptions &opts)
         hot_links.resize(opts.top_links);
 
     // ---- render Markdown ----------------------------------------
+    const bool have_manifest = !opts.manifest_path.empty();
+    std::string title = manifest.tool();
+    if (title.empty())
+        title = crash.tool.empty() ? "(unknown tool)"
+                                   : crash.tool + " (crashed run)";
     std::ostringstream md;
-    md << "# wss run report: " << manifest.tool() << "\n\n";
-    md << "- identity hash: `" << hexString(manifest.identityHash())
-       << "`\n";
-    md << "- seed: " << manifest.seed() << "\n";
-    md << "- jobs: " << manifest.jobs() << "\n";
+    md << "# wss run report: " << title << "\n\n";
+    if (have_manifest) {
+        md << "- identity hash: `" << hexString(manifest.identityHash())
+           << "`\n";
+        md << "- seed: " << manifest.seed() << "\n";
+        md << "- jobs: " << manifest.jobs() << "\n";
+    }
     md << "- health: " << (report.ok() ? "all checks passed"
                                        : "CHECKS FAILED")
        << "\n\n";
 
-    md << "## Configuration\n\n";
-    md << "| key | value |\n|---|---|\n";
-    for (const auto &[key, value] : manifest.config())
-        md << "| " << key << " | " << value << " |\n";
-    md << "\n";
+    if (have_manifest) {
+        md << "## Configuration\n\n";
+        md << "| key | value |\n|---|---|\n";
+        for (const auto &[key, value] : manifest.config())
+            md << "| " << key << " | " << value << " |\n";
+        md << "\n";
 
-    md << "## Artifacts\n\n";
-    md << "| path | kind | bytes | verified |\n|---|---|---|---|\n";
-    for (const ResolvedArtifact &a : artifacts)
-        md << "| " << a.entry.path << " | " << a.entry.kind << " | "
-           << a.entry.bytes << " | "
-           << (a.hash_ok ? "yes"
-                         : (a.resolved_path.empty() ? "MISSING"
-                                                    : "HASH MISMATCH"))
-           << " |\n";
-    md << "\n";
+        md << "## Artifacts\n\n";
+        md << "| path | kind | bytes | verified |\n|---|---|---|---|\n";
+        for (const ResolvedArtifact &a : artifacts)
+            md << "| " << a.entry.path << " | " << a.entry.kind << " | "
+               << a.entry.bytes << " | "
+               << (a.hash_ok
+                       ? "yes"
+                       : (a.resolved_path.empty() ? "MISSING"
+                                                  : "HASH MISMATCH"))
+               << " |\n";
+        md << "\n";
+    }
 
     if (!phase_rows.empty()) {
         md << "## Top self-time phases\n\n";
@@ -550,6 +675,64 @@ buildRunReport(const ReportOptions &opts)
                << fmt(s.seconds) << " | " << s.messages << " | "
                << s.failed << " | " << fmt(s.bytes, 10) << " |\n";
         md << "\n";
+    }
+
+    if (crash.present) {
+        md << "## Post-mortem\n\n";
+        md << "- reason: " << (crash.reason.empty() ? "(unknown)"
+                                                    : crash.reason)
+           << "\n";
+        md << "- signal: " << crash.signal_name << " ("
+           << static_cast<long>(crash.signal) << ")\n";
+        if (!crash.tool.empty())
+            md << "- tool: " << crash.tool << "\n";
+        if (!crash.identity_hash.empty())
+            md << "- config identity hash: `" << crash.identity_hash
+               << "`\n";
+        md << "- uptime: " << fmt(crash.uptime_s) << " s\n\n";
+        if (!crash.counters.empty()) {
+            md << "### Event counters\n\n";
+            md << "| event | count |\n|---|---|\n";
+            for (const auto &[name, count] : crash.counters)
+                md << "| " << name << " | "
+                   << static_cast<long long>(count) << " |\n";
+            md << "\n";
+        }
+        for (const CrashThreadView &t : crash.threads) {
+            md << "### Thread " << t.label << "\n\n";
+            md << "- events recorded: "
+               << static_cast<long long>(t.events_recorded) << "\n";
+            md << "- open phases: ";
+            if (t.open_phases.empty()) {
+                md << "(none)";
+            } else {
+                for (std::size_t p = 0; p < t.open_phases.size(); ++p)
+                    md << (p ? "/" : "") << t.open_phases[p];
+                if (t.open_phase_depth >
+                    static_cast<long>(t.open_phases.size()))
+                    md << " (+"
+                       << t.open_phase_depth -
+                              static_cast<long>(t.open_phases.size())
+                       << " deeper)";
+            }
+            md << "\n\n";
+            if (!t.events.empty()) {
+                md << "| t (s) | kind | a | b | tag |\n"
+                      "|---|---|---|---|---|\n";
+                const std::size_t first =
+                    t.events.size() > opts.crash_events
+                        ? t.events.size() - opts.crash_events
+                        : 0;
+                for (std::size_t e = first; e < t.events.size(); ++e) {
+                    const CrashThreadView::Event &ev = t.events[e];
+                    md << "| " << fmt(ev.t_s, 6) << " | " << ev.kind
+                       << " | " << static_cast<long long>(ev.a)
+                       << " | " << static_cast<long long>(ev.b)
+                       << " | " << ev.tag << " |\n";
+                }
+                md << "\n";
+            }
+        }
     }
 
     md << "## Health checks\n\n";
@@ -626,7 +809,33 @@ buildRunReport(const ReportOptions &opts)
            << ", \"failed\": " << jsonNumber(failed)
            << ", \"bytes\": " << jsonNumber(bytes);
     }
-    js << "}\n}\n";
+    js << "}";
+    if (crash.present) {
+        js << ",\n  \"crash\": {\"reason\": \""
+           << jsonEscape(crash.reason) << "\", \"signal\": "
+           << static_cast<long>(crash.signal) << ", \"signal_name\": \""
+           << jsonEscape(crash.signal_name) << "\", \"tool\": \""
+           << jsonEscape(crash.tool) << "\", \"identity_hash\": \""
+           << jsonEscape(crash.identity_hash)
+           << "\", \"uptime_s\": " << jsonNumber(crash.uptime_s)
+           << ", \"well_formed\": "
+           << (crash.well_formed ? "true" : "false")
+           << ", \"threads\": [";
+        for (std::size_t i = 0; i < crash.threads.size(); ++i) {
+            const CrashThreadView &t = crash.threads[i];
+            js << (i ? ", " : "") << "{\"label\": \""
+               << jsonEscape(t.label) << "\", \"events_recorded\": "
+               << jsonNumber(t.events_recorded)
+               << ", \"open_phase_depth\": " << t.open_phase_depth
+               << ", \"open_phases\": [";
+            for (std::size_t p = 0; p < t.open_phases.size(); ++p)
+                js << (p ? ", " : "") << "\""
+                   << jsonEscape(t.open_phases[p]) << "\"";
+            js << "], \"events\": " << t.events.size() << "}";
+        }
+        js << "]}";
+    }
+    js << "\n}\n";
     report.json = js.str();
 
     return report;

@@ -41,12 +41,18 @@ struct ReportCheck
 /// What to report on, and how much of it.
 struct ReportOptions
 {
-    /// Manifest to load (required).
+    /// Manifest to load (required unless crash_path is set — a run
+    /// that crashed usually never wrote its manifest).
     std::string manifest_path;
+    /// Optional obs::CrashDump crash.json to render as a
+    /// post-mortem section ("" = none).
+    std::string crash_path;
     /// Rows in the self-time phase table.
     std::size_t top_phases = 12;
     /// Rows in the hottest-links table.
     std::size_t top_links = 10;
+    /// Events shown per thread in the post-mortem section.
+    std::size_t crash_events = 12;
     /// Utilization above this flags a link-window as saturated.
     double saturation_threshold = 0.95;
 };
@@ -71,10 +77,18 @@ struct RunReport
 
 /**
  * Load @p opts.manifest_path, resolve and verify its artifacts, and
- * render the report. fatal() only when the manifest itself is
- * missing or malformed; a missing or corrupt *artifact* degrades to
- * a failed health check so one lost file cannot hide the rest of
- * the story.
+ * render the report. fatal() only when the manifest (or an
+ * explicitly requested crash report) itself is missing or malformed;
+ * a missing or corrupt *artifact* degrades to a failed health check
+ * so one lost file cannot hide the rest of the story.
+ *
+ * With opts.crash_path set, the crash.json is rendered as a
+ * "Post-mortem" section (reason, per-kind event counters, per-thread
+ * open phase stacks and last recorded events) plus a
+ * "crash-post-mortem" health check that passes when the crash report
+ * was structurally sound — the check validates the report artifact,
+ * not the crashed run. A crash-only report (no manifest) still
+ * evaluates every applicable health check.
  */
 RunReport buildRunReport(const ReportOptions &opts);
 

@@ -1,0 +1,427 @@
+#include "obs/watchdog.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "obs/flight_recorder.hpp"
+#include "util/logging.hpp"
+
+namespace wss::obs {
+namespace wddetail {
+
+struct HeartbeatSlot
+{
+    std::atomic<std::uint64_t> last_beat_ns{0};
+    std::atomic<std::uint64_t> beats{0};
+    std::atomic<bool> active{false};
+    char label[32] = {};
+    /// Guards detail (written per design point, read per progress
+    /// render — both cold).
+    std::mutex detail_mutex;
+    char detail[96] = {};
+};
+
+thread_local HeartbeatSlot *tl_slot = nullptr;
+
+} // namespace wddetail
+
+namespace {
+
+using wddetail::HeartbeatSlot;
+
+constexpr std::size_t kMaxSlots = 256;
+constexpr std::size_t kProgressLineCap = 156;
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::atomic<bool> g_enabled{false};
+std::atomic<HeartbeatSlot *> g_slots[kMaxSlots]{};
+std::atomic<std::size_t> g_slot_count{0};
+std::mutex g_register_mutex;
+
+std::atomic<std::uint64_t> g_progress_total{0};
+std::atomic<std::uint64_t> g_progress_done{0};
+std::atomic<std::uint64_t> g_progress_epoch_ns{0};
+
+std::thread g_monitor;
+std::mutex g_monitor_mutex;
+std::condition_variable g_monitor_cv;
+bool g_monitor_running = false;
+bool g_monitor_stop = false;
+std::size_t g_last_line_len = 0;
+
+void
+copyTruncated(char *dst, std::size_t cap, std::string_view src)
+{
+    const std::size_t n = src.size() < cap - 1 ? src.size() : cap - 1;
+    std::memcpy(dst, src.data(), n);
+    dst[n] = '\0';
+}
+
+/// Re-render the status line in place (no newline; the next log line
+/// simply starts after it, which is cosmetic).
+void
+paintProgressLine(const std::string &line)
+{
+    std::string text = "\r" + line;
+    if (line.size() < g_last_line_len)
+        text.append(g_last_line_len - line.size(), ' ');
+    g_last_line_len = line.size();
+    std::lock_guard<std::mutex> lock(wss::detail::logMutex());
+    std::cerr << text << std::flush;
+}
+
+void
+eraseProgressLine()
+{
+    if (g_last_line_len == 0)
+        return;
+    std::string text = "\r";
+    text.append(g_last_line_len, ' ');
+    text += '\r';
+    g_last_line_len = 0;
+    std::lock_guard<std::mutex> lock(wss::detail::logMutex());
+    std::cerr << text << std::flush;
+}
+
+/// Stall diagnosis: the heartbeat table plus each flight-recorder
+/// ring's tail (events + open phase stack), one atomic stderr write.
+std::string
+renderStallDump()
+{
+    std::ostringstream os;
+    os << "watchdog: heartbeat table:\n";
+    for (const HeartbeatSnap &s : Watchdog::snapshot()) {
+        os << "  " << s.label << ": "
+           << (s.active ? "active" : "idle") << ", " << s.beats
+           << " beats, last " << std::fixed;
+        os.precision(2);
+        os << s.age_s << "s ago";
+        if (!s.detail.empty())
+            os << ", on '" << s.detail << "'";
+        os << "\n";
+    }
+    os << "watchdog: flight recorder tails:\n";
+    const std::size_t rings = FlightRecorder::ringCount();
+    if (rings == 0)
+        os << "  (flight recorder disabled or no threads attached)\n";
+    for (std::size_t i = 0; i < rings; ++i) {
+        ThreadRing *ring = FlightRecorder::ring(i);
+        if (ring == nullptr)
+            continue;
+        const std::uint64_t written = ring->written();
+        os << "  " << ring->label() << ": " << written
+           << " events, open phases:";
+        const int depth = ring->phaseDepth();
+        const int named = depth < ThreadRing::kMaxPhaseDepth
+                              ? depth
+                              : ThreadRing::kMaxPhaseDepth;
+        if (named == 0)
+            os << " (none)";
+        for (int p = 0; p < named; ++p)
+            os << (p == 0 ? " " : "/") << ring->phaseName(p);
+        os << "\n";
+        std::uint64_t window = 8;
+        if (window > ring->capacity())
+            window = ring->capacity();
+        if (window > written)
+            window = written;
+        for (std::uint64_t k = 0; k < window; ++k) {
+            const FlightEvent &e = ring->slot(written - window + k);
+            const EventKind kind =
+                e.kind < static_cast<std::uint16_t>(EventKind::kCount)
+                    ? static_cast<EventKind>(e.kind)
+                    : EventKind::kCount;
+            os << "    t=" << std::fixed;
+            os.precision(6);
+            os << e.t << " " << eventKindName(kind) << " a=" << e.a
+               << " b=" << e.b;
+            if (e.tag[0] != '\0')
+                os << " '" << e.tag << "'";
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+void
+monitorLoop(double stall_timeout_s, bool progress, double progress_period_s)
+{
+    double poll_s = progress ? progress_period_s : 0.25;
+    if (stall_timeout_s > 0.0 && stall_timeout_s / 4.0 < poll_s)
+        poll_s = stall_timeout_s / 4.0;
+    if (poll_s < 0.01)
+        poll_s = 0.01;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(g_monitor_mutex);
+            g_monitor_cv.wait_for(
+                lock, std::chrono::duration<double>(poll_s),
+                [] { return g_monitor_stop; });
+            if (g_monitor_stop)
+                return;
+        }
+        if (stall_timeout_s > 0.0) {
+            const std::string culprit =
+                Watchdog::checkStalls(stall_timeout_s);
+            if (!culprit.empty()) {
+                eraseProgressLine();
+                {
+                    const std::string dump = renderStallDump();
+                    std::lock_guard<std::mutex> lock(
+                        wss::detail::logMutex());
+                    std::cerr << dump << std::flush;
+                }
+                panic("watchdog: stall detected — ", culprit);
+            }
+        }
+        if (progress)
+            paintProgressLine(Watchdog::renderProgressLine());
+    }
+}
+
+} // namespace
+
+namespace wddetail {
+
+void
+beatSlow(HeartbeatSlot *slot)
+{
+    slot->last_beat_ns.store(nowNs(), std::memory_order_relaxed);
+    slot->beats.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace wddetail
+
+void
+Watchdog::enableHeartbeats()
+{
+    g_enabled.store(true, std::memory_order_release);
+}
+
+bool
+Watchdog::heartbeatsEnabled()
+{
+    return g_enabled.load(std::memory_order_acquire);
+}
+
+void
+Watchdog::registerCurrentThread(std::string_view label)
+{
+    if (!heartbeatsEnabled() || wddetail::tl_slot != nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(g_register_mutex);
+    const std::size_t i = g_slot_count.load(std::memory_order_relaxed);
+    if (i >= kMaxSlots) {
+        WSS_WARN_ONCE("watchdog: heartbeat table full (", kMaxSlots,
+                      " threads) — further threads are unmonitored");
+        return;
+    }
+    HeartbeatSlot *slot = new HeartbeatSlot;
+    copyTruncated(slot->label, sizeof(slot->label), label);
+    slot->last_beat_ns.store(nowNs(), std::memory_order_relaxed);
+    slot->active.store(true, std::memory_order_relaxed);
+    g_slots[i].store(slot, std::memory_order_release);
+    g_slot_count.store(i + 1, std::memory_order_release);
+    wddetail::tl_slot = slot;
+}
+
+void
+Watchdog::setThreadDetail(std::string_view detail)
+{
+    HeartbeatSlot *slot = wddetail::tl_slot;
+    if (slot == nullptr)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(slot->detail_mutex);
+        copyTruncated(slot->detail, sizeof(slot->detail), detail);
+    }
+    wddetail::beatSlow(slot);
+    recordEvent(EventKind::Heartbeat, 0, 0, detail);
+}
+
+void
+Watchdog::markThreadIdle()
+{
+    if (HeartbeatSlot *slot = wddetail::tl_slot)
+        slot->active.store(false, std::memory_order_relaxed);
+}
+
+void
+Watchdog::markThreadActive()
+{
+    if (HeartbeatSlot *slot = wddetail::tl_slot) {
+        wddetail::beatSlow(slot);
+        slot->active.store(true, std::memory_order_relaxed);
+    }
+}
+
+void
+Watchdog::setProgressTotal(std::uint64_t total)
+{
+    g_progress_total.store(total, std::memory_order_relaxed);
+    g_progress_done.store(0, std::memory_order_relaxed);
+    g_progress_epoch_ns.store(nowNs(), std::memory_order_relaxed);
+}
+
+void
+Watchdog::addProgressDone(std::uint64_t n)
+{
+    g_progress_done.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Watchdog::progressTotal()
+{
+    return g_progress_total.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Watchdog::progressDone()
+{
+    return g_progress_done.load(std::memory_order_relaxed);
+}
+
+void
+Watchdog::start(double stall_timeout_s, bool progress,
+                double progress_period_s)
+{
+    enableHeartbeats();
+    std::lock_guard<std::mutex> lock(g_monitor_mutex);
+    if (g_monitor_running)
+        return;
+    g_monitor_stop = false;
+    g_monitor_running = true;
+    g_monitor = std::thread(monitorLoop, stall_timeout_s, progress,
+                            progress_period_s);
+}
+
+void
+Watchdog::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(g_monitor_mutex);
+        if (!g_monitor_running)
+            return;
+        g_monitor_stop = true;
+    }
+    g_monitor_cv.notify_all();
+    g_monitor.join();
+    {
+        std::lock_guard<std::mutex> lock(g_monitor_mutex);
+        g_monitor_running = false;
+    }
+    eraseProgressLine();
+}
+
+std::vector<HeartbeatSnap>
+Watchdog::snapshot()
+{
+    std::vector<HeartbeatSnap> out;
+    const std::uint64_t now = nowNs();
+    const std::size_t n = g_slot_count.load(std::memory_order_acquire);
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        HeartbeatSlot *slot = g_slots[i].load(std::memory_order_acquire);
+        if (slot == nullptr)
+            continue;
+        HeartbeatSnap s;
+        s.label = slot->label;
+        {
+            std::lock_guard<std::mutex> lock(slot->detail_mutex);
+            s.detail = slot->detail;
+        }
+        s.beats = slot->beats.load(std::memory_order_relaxed);
+        const std::uint64_t last =
+            slot->last_beat_ns.load(std::memory_order_relaxed);
+        s.age_s = last <= now ? (now - last) * 1.0e-9 : 0.0;
+        s.active = slot->active.load(std::memory_order_relaxed);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::string
+Watchdog::checkStalls(double stall_timeout_s)
+{
+    for (const HeartbeatSnap &s : snapshot()) {
+        if (!s.active || s.age_s <= stall_timeout_s)
+            continue;
+        std::ostringstream os;
+        os << s.label << ": no heartbeat for " << std::fixed;
+        os.precision(2);
+        os << s.age_s << "s (timeout " << stall_timeout_s << "s)";
+        if (!s.detail.empty())
+            os << " while on '" << s.detail << "'";
+        return os.str();
+    }
+    return "";
+}
+
+std::string
+Watchdog::renderProgressLine()
+{
+    std::ostringstream os;
+    const std::uint64_t total = progressTotal();
+    const std::uint64_t done = progressDone();
+    os << "jobs " << done << "/" << total;
+    if (total > 0) {
+        os << " (" << std::fixed;
+        os.precision(1);
+        os << 100.0 * static_cast<double>(done) /
+                  static_cast<double>(total)
+           << "%)";
+        if (done > 0 && done < total) {
+            const double elapsed =
+                (nowNs() -
+                 g_progress_epoch_ns.load(std::memory_order_relaxed)) *
+                1.0e-9;
+            const double eta = elapsed *
+                               static_cast<double>(total - done) /
+                               static_cast<double>(done);
+            os << " eta " << std::fixed;
+            os.precision(0);
+            os << eta << "s";
+        }
+    }
+    for (const HeartbeatSnap &s : snapshot()) {
+        if (!s.active || s.detail.empty())
+            continue;
+        os << " | " << s.label << " " << s.detail;
+    }
+    std::string line = os.str();
+    if (line.size() > kProgressLineCap) {
+        line.resize(kProgressLineCap - 3);
+        line += "...";
+    }
+    return line;
+}
+
+void
+Watchdog::resetForTesting()
+{
+    stop();
+    std::lock_guard<std::mutex> lock(g_register_mutex);
+    wddetail::tl_slot = nullptr;
+    g_enabled.store(false, std::memory_order_release);
+    const std::size_t n = g_slot_count.load(std::memory_order_relaxed);
+    g_slot_count.store(0, std::memory_order_release);
+    for (std::size_t i = 0; i < n; ++i)
+        delete g_slots[i].exchange(nullptr, std::memory_order_acq_rel);
+    g_progress_total.store(0, std::memory_order_relaxed);
+    g_progress_done.store(0, std::memory_order_relaxed);
+}
+
+} // namespace wss::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/watchdog.hpp"
 #include "util/logging.hpp"
 
 namespace wss::sim {
@@ -312,6 +314,16 @@ Simulator::run()
         network_.step(now);
         if (obs_)
             endCycleObs(now);
+
+        // Liveness mark every 64k cycles: one test on a register per
+        // cycle, so the hot loop stays at PR-4 speed; long fabric
+        // replays still publish progress for the watchdog.
+        if ((now & 0xffff) == 0xffff) {
+            obs::heartbeat();
+            obs::recordEvent(obs::EventKind::SimEpoch, now,
+                             measured_created_ - measured_finished_,
+                             "sim-cycle");
+        }
 
         if (cfg_.run_to_exhaustion) {
             const bool done = workload_.exhausted(now) &&

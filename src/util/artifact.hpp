@@ -40,6 +40,7 @@ writeArtifactFile(const std::string &path, std::string_view what,
     os.close();
     if (!ok || !os)
         fatal(what, ": error writing '", path, "' (disk full?)");
+    detail::notifyLogEvent(detail::LogEvent::Artifact, path.c_str());
 }
 
 } // namespace wss::util

@@ -12,6 +12,34 @@
  * (exec::Campaign) never interleave fragments of two messages. The
  * mutex is released before exit()/abort() so a fatal() on one thread
  * cannot deadlock another thread's warn().
+ *
+ * Observability hook: fatal(), panic(), warnOnce() and
+ * util::writeArtifactFile() report themselves through a single
+ * process-wide function pointer (setLogEventHook) before doing their
+ * usual work. The obs layer installs a hook that records a
+ * flight-recorder event and, on panic()/fatal(), drains everything
+ * into a crash.json post-mortem (obs::FlightRecorder::enable does
+ * the installation — util/ stays free of obs/ dependencies). When no
+ * hook is installed the notification is one relaxed atomic load.
+ *
+ * Async-signal-safety rules (who may run where):
+ *
+ *   - Everything in this header runs in NORMAL context only. The
+ *     emitters take logMutex() and use iostreams/ostringstream, all
+ *     of which allocate — calling any of them from a signal handler
+ *     is undefined behaviour (a handler interrupting emitLine()
+ *     would self-deadlock on logMutex()).
+ *   - The hook is likewise invoked in normal context only: panic()
+ *     and fatal() call it from the failing thread *before*
+ *     abort()/exit(), never from a handler. A hook implementation
+ *     may therefore allocate and lock, but it must not call back
+ *     into fatal()/panic() (infinite recursion) and must tolerate
+ *     concurrent invocation from multiple threads.
+ *   - Signal handlers (SIGSEGV/SIGABRT/SIGBUS, installed by
+ *     obs::CrashDump) bypass this header entirely: they are written
+ *     against write(2)/open(2) with manual formatting into
+ *     preallocated buffers, take no locks, and read only lock-free
+ *     atomics and single-writer ring slots.
  */
 
 #ifndef WSS_UTIL_LOGGING_HPP
@@ -57,6 +85,33 @@ logMutex()
     return m;
 }
 
+/// What a log-event hook is being told about (see file comment).
+enum class LogEvent : int {
+    WarnOnce = 0, ///< A WSS_WARN_ONCE call site fired (msg = text).
+    Panic,        ///< panic() is about to emit and abort().
+    Fatal,        ///< fatal() is about to emit and exit(1).
+    Artifact,     ///< An artifact file was written (msg = path).
+};
+
+using LogEventHook = void (*)(LogEvent, const char *msg);
+
+inline std::atomic<LogEventHook> &
+logEventHookSlot()
+{
+    static std::atomic<LogEventHook> hook{nullptr};
+    return hook;
+}
+
+/// Tell the installed hook (if any) that @p event happened. Normal
+/// context only; one relaxed load when no hook is installed.
+inline void
+notifyLogEvent(LogEvent event, const char *msg)
+{
+    if (LogEventHook hook =
+            logEventHookSlot().load(std::memory_order_acquire))
+        hook(event, msg);
+}
+
 /// Write one already-formatted line to stderr atomically.
 inline void
 emitLine(std::string_view prefix, const std::string &msg)
@@ -70,12 +125,21 @@ emitLine(std::string_view prefix, const std::string &msg)
 
 } // namespace detail
 
+/// Install (or clear, with nullptr) the process-wide log-event hook.
+inline void
+setLogEventHook(detail::LogEventHook hook)
+{
+    detail::logEventHookSlot().store(hook, std::memory_order_release);
+}
+
 /// Report a configuration/user error and exit(1).
 template <typename... Args>
 [[noreturn]] void
 fatal(const Args &...args)
 {
-    detail::emitLine("fatal: ", detail::concat(args...));
+    const std::string msg = detail::concat(args...);
+    detail::emitLine("fatal: ", msg);
+    detail::notifyLogEvent(detail::LogEvent::Fatal, msg.c_str());
     std::exit(1);
 }
 
@@ -84,7 +148,9 @@ template <typename... Args>
 [[noreturn]] void
 panic(const Args &...args)
 {
-    detail::emitLine("panic: ", detail::concat(args...));
+    const std::string msg = detail::concat(args...);
+    detail::emitLine("panic: ", msg);
+    detail::notifyLogEvent(detail::LogEvent::Panic, msg.c_str());
     std::abort();
 }
 
@@ -115,7 +181,9 @@ warnOnce(std::atomic<bool> &fired, const Args &...args)
 {
     if (fired.exchange(true, std::memory_order_relaxed))
         return false;
-    warn(args...);
+    const std::string msg = detail::concat(args...);
+    detail::notifyLogEvent(detail::LogEvent::WarnOnce, msg.c_str());
+    warn(msg);
     return true;
 }
 

@@ -25,6 +25,7 @@
 #include "exec/thread_pool.hpp"
 #include "flow/dcn_topology.hpp"
 #include "flow/switch_profile.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_event.hpp"
 #include "power/ssc.hpp"
@@ -630,6 +631,40 @@ TEST(CollTelemetry, ResultsAreBitIdenticalWithTelemetryOnOrOff)
 
     EXPECT_EQ(off.telemetry, nullptr);
     ASSERT_NE(on.telemetry, nullptr);
+    EXPECT_EQ(off.seconds, on.seconds);
+    EXPECT_EQ(off.algbw_gbps, on.algbw_gbps);
+    EXPECT_EQ(off.busbw_gbps, on.busbw_gbps);
+    EXPECT_EQ(off.steps, on.steps);
+    EXPECT_EQ(off.messages, on.messages);
+    EXPECT_EQ(off.bytes_on_wire, on.bytes_on_wire);
+    EXPECT_EQ(off.failed_messages, on.failed_messages);
+}
+
+TEST(CollTelemetry, ResultsAreBitIdenticalWithFlightRecorderOnOrOff)
+{
+    // The recorder's per-step SimEpoch marks must not perturb the
+    // collective model: every result field compares exactly.
+    const flow::SwitchProfile profile = testProfile("t", 64);
+    const Schedule s = allToAllSchedule(8);
+
+    obs::FlightRecorder::resetForTesting();
+    flow::DcnTopology topo_off =
+        flow::DcnTopology::buildFatTree(8, 64, 200.0);
+    const CollExecResult off =
+        executeOnDcn(s, 1 << 20, topo_off, profile);
+
+    obs::FlightRecorder::enable(256);
+    obs::FlightRecorder::attachCurrentThread("coll-test");
+    flow::DcnTopology topo_on =
+        flow::DcnTopology::buildFatTree(8, 64, 200.0);
+    const CollExecResult on =
+        executeOnDcn(s, 1 << 20, topo_on, profile);
+    const std::uint64_t epochs =
+        obs::FlightRecorder::kindCount(obs::EventKind::SimEpoch);
+    obs::FlightRecorder::detachCurrentThread();
+    obs::FlightRecorder::resetForTesting();
+
+    EXPECT_GT(epochs, 0u) << "recorder saw no collective step marks";
     EXPECT_EQ(off.seconds, on.seconds);
     EXPECT_EQ(off.algbw_gbps, on.algbw_gbps);
     EXPECT_EQ(off.busbw_gbps, on.busbw_gbps);

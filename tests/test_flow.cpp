@@ -24,6 +24,7 @@
 #include "flow/flow_sim.hpp"
 #include "flow/switch_profile.hpp"
 #include "flow/workload.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_event.hpp"
 #include "power/ssc.hpp"
@@ -730,6 +731,40 @@ TEST(FlowTelemetry, ResultsAreBitIdenticalWithTelemetryOnOrOff)
     EXPECT_EQ(off.telemetry, nullptr);
     ASSERT_NE(on.telemetry, nullptr);
 
+    EXPECT_EQ(off.started, on.started);
+    EXPECT_EQ(off.completed, on.completed);
+    EXPECT_EQ(off.failed, on.failed);
+    EXPECT_EQ(off.rerouted, on.rerouted);
+    EXPECT_EQ(off.duration_s, on.duration_s);
+    EXPECT_EQ(off.completed_bytes, on.completed_bytes);
+    EXPECT_EQ(off.throughput_gbps, on.throughput_gbps);
+    EXPECT_EQ(off.fct_avg_s, on.fct_avg_s);
+    EXPECT_EQ(off.fct_max_s, on.fct_max_s);
+    EXPECT_EQ(off.fct_p50_s, on.fct_p50_s);
+    EXPECT_EQ(off.fct_p99_s, on.fct_p99_s);
+    EXPECT_EQ(off.fct_p999_s, on.fct_p999_s);
+    EXPECT_EQ(off.slowdown_avg, on.slowdown_avg);
+    EXPECT_EQ(off.slowdown_p99, on.slowdown_p99);
+    EXPECT_EQ(off.avg_hops, on.avg_hops);
+}
+
+TEST(FlowTelemetry, ResultsAreBitIdenticalWithFlightRecorderOnOrOff)
+{
+    // Same contract as the telemetry test, but for the flight
+    // recorder: its per-batch SimEpoch marks must observe the run
+    // without perturbing a single behavioural field.
+    obs::FlightRecorder::resetForTesting();
+    const FlowSimResult off = runWithTelemetry(0.0);
+
+    obs::FlightRecorder::enable(256);
+    obs::FlightRecorder::attachCurrentThread("flow-test");
+    const FlowSimResult on = runWithTelemetry(0.0);
+    const std::uint64_t epochs =
+        obs::FlightRecorder::kindCount(obs::EventKind::SimEpoch);
+    obs::FlightRecorder::detachCurrentThread();
+    obs::FlightRecorder::resetForTesting();
+
+    EXPECT_GT(epochs, 0u) << "recorder saw no flow-sim epoch marks";
     EXPECT_EQ(off.started, on.started);
     EXPECT_EQ(off.completed, on.completed);
     EXPECT_EQ(off.failed, on.failed);

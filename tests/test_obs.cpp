@@ -33,8 +33,11 @@
 #include "exec/campaign.hpp"
 #include "exec/thread_pool.hpp"
 #include "fault/fault_schedule.hpp"
+#include "obs/crash_dump.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/watchdog.hpp"
 #include "obs/report.hpp"
 #include "obs/run_manifest.hpp"
 #include "obs/sim_observation.hpp"
@@ -44,6 +47,8 @@
 #include "sim/simulator.hpp"
 #include "topology/clos.hpp"
 #include "util/artifact.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
 
 namespace wss::obs {
 namespace {
@@ -1299,6 +1304,522 @@ TEST(Report, CorruptArtifactFailsTheHashCheckWithoutDying)
 
     std::remove(manifest_path.c_str());
     std::remove(artifact.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------
+
+/// RAII reset so one failing test cannot leak an enabled recorder /
+/// watchdog / crash-dump installation into the next.
+struct ObsReset
+{
+    ObsReset() { reset(); }
+    ~ObsReset() { reset(); }
+    static void
+    reset()
+    {
+        Watchdog::resetForTesting();
+        FlightRecorder::resetForTesting();
+        CrashDump::resetForTesting();
+    }
+};
+
+TEST(FlightRecorder, DisabledRecordIsANoOp)
+{
+    ObsReset guard;
+    EXPECT_FALSE(FlightRecorder::enabled());
+    // The disabled contract: no ring attached, recordEvent is one
+    // predicted branch (BM_FlightRecorderDisabled measures it).
+    recordEvent(EventKind::SimEpoch, 1, 2, "ignored");
+    recordPhaseEnter("ignored");
+    recordPhaseExit();
+    EXPECT_EQ(FlightRecorder::ringCount(), 0u);
+    EXPECT_EQ(FlightRecorder::kindCount(EventKind::SimEpoch), 0u);
+}
+
+TEST(FlightRecorder, AttachBeforeEnableIsIgnored)
+{
+    ObsReset guard;
+    FlightRecorder::attachCurrentThread("early");
+    EXPECT_EQ(FlightRecorder::ringCount(), 0u);
+}
+
+TEST(FlightRecorder, RecordsEventsAndWrapsTheRing)
+{
+    ObsReset guard;
+    FlightRecorder::enable(16);
+    FlightRecorder::attachCurrentThread("t0");
+    ASSERT_EQ(FlightRecorder::ringCount(), 1u);
+    // Attach is idempotent: same thread, same ring.
+    FlightRecorder::attachCurrentThread("t0-again");
+    EXPECT_EQ(FlightRecorder::ringCount(), 1u);
+
+    for (int i = 0; i < 40; ++i)
+        recordEvent(EventKind::JobStart, i, i * 2, "cell");
+    ThreadRing *ring = FlightRecorder::ring(0);
+    ASSERT_NE(ring, nullptr);
+    EXPECT_EQ(std::string(ring->label()), "t0");
+    EXPECT_EQ(ring->capacity(), 16u);
+    EXPECT_EQ(ring->written(), 40u);
+    EXPECT_EQ(FlightRecorder::kindCount(EventKind::JobStart), 40u);
+
+    // Only the last `capacity` events survive; slot(i) is addressed
+    // by absolute event index, so the tail is events 24..39.
+    for (std::uint64_t i = 24; i < 40; ++i) {
+        const FlightEvent &e = ring->slot(i);
+        EXPECT_EQ(e.kind,
+                  static_cast<std::uint16_t>(EventKind::JobStart));
+        EXPECT_EQ(e.a, static_cast<std::int64_t>(i));
+        EXPECT_EQ(e.b, static_cast<std::int64_t>(i) * 2);
+        EXPECT_EQ(std::string(e.tag), "cell");
+    }
+    // Timestamps are monotone within the ring tail.
+    for (std::uint64_t i = 25; i < 40; ++i)
+        EXPECT_GE(ring->slot(i).t, ring->slot(i - 1).t);
+
+    // Long tags truncate, never overflow.
+    recordEvent(EventKind::DesignPoint, 0, 0,
+                std::string(100, 'x'));
+    const FlightEvent &last = ring->slot(ring->written() - 1);
+    EXPECT_EQ(std::string(last.tag), std::string(29, 'x'));
+}
+
+TEST(FlightRecorder, ProfilerPhasesDriveTheOpenPhaseStack)
+{
+    ObsReset guard;
+    FlightRecorder::enable(64);
+    FlightRecorder::attachCurrentThread("prof");
+    ThreadRing *ring = FlightRecorder::ring(0);
+    ASSERT_NE(ring, nullptr);
+
+    Profiler profiler;
+    {
+        ScopedPhase outer(&profiler, "campaign");
+        {
+            ScopedPhase inner(&profiler, "cell");
+            EXPECT_EQ(ring->phaseDepth(), 2);
+            EXPECT_EQ(std::string(ring->phaseName(0)), "campaign");
+            EXPECT_EQ(std::string(ring->phaseName(1)), "cell");
+        }
+        EXPECT_EQ(ring->phaseDepth(), 1);
+    }
+    EXPECT_EQ(ring->phaseDepth(), 0);
+    EXPECT_EQ(FlightRecorder::kindCount(EventKind::PhaseEnter), 2u);
+    EXPECT_EQ(FlightRecorder::kindCount(EventKind::PhaseExit), 2u);
+}
+
+TEST(FlightRecorder, WarnOnceAndArtifactWritesBecomeEvents)
+{
+    ObsReset guard;
+    FlightRecorder::enable(64);
+    FlightRecorder::attachCurrentThread("hooked");
+
+    // WSS_WARN_ONCE routes through the logging hook into the ring.
+    WSS_WARN_ONCE("flight-recorder hook test warning");
+    EXPECT_EQ(FlightRecorder::kindCount(EventKind::WarnOnce), 1u);
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "wss_fr_artifact.txt")
+            .string();
+    util::writeArtifactFile(path, "test",
+                            [](std::ostream &os) { os << "x\n"; });
+    EXPECT_EQ(FlightRecorder::kindCount(EventKind::ArtifactWrite), 1u);
+    ThreadRing *ring = FlightRecorder::ring(0);
+    ASSERT_NE(ring, nullptr);
+    const FlightEvent &e = ring->slot(ring->written() - 1);
+    EXPECT_EQ(e.kind,
+              static_cast<std::uint16_t>(EventKind::ArtifactWrite));
+    // The tag keeps the (truncated) artifact path.
+    EXPECT_NE(std::string(e.tag).find("wss_fr"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, SimResultsAreBitIdenticalWithRecorderOnOrOff)
+{
+    ObsReset guard;
+    // Long enough to cross the simulator's epoch-mark cadence (one
+    // SimEpoch event every 65536 cycles — the hot loop's per-cycle
+    // cost is a single mask-and-compare).
+    const auto run = [] {
+        const auto topo = topology::buildFoldedClos(
+            {8, power::scaledSsc(8, 200.0), 1});
+        sim::NetworkSpec spec;
+        spec.vcs = 2;
+        spec.buffer_per_port = 8;
+        sim::Network net(topo, spec, 21);
+        sim::SyntheticWorkload workload(sim::uniformTraffic(8), 0.3,
+                                        1);
+        sim::SimConfig cfg;
+        cfg.warmup = 500;
+        cfg.measure = 66000;
+        cfg.drain_limit = 80000;
+        cfg.seed = 33;
+        return sim::Simulator(net, workload, cfg).run();
+    };
+    const sim::SimResult off_result = run();
+
+    FlightRecorder::enable(256);
+    FlightRecorder::attachCurrentThread("sim");
+    Watchdog::enableHeartbeats();
+    Watchdog::registerCurrentThread("sim");
+    const sim::SimResult on_result = run();
+    // The instrumented run actually recorded something…
+    EXPECT_GT(FlightRecorder::kindCount(EventKind::SimEpoch), 0u);
+    ObservedRun off;
+    off.result = off_result;
+    ObservedRun on;
+    on.result = on_result;
+
+    // …and perturbed nothing: the recorder is write-only telemetry.
+    EXPECT_EQ(off.result.avg_packet_latency,
+              on.result.avg_packet_latency);
+    EXPECT_EQ(off.result.p99_packet_latency,
+              on.result.p99_packet_latency);
+    EXPECT_EQ(off.result.avg_hops, on.result.avg_hops);
+    EXPECT_EQ(off.result.offered, on.result.offered);
+    EXPECT_EQ(off.result.accepted, on.result.accepted);
+    EXPECT_EQ(off.result.packets_measured, on.result.packets_measured);
+    EXPECT_EQ(off.result.packets_finished, on.result.packets_finished);
+    EXPECT_EQ(off.result.stable, on.result.stable);
+    EXPECT_EQ(off.result.end_cycle, on.result.end_cycle);
+    EXPECT_EQ(off.result.flits_delivered, on.result.flits_delivered);
+    EXPECT_EQ(off.result.flits_injected, on.result.flits_injected);
+}
+
+TEST(FlightRecorder, CampaignResultsAreBitIdenticalWithRecorderOnOrOff)
+{
+    ObsReset guard;
+    exec::Campaign plain;
+    plain.addSweep("uniform", tinySweepJob());
+    exec::ThreadPool pool_off(2);
+    const exec::CampaignResult off = plain.run(&pool_off);
+
+    FlightRecorder::enable(512);
+    FlightRecorder::attachCurrentThread("main");
+    Watchdog::enableHeartbeats();
+    Watchdog::registerCurrentThread("main");
+    Watchdog::markThreadIdle();
+    exec::Campaign traced;
+    traced.addSweep("uniform", tinySweepJob());
+    exec::ThreadPool pool_on(2);
+    const exec::CampaignResult on = traced.run(&pool_on);
+
+    EXPECT_EQ(FlightRecorder::kindCount(EventKind::JobStart),
+              FlightRecorder::kindCount(EventKind::JobFinish));
+    EXPECT_GT(FlightRecorder::kindCount(EventKind::JobStart), 0u);
+    EXPECT_GT(FlightRecorder::kindCount(EventKind::DesignPoint), 0u);
+    EXPECT_EQ(Watchdog::progressDone(), Watchdog::progressTotal());
+
+    ASSERT_EQ(off.jobs.size(), on.jobs.size());
+    for (std::size_t j = 0; j < off.jobs.size(); ++j) {
+        const auto &a = off.jobs[j].sweep.combined;
+        const auto &b = on.jobs[j].sweep.combined;
+        ASSERT_EQ(a.points.size(), b.points.size());
+        for (std::size_t p = 0; p < a.points.size(); ++p) {
+            EXPECT_EQ(a.points[p].offered, b.points[p].offered);
+            EXPECT_EQ(a.points[p].accepted, b.points[p].accepted);
+            EXPECT_EQ(a.points[p].avg_latency, b.points[p].avg_latency);
+            EXPECT_EQ(a.points[p].p99_latency, b.points[p].p99_latency);
+            EXPECT_EQ(a.points[p].stable, b.points[p].stable);
+        }
+        EXPECT_EQ(a.zero_load_latency, b.zero_load_latency);
+        EXPECT_EQ(a.saturation_throughput, b.saturation_throughput);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------
+
+TEST(Watchdog, HeartbeatIsANoOpWhileUnregistered)
+{
+    ObsReset guard;
+    heartbeat(); // must not crash, must not register anything
+    Watchdog::registerCurrentThread("ignored"); // disabled -> no-op
+    EXPECT_FALSE(Watchdog::heartbeatsEnabled());
+    EXPECT_TRUE(Watchdog::snapshot().empty());
+}
+
+TEST(Watchdog, SnapshotTracksBeatsDetailAndIdleState)
+{
+    ObsReset guard;
+    Watchdog::enableHeartbeats();
+    Watchdog::registerCurrentThread("worker-0");
+    Watchdog::setThreadDetail("uniform rep 1 rate 0.4");
+    heartbeat();
+    heartbeat();
+
+    auto snaps = Watchdog::snapshot();
+    ASSERT_EQ(snaps.size(), 1u);
+    EXPECT_EQ(snaps[0].label, "worker-0");
+    EXPECT_EQ(snaps[0].detail, "uniform rep 1 rate 0.4");
+    // register + setThreadDetail + 2 explicit beats
+    EXPECT_GE(snaps[0].beats, 3u);
+    EXPECT_TRUE(snaps[0].active);
+    EXPECT_LT(snaps[0].age_s, 5.0);
+
+    Watchdog::markThreadIdle();
+    EXPECT_FALSE(Watchdog::snapshot()[0].active);
+    Watchdog::markThreadActive();
+    EXPECT_TRUE(Watchdog::snapshot()[0].active);
+}
+
+TEST(Watchdog, CheckStallsNamesTheCulpritAndSparesIdleThreads)
+{
+    ObsReset guard;
+    Watchdog::enableHeartbeats();
+    Watchdog::registerCurrentThread("worker-3");
+    Watchdog::setThreadDetail("fig21 rep 2 rate 0.8");
+    EXPECT_EQ(Watchdog::checkStalls(10.0), "");
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const std::string culprit = Watchdog::checkStalls(0.005);
+    EXPECT_NE(culprit.find("worker-3"), std::string::npos);
+    EXPECT_NE(culprit.find("no heartbeat"), std::string::npos);
+    EXPECT_NE(culprit.find("fig21 rep 2 rate 0.8"), std::string::npos);
+
+    // A fresh beat clears the stall…
+    heartbeat();
+    EXPECT_EQ(Watchdog::checkStalls(1.0), "");
+    // …and an idle thread is never a culprit, however stale.
+    Watchdog::markThreadIdle();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(Watchdog::checkStalls(0.001), "");
+}
+
+TEST(Watchdog, ProgressLineReportsJobsAndActiveWorkers)
+{
+    ObsReset guard;
+    Watchdog::enableHeartbeats();
+    Watchdog::setProgressTotal(40);
+    Watchdog::addProgressDone(12);
+    EXPECT_EQ(Watchdog::progressTotal(), 40u);
+    EXPECT_EQ(Watchdog::progressDone(), 12u);
+
+    Watchdog::registerCurrentThread("worker-1");
+    Watchdog::setThreadDetail("tornado rep 0 rate 0.7");
+    const std::string line = Watchdog::renderProgressLine();
+    EXPECT_NE(line.find("jobs 12/40"), std::string::npos);
+    EXPECT_NE(line.find("30.0%"), std::string::npos);
+    EXPECT_NE(line.find("worker-1 tornado rep 0 rate 0.7"),
+              std::string::npos);
+
+    // Idle workers drop off the line.
+    Watchdog::markThreadIdle();
+    EXPECT_EQ(Watchdog::renderProgressLine().find("worker-1"),
+              std::string::npos);
+}
+
+TEST(Watchdog, MonitorThreadStartsAndStopsCleanly)
+{
+    ObsReset guard;
+    Watchdog::start(0.0, false, 0.01); // no stall arm, no progress
+    Watchdog::start(0.0, false, 0.01); // idempotent while running
+    EXPECT_TRUE(Watchdog::heartbeatsEnabled());
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    Watchdog::stop();
+    Watchdog::stop(); // idempotent when stopped
+}
+
+// ---------------------------------------------------------------------
+// Crash dumps
+// ---------------------------------------------------------------------
+
+TEST(CrashDump, WriteNowWithoutInstallIsRefused)
+{
+    ObsReset guard;
+    EXPECT_FALSE(CrashDump::installed());
+    EXPECT_FALSE(CrashDump::writeNow("not installed", 0));
+}
+
+TEST(CrashDump, WriteNowProducesParseableJsonOnce)
+{
+    ObsReset guard;
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "wss_crash_unit.json")
+            .string();
+    std::remove(path.c_str());
+
+    FlightRecorder::enable(64);
+    FlightRecorder::attachCurrentThread("main");
+    Profiler profiler;
+    ScopedPhase phase(&profiler, "campaign");
+    recordEvent(EventKind::JobStart, 7, 0, "uniform");
+    recordEvent(EventKind::FaultInjection, 3, 120, "link down");
+
+    CrashDump::install(path);
+    CrashDump::setTool("wss test");
+    CrashDump::setIdentity(0xdeadbeefu);
+    ASSERT_TRUE(CrashDump::installed());
+    EXPECT_EQ(CrashDump::path(), path);
+    ASSERT_TRUE(CrashDump::writeNow("unit-test dump", 0));
+    // Write-once latch: the second writer (e.g. the SIGABRT handler
+    // running after panic() already dumped) must not clobber.
+    EXPECT_FALSE(CrashDump::writeNow("second dump", 0));
+
+    const util::JsonValue doc = util::JsonValue::parseFile(path, "crash dump");
+    EXPECT_EQ(doc.require("wss_crash_report", "crash dump").asNumber("crash dump"), 1.0);
+    EXPECT_EQ(doc.require("reason", "crash dump").asString("crash dump"), "unit-test dump");
+    EXPECT_EQ(doc.require("tool", "crash dump").asString("crash dump"), "wss test");
+    EXPECT_EQ(doc.require("identity_hash", "crash dump").asString("crash dump"), "0xdeadbeef");
+    EXPECT_EQ(doc.require("signal", "crash dump").asNumber("crash dump"), 0.0);
+    const auto &threads = doc.require("threads", "crash dump").asArray("crash dump");
+    ASSERT_EQ(threads.size(), 1u);
+    EXPECT_EQ(threads[0].require("label", "crash dump").asString("crash dump"), "main");
+    // The open profiler phase is captured in the post-mortem.
+    const auto &phases = threads[0].require("open_phases", "crash dump").asArray("crash dump");
+    ASSERT_EQ(phases.size(), 1u);
+    EXPECT_EQ(phases[0].asString("crash dump"), "campaign");
+    const auto &events = threads[0].require("events", "crash dump").asArray("crash dump");
+    ASSERT_GE(events.size(), 2u);
+    bool saw_fault = false;
+    for (const auto &e : events)
+        if (e.require("kind", "crash dump").asString("crash dump") ==
+            std::string(eventKindName(EventKind::FaultInjection))) {
+            saw_fault = true;
+            EXPECT_EQ(e.require("a", "crash dump").asNumber("crash dump"), 3.0);
+            EXPECT_EQ(e.require("b", "crash dump").asNumber("crash dump"), 120.0);
+            EXPECT_EQ(e.require("tag", "crash dump").asString("crash dump"), "link down");
+        }
+    EXPECT_TRUE(saw_fault);
+    // Counters section mirrors FlightRecorder::kindCount.
+    EXPECT_EQ(doc.require("counters", "crash dump")
+                  .require(eventKindName(EventKind::JobStart),
+                           "crash dump")
+                  .asNumber("crash dump"),
+              1.0);
+    std::remove(path.c_str());
+}
+
+TEST(CrashDump, ReportRendersThePostMortem)
+{
+    ObsReset guard;
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "wss_crash_report_unit.json")
+            .string();
+    FlightRecorder::enable(64);
+    FlightRecorder::attachCurrentThread("worker-2");
+    recordEvent(EventKind::DesignPoint, 1, 4, "rate 0.8");
+    CrashDump::install(path);
+    CrashDump::setTool("wss sweep");
+    ASSERT_TRUE(CrashDump::writeNow("watchdog: stall detected", 6));
+
+    ReportOptions opts;
+    opts.crash_path = path; // crash-only report: no manifest at all
+    const RunReport report = buildRunReport(opts);
+    EXPECT_TRUE(report.ok());
+    bool found = false;
+    for (const auto &check : report.checks)
+        if (check.name == "crash-post-mortem") {
+            found = true;
+            EXPECT_TRUE(check.ok);
+            EXPECT_NE(check.detail.find("watchdog: stall detected"),
+                      std::string::npos);
+        }
+    EXPECT_TRUE(found);
+    EXPECT_NE(report.markdown.find("## Post-mortem"),
+              std::string::npos);
+    EXPECT_NE(report.markdown.find("### Thread worker-2"),
+              std::string::npos);
+    EXPECT_NE(report.markdown.find("rate 0.8"), std::string::npos);
+    EXPECT_NE(report.json.find("\"crash\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CrashDump, MalformedCrashJsonFailsTheCheckWithoutDying)
+{
+    ObsReset guard;
+    const std::string path = writeTempFile(
+        "wss_crash_malformed.json", "{\"not_a_crash\": true}\n");
+    ReportOptions opts;
+    opts.crash_path = path;
+    const RunReport report = buildRunReport(opts);
+    EXPECT_FALSE(report.ok());
+    bool found = false;
+    for (const auto &check : report.checks)
+        if (check.name == "crash-post-mortem") {
+            found = true;
+            EXPECT_FALSE(check.ok);
+        }
+    EXPECT_TRUE(found);
+    std::remove(path.c_str());
+}
+
+// Death tests live in their own *DiesLoudly suite: the sanitizer
+// presets exclude them (fork + abort under tsan/asan is noise).
+TEST(CrashDumpDiesLoudly, PanicDumpsThenAborts)
+{
+    ObsReset guard;
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "wss_crash_panic.json")
+            .string();
+    std::remove(path.c_str());
+    // The child enables the recorder, installs the dump, and
+    // panic()s: the logging hook writes crash.json *before* abort()
+    // raises SIGABRT (whose handler then finds the write-once latch
+    // taken and re-raises).
+    EXPECT_DEATH(
+        {
+            FlightRecorder::enable(64);
+            FlightRecorder::attachCurrentThread("doomed");
+            recordEvent(EventKind::JobStart, 1, 0, "cell");
+            CrashDump::install(path);
+            CrashDump::setTool("wss test");
+            panic("deliberate test panic");
+        },
+        "deliberate test panic");
+    // The dump the dying child wrote is valid JSON with its reason.
+    const util::JsonValue doc = util::JsonValue::parseFile(path, "crash dump");
+    EXPECT_EQ(doc.require("wss_crash_report", "crash dump").asNumber("crash dump"), 1.0);
+    EXPECT_NE(doc.require("reason", "crash dump").asString("crash dump").find(
+                  "deliberate test panic"),
+              std::string::npos);
+    EXPECT_EQ(doc.require("threads", "crash dump").asArray("crash dump").size(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(CrashDumpDiesLoudly, FatalDumpsThenExits)
+{
+    ObsReset guard;
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "wss_crash_fatal.json")
+            .string();
+    std::remove(path.c_str());
+    EXPECT_EXIT(
+        {
+            FlightRecorder::enable(64);
+            FlightRecorder::attachCurrentThread("doomed");
+            CrashDump::install(path);
+            fatal("deliberate test fatal");
+        },
+        ::testing::ExitedWithCode(1), "deliberate test fatal");
+    const util::JsonValue doc = util::JsonValue::parseFile(path, "crash dump");
+    EXPECT_NE(doc.require("reason", "crash dump").asString("crash dump").find(
+                  "deliberate test fatal"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CrashDumpDiesLoudly, WatchdogStallAbortsNamingTheCulprit)
+{
+    ObsReset guard;
+    EXPECT_DEATH(
+        {
+            FlightRecorder::enable(64);
+            FlightRecorder::attachCurrentThread("sleeper");
+            Watchdog::enableHeartbeats();
+            Watchdog::registerCurrentThread("sleeper");
+            Watchdog::setThreadDetail("pretending to work");
+            Watchdog::start(0.05, false, 0.01);
+            std::this_thread::sleep_for(std::chrono::seconds(10));
+        },
+        "watchdog: stall detected.*sleeper.*pretending to work");
 }
 
 } // namespace

@@ -33,7 +33,16 @@
 #      and bench_coll --smoke is gated against a fresh re-run with
 #      tools/bench_compare.py --require-identical (the engine is
 #      deterministic, so any drift is a behavioural change; the bench
-#      manifests prove both runs shared one configuration).
+#      manifests prove both runs shared one configuration),
+#   8. the flight-recorder stack: the disabled-recordEvent overhead
+#      guard (same >=10x contract as the profiler), a watchdog stall
+#      smoke (a deliberately sleeping worker must be diagnosed and
+#      aborted within a sub-second timeout), and a crash post-mortem
+#      smoke (a panic()ing helper leaves a crash.json that python3 -m
+#      json.tool accepts and `wss report --crash` renders), and
+#   9. a bench_results/ hygiene guard: only result files (BENCH_*.json,
+#      their manifests, and bench_*.txt logs) may live there — stray
+#      build droppings fail the check.
 #
 # Usage: tools/check.sh            (from anywhere in the repo)
 #        JOBS=8 tools/check.sh     (override the parallelism)
@@ -42,6 +51,22 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
+
+echo "== bench_results hygiene =="
+# Only benchmark results belong in bench_results/: BENCH_*.json, the
+# provenance manifests they write, and bench_*.txt logs. Anything
+# else (stale CMake droppings, editor backups) fails the check.
+STRAY="$(find bench_results -type f \
+    ! -name 'BENCH_*.json' \
+    ! -name '*.manifest.json' \
+    ! -name 'bench_*.txt' \
+    ! -name 'README*' 2>/dev/null || true)"
+if [ -n "$STRAY" ]; then
+    echo "FAIL: non-result files under bench_results/:" >&2
+    echo "$STRAY" >&2
+    exit 1
+fi
+echo "bench_results clean"
 
 echo "== tier-1: configure + build =="
 cmake -B build -S .
@@ -114,8 +139,30 @@ if disabled * 10.0 > enabled:
     sys.exit("FAIL: disabled ScopedPhase is not >=10x cheaper than "
              "enabled — the null-handle no-op contract regressed")
 EOF
+echo "== release: flight-recorder overhead guard =="
+# Same null-handle contract as the profiler: recordEvent with no ring
+# attached to the thread must be at least 10x cheaper than with the
+# recorder enabled (in practice ~80x — one predicted branch vs a
+# timestamp + ring write), so campaign/simulator call sites can stay
+# instrumented unconditionally.
+build-release/bench/bench_micro \
+    --benchmark_filter='BM_FlightRecorder' \
+    --benchmark_min_time=0.2 \
+    --benchmark_format=json > "$GUARD_TMP/recorder.json"
+python3 - "$GUARD_TMP/recorder.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+times = {b["name"]: b["real_time"] for b in doc["benchmarks"]}
+disabled = times["BM_FlightRecorderDisabled"]
+enabled = times["BM_FlightRecorderEnabled"]
+print(f"flight recorder: disabled {disabled:.2f} ns, "
+      f"enabled {enabled:.2f} ns")
+if disabled * 10.0 > enabled:
+    sys.exit("FAIL: disabled recordEvent is not >=10x cheaper than "
+             "enabled — the null-handle no-op contract regressed")
+EOF
 rm -rf "$GUARD_TMP"
-echo "profiler overhead guard green"
+echo "profiler + flight-recorder overhead guards green"
 
 echo "== obs smoke: parallel trace + stats reconciliation =="
 OBS_TMP="$(mktemp -d)"
@@ -169,5 +216,34 @@ build-release/bench/bench_coll --smoke \
     --json "$OBS_TMP/BENCH_coll_b.json"
 python3 tools/bench_compare.py "$OBS_TMP/BENCH_coll_a.json" \
     "$OBS_TMP/BENCH_coll_b.json" --require-identical
+
+echo "== watchdog smoke: stalled worker diagnosed in under a second =="
+# The helper forks a worker that registers a heartbeat and then
+# sleeps; the watchdog must dump its diagnosis and abort within the
+# 0.2 s timeout. The helper exits 0 only when the death matched.
+build/tests/obs_crash_helper --mode stall --watchdog-timeout 0.2
+echo "watchdog stall smoke green"
+
+echo "== crash smoke: panic -> crash.json -> wss report --crash =="
+build/tests/obs_crash_helper --mode panic \
+    --crash-dump "$OBS_TMP/crash.json" 2> /dev/null
+python3 -m json.tool "$OBS_TMP/crash.json" > /dev/null
+build/tools/wss report --crash "$OBS_TMP/crash.json" \
+    --out "$OBS_TMP/crash_report.md" \
+    --json "$OBS_TMP/crash_report.json" \
+    | grep -q "checks passed"
+python3 -m json.tool "$OBS_TMP/crash_report.json" > /dev/null
+grep -q "## Post-mortem" "$OBS_TMP/crash_report.md"
+echo "crash post-mortem pipeline green"
+
+echo "== progress smoke: campaign with the live status line =="
+# --progress and --watchdog ride the same heartbeat registry as the
+# stall detector; a healthy run must finish cleanly with both armed.
+build/tools/wss sweep --ports 128 --patterns uniform --measure 1000 \
+    --points 3 --jobs 2 --progress --watchdog 30 --flight-recorder \
+    --crash-dump "$OBS_TMP/sweep_crash.json" > /dev/null
+# A clean run must leave no crash dump behind.
+test ! -s "$OBS_TMP/sweep_crash.json"
+echo "progress + watchdog smoke green"
 
 echo "check.sh: all green"

@@ -38,10 +38,13 @@
 #include "exec/campaign.hpp"
 #include "fault/resilience.hpp"
 #include "flow/dcn_campaign.hpp"
+#include "obs/crash_dump.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "obs/run_manifest.hpp"
 #include "obs/trace_event.hpp"
+#include "obs/watchdog.hpp"
 #include "power/link_power.hpp"
 #include "power/switch_power.hpp"
 #include "sim/load_sweep.hpp"
@@ -137,7 +140,7 @@ bool
 isOutputPathFlag(const std::string &key)
 {
     return key == "csv" || key == "json" || key == "out" ||
-           key == "profiles" ||
+           key == "profiles" || key == "crash-dump" ||
            (key.size() > 4 &&
             key.compare(key.size() - 4, 4, "-out") == 0);
 }
@@ -184,6 +187,98 @@ finishProfile(const Args &args, obs::Profiler &profiler,
     if (trace && !profiler.phases().empty())
         profiler.addToTrace(*trace, trace->allocateTrack("profile"));
 }
+
+/**
+ * RAII wiring for the observability flags shared by every
+ * campaign-shaped subcommand (sim / sweep / resilience / dcn / coll):
+ *
+ *   --flight-recorder [N]  per-thread flight-recorder rings
+ *                          (N events/thread, default 4096)
+ *   --crash-dump c.json    install crash handlers: panic(), fatal()
+ *                          and fatal signals write a c.json
+ *                          post-mortem (`wss report --crash c.json`)
+ *   --watchdog SECONDS     monitor thread aborts — with a diagnostic
+ *                          dump — when any active worker goes
+ *                          SECONDS without a heartbeat
+ *   --progress             live status line on stderr (jobs
+ *                          done/total, ETA, per-worker design point)
+ *
+ * --crash-dump, --watchdog and --progress all imply the flight
+ * recorder: their dumps and status lines read its rings. All of it
+ * is passive — results are bit-identical with the recorder on or off
+ * (asserted by test_obs).
+ */
+class ObsSession
+{
+  public:
+    ObsSession(const Args &args, const std::string &tool,
+               std::uint64_t seed, int jobs)
+    {
+        const bool wanted =
+            args.has("flight-recorder") || args.has("crash-dump") ||
+            args.has("watchdog") || args.has("progress");
+        if (!wanted)
+            return;
+        std::size_t capacity = 4096;
+        if (!args.str("flight-recorder", "").empty())
+            capacity = static_cast<std::size_t>(util::parsePositiveInt(
+                args.str("flight-recorder", ""), "--flight-recorder"));
+        obs::FlightRecorder::enable(capacity);
+        obs::FlightRecorder::attachCurrentThread("main");
+
+        if (args.has("crash-dump")) {
+            const std::string path = args.str("crash-dump", "");
+            if (path.empty())
+                fatal(tool, ": --crash-dump needs a file path");
+            // The dump carries the *configuration* identity (flags +
+            // seed + jobs): a crashed run never wrote its manifest,
+            // so this hash is what links the post-mortem back to the
+            // design point that died.
+            obs::RunManifest identity(tool);
+            for (const auto &[key, value] : args.all())
+                if (!isOutputPathFlag(key))
+                    identity.setConfig("arg." + key, value);
+            identity.setSeed(seed);
+            identity.setJobs(jobs);
+            obs::CrashDump::install(path);
+            obs::CrashDump::setTool(tool);
+            obs::CrashDump::setIdentity(identity.identityHash());
+        }
+
+        double timeout = 0.0;
+        if (args.has("watchdog")) {
+            const std::string value = args.str("watchdog", "");
+            if (value.empty())
+                fatal(tool,
+                      ": --watchdog needs a stall timeout in seconds");
+            timeout = std::stod(value);
+            if (timeout <= 0.0)
+                fatal(tool, ": --watchdog timeout must be positive");
+        }
+        const bool progress = args.has("progress");
+        if (timeout > 0.0 || progress) {
+            obs::Watchdog::enableHeartbeats();
+            // Main mostly waits on workers; register it idle so a
+            // long fan-out phase never reads as a main-thread stall.
+            obs::Watchdog::registerCurrentThread("main");
+            obs::Watchdog::markThreadIdle();
+            obs::Watchdog::start(timeout, progress);
+            monitoring_ = true;
+        }
+    }
+
+    ~ObsSession()
+    {
+        if (monitoring_)
+            obs::Watchdog::stop();
+    }
+
+    ObsSession(const ObsSession &) = delete;
+    ObsSession &operator=(const ObsSession &) = delete;
+
+  private:
+    bool monitoring_ = false;
+};
 
 tech::WsiTechnology
 parseWsi(const std::string &name)
@@ -358,6 +453,7 @@ cmdSim(const Args &args)
 
     const sim::NetworkSpec spec = fabricSpecFromArgs(args);
     const sim::SimConfig cfg = simConfigFromArgs(args);
+    ObsSession obs_session(args, "wss sim", cfg.seed, 1);
     obs::Profiler profiler;
     ArtifactLog artifacts;
 
@@ -480,6 +576,7 @@ cmdSweep(const Args &args)
     }
 
     exec::ThreadPool pool(jobs);
+    ObsSession obs_session(args, "wss sweep", cfg.seed, jobs);
     obs::Profiler profiler;
     ArtifactLog artifacts;
     obs::TraceEventSink trace;
@@ -695,6 +792,7 @@ cmdResilience(const Args &args)
     const int jobs = static_cast<int>(
         args.integer("jobs", exec::ThreadPool::defaultThreads()));
     exec::ThreadPool pool(jobs);
+    ObsSession obs_session(args, "wss resilience", cfg.seed, jobs);
     obs::Profiler profiler;
     ArtifactLog artifacts;
     obs::TraceEventSink trace;
@@ -893,6 +991,9 @@ cmdDcn(const Args &args)
     if (tracing)
         trace.setProcessName("wss dcn");
     obs::TraceEventSink *sink = tracing ? &trace : nullptr;
+    ObsSession obs_session(
+        args, "wss dcn",
+        static_cast<std::uint64_t>(args.integer("seed", 1)), jobs);
 
     // Waferscale design: solver-sized unless --ws-ports pins it.
     core::DesignSpec dspec;
@@ -1209,6 +1310,7 @@ cmdColl(const Args &args)
             : exec::ThreadPool::defaultThreads());
 
     exec::ThreadPool pool(jobs);
+    ObsSession obs_session(args, "wss coll", seed, jobs);
     obs::Profiler profiler;
     ArtifactLog artifacts;
     obs::TraceEventSink trace;
@@ -1536,11 +1638,18 @@ cmdReport(const Args &args)
             "collective breakdown, and a health-check table (artifact\n"
             "hashes, conservation, telemetry reconciliation).\n"
             "\n"
-            "  --manifest m.json    manifest to report on (required)\n"
+            "  --manifest m.json    manifest to report on (required\n"
+            "                       unless --crash is given)\n"
+            "  --crash crash.json   obs::CrashDump post-mortem to\n"
+            "                       render (reason, event counters,\n"
+            "                       per-thread phase stacks and last\n"
+            "                       flight-recorder events)\n"
             "  --out report.md      Markdown output path\n"
             "  --json report.json   also write the JSON twin\n"
             "  --top-phases 12      rows in the self-time table\n"
             "  --top-links 10       rows in the hottest-links table\n"
+            "  --crash-events 12    events shown per thread in the\n"
+            "                       post-mortem section\n"
             "  --saturation 0.95    utilization flagged as saturated\n"
             "\n"
             "Exit status 1 when any health check fails.\n";
@@ -1549,12 +1658,15 @@ cmdReport(const Args &args)
 
     obs::ReportOptions opts;
     opts.manifest_path = args.str("manifest", "");
-    if (opts.manifest_path.empty())
-        fatal("report: --manifest needs the manifest JSON path");
+    opts.crash_path = args.str("crash", "");
+    if (opts.manifest_path.empty() && opts.crash_path.empty())
+        fatal("report: --manifest (or --crash) needs a JSON path");
     opts.top_phases =
         static_cast<std::size_t>(args.integer("top-phases", 12));
     opts.top_links =
         static_cast<std::size_t>(args.integer("top-links", 10));
+    opts.crash_events =
+        static_cast<std::size_t>(args.integer("crash-events", 12));
     opts.saturation_threshold = args.num("saturation", 0.95);
 
     const obs::RunReport report = obs::buildRunReport(opts);
@@ -1656,13 +1768,16 @@ usage()
         "          [--csv out.csv --json out.json]\n"
         "          (run `wss coll --help` for all flags)\n"
         "  report  --manifest run.manifest.json --out report.md\n"
-        "          [--json report.json]\n"
+        "          [--json report.json --crash crash.json]\n"
         "          (run `wss report --help` for all flags)\n"
         "  plan    (solve flags) -> power delivery/cooling/enclosure\n"
         "\n"
         "Most subcommands also take --profile (phase self-time table)\n"
         "and --manifest-out m.json (provenance manifest, the input to\n"
-        "`wss report`).\n";
+        "`wss report`). Campaign-shaped subcommands (sim, sweep,\n"
+        "resilience, dcn, coll) additionally take the observability\n"
+        "flags --flight-recorder [N], --crash-dump crash.json,\n"
+        "--watchdog SECONDS and --progress.\n";
 }
 
 } // namespace
